@@ -1,0 +1,46 @@
+"""Shared configuration for the reproduction benchmarks.
+
+Trial counts are environment-tunable so the suite can run both in CI
+(small) and at paper scale:
+
+    REPRO_TRIALS=1000 pytest benchmarks/test_table2_depth_sweep.py --benchmark-only
+
+Each benchmark writes its rendered table/figure to benchmarks/output/ and
+echoes it to the terminal, so the regenerated artifacts are inspectable
+after the run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def trials_default(default: int = 60) -> int:
+    return int(os.environ.get("REPRO_TRIALS", default))
+
+
+@pytest.fixture(scope="session")
+def trials() -> int:
+    """Runs per configuration (the paper uses 1000 / 500)."""
+    return trials_default()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def report(output_dir):
+    """Save a rendered artifact and echo it."""
+
+    def _report(name: str, text: str) -> None:
+        path = output_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report

@@ -1,0 +1,123 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each ablation removes one PCTWM mechanism and measures the hit-rate delta
+on a benchmark that depends on it:
+
+1. late-as-possible sink execution  (P1: the sink must run after the writes)
+2. per-location view propagation     (MP2: full-bag join destroys the bug)
+3. stale local views                 (dekker/SB: eager views destroy d=0 bugs)
+4. history bounding                  (P1 with many writes: h=∞ dilutes)
+5. livelock heuristic                (seqlock: disabling it starves the reader)
+"""
+
+from repro.core import (
+    PCTWMEagerViews,
+    PCTWMFullBagJoin,
+    PCTWMNoDelay,
+    PCTWMScheduler,
+    PCTWMUnboundedHistory,
+)
+from repro.core.depth import estimate_parameters
+from repro.litmus import mp2, p1, store_buffering
+from repro.memory.events import RLX
+from repro.runtime import run_once
+from repro.workloads import BENCHMARKS
+
+
+def rate(factory, make_scheduler, trials, **run_kwargs) -> float:
+    hits = sum(
+        run_once(factory(), make_scheduler(seed), keep_graph=False,
+                 **run_kwargs).bug_found
+        for seed in range(trials)
+    )
+    return 100.0 * hits / trials
+
+
+def test_ablation_late_sink_execution(benchmark, trials, report):
+    def measure():
+        baseline = rate(lambda: p1(k=5, order=RLX),
+                        lambda s: PCTWMScheduler(1, 1, 1, seed=s), trials)
+        ablated = rate(lambda: p1(k=5, order=RLX),
+                       lambda s: PCTWMNoDelay(1, 1, 1, seed=s), trials)
+        return baseline, ablated
+
+    baseline, ablated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("ablation_late_sink",
+           f"P1(k=5) d=1 h=1 — baseline {baseline:.1f}% vs "
+           f"no-delay {ablated:.1f}%")
+    assert baseline == 100.0
+    assert ablated < baseline
+
+
+def test_ablation_view_granularity(benchmark, trials, report):
+    def measure():
+        baseline = rate(mp2, lambda s: PCTWMScheduler(2, 3, 1, seed=s),
+                        4 * trials)
+        ablated = rate(mp2, lambda s: PCTWMFullBagJoin(2, 3, 1, seed=s),
+                       4 * trials)
+        return baseline, ablated
+
+    baseline, ablated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("ablation_view_granularity",
+           f"MP2 d=2 h=1 — baseline {baseline:.1f}% vs "
+           f"full-bag-join {ablated:.1f}%")
+    assert baseline > 0
+    assert ablated == 0.0
+
+
+def test_ablation_stale_local_views(benchmark, trials, report):
+    def measure():
+        baseline = rate(store_buffering,
+                        lambda s: PCTWMScheduler(0, 4, 1, seed=s), trials)
+        ablated = rate(store_buffering,
+                       lambda s: PCTWMEagerViews(0, 4, 1, seed=s), trials)
+        return baseline, ablated
+
+    baseline, ablated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("ablation_stale_views",
+           f"SB d=0 — baseline {baseline:.1f}% vs eager-views "
+           f"{ablated:.1f}%")
+    assert baseline == 100.0
+    assert ablated == 0.0
+
+
+def test_ablation_history_bounding(benchmark, trials, report):
+    def measure():
+        baseline = rate(lambda: p1(k=8, order=RLX),
+                        lambda s: PCTWMScheduler(1, 1, 1, seed=s), trials)
+        ablated = rate(lambda: p1(k=8, order=RLX),
+                       lambda s: PCTWMUnboundedHistory(1, 1, seed=s),
+                       trials)
+        return baseline, ablated
+
+    baseline, ablated = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("ablation_history_bounding",
+           f"P1(k=8) d=1 — h=1 {baseline:.1f}% vs h=∞ {ablated:.1f}%")
+    assert baseline == 100.0
+    assert ablated < 50.0
+
+
+def test_ablation_livelock_heuristic(benchmark, trials, report):
+    """Disable the heuristic by setting a huge spin threshold: the
+    seqlock reader can never leave its wait loop at bounded depth."""
+    info = BENCHMARKS["seqlock"]
+    k_com = estimate_parameters(info.build(), runs=3).k_com
+
+    def measure():
+        with_heuristic = rate(
+            info.build,
+            lambda s: PCTWMScheduler(3, k_com, 2, seed=s),
+            4 * trials, spin_threshold=8,
+        )
+        without = rate(
+            info.build,
+            lambda s: PCTWMScheduler(3, k_com, 2, seed=s),
+            4 * trials, spin_threshold=10 ** 6,
+        )
+        return with_heuristic, without
+
+    with_h, without_h = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report("ablation_livelock",
+           f"seqlock d=3 h=2 — heuristic on {with_h:.1f}% vs off "
+           f"{without_h:.1f}%")
+    assert with_h >= without_h

@@ -1,0 +1,36 @@
+"""Engine micro-benchmarks: events/second through each scheduler.
+
+Not a paper table — supporting data for Table 4's overhead story: the gap
+between C11Tester and PCTWM here is the cost of view/bag maintenance.
+"""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+)
+from repro.runtime import run_once
+from repro.workloads.apps import silo
+
+FACTORIES = {
+    "naive": lambda s: NaiveRandomScheduler(seed=s),
+    "c11tester": lambda s: C11TesterScheduler(seed=s),
+    "pct": lambda s: PCTScheduler(2, 120, seed=s),
+    "pctwm": lambda s: PCTWMScheduler(2, 100, 2, seed=s),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES))
+def test_events_per_second(benchmark, name):
+    make = FACTORIES[name]
+    seeds = iter(range(10 ** 6))
+
+    def one_run():
+        return run_once(silo(workers=3, transactions=6), make(next(seeds)),
+                        keep_graph=False, max_steps=100000)
+
+    result = benchmark(one_run)
+    assert result.k > 0

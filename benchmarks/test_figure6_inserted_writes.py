@@ -1,0 +1,31 @@
+"""Figure 6: bug-hitting rate vs number of inserted relaxed writes.
+
+The paper's claim: inserting benign relaxed writes (same value, no effect
+on behaviour or bug depth) degrades PCT — whose reads sample uniformly over
+an ever-larger visible set — while PCTWM's view-based, history-bounded
+reads stay stable.
+"""
+
+from repro.harness import figure6, render_figure6
+
+
+def test_figure6(benchmark, trials, report):
+    series = benchmark.pedantic(
+        lambda: figure6(trials=trials, insert_counts=(0, 2, 4, 6, 8, 10)),
+        rounds=1, iterations=1,
+    )
+    report("figure6", render_figure6(series))
+
+    assert set(series) == {"dekker", "cldeque", "mpmcqueue", "rwlock"}
+
+    dekker = series["dekker"]
+    # PCTWM stays flat at 100% on dekker regardless of inserted writes.
+    assert all(rate == 100.0 for rate in dekker.pctwm)
+    # PCT degrades: the last point is clearly below the first.
+    assert dekker.pct[-1] <= dekker.pct[0] - 10
+
+    # Across the four benchmarks, PCTWM's spread (max-min) stays small
+    # relative to PCT's degradation on dekker-style staleness bugs.
+    for name in ("dekker", "cldeque", "mpmcqueue"):
+        s = series[name]
+        assert max(s.pctwm) - min(s.pctwm) <= 35, name

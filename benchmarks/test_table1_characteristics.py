@@ -1,0 +1,27 @@
+"""Table 1: benchmark characteristics (LOC, k, k_com, d).
+
+Regenerates the paper's Table 1 by instrumenting each of the nine data
+structure benchmarks and reporting our measured event counts and bug
+depths next to the paper's.  The benchmark times the full estimation pass.
+"""
+
+from repro.harness import render_table1, table1
+from repro.workloads import BENCHMARKS
+
+
+def test_table1(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: table1(estimation_runs=5), rounds=1, iterations=1
+    )
+    report("table1", render_table1(rows))
+
+    assert len(rows) == 9
+    for row in rows:
+        info = BENCHMARKS[row.benchmark]
+        # Our measured counts must be the right order of magnitude: the
+        # paper's benchmarks are small programs of tens of events.
+        assert 5 <= row.measured_k <= 200
+        assert 1 <= row.measured_k_com <= row.measured_k
+        # Our measured depth stays within one of the paper's (deviations
+        # from forced-global RMWs are documented in DESIGN.md).
+        assert abs(row.measured_depth - info.paper_depth) <= 1

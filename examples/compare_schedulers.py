@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""A miniature Figure 5: best hit rates of the three algorithms.
+
+Runs C11Tester, PCT and PCTWM on one or more benchmarks (all nine by
+default, which takes a few minutes) and prints the best observed hit rate
+per algorithm, like the paper's Figure 5 bar chart.
+
+Usage:  python compare_schedulers.py [benchmark ...] [--trials N]
+"""
+
+import argparse
+
+from repro.harness import figure5, render_figure5
+from repro.workloads import BENCHMARK_ORDER
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*", default=None,
+                        help=f"subset of {BENCHMARK_ORDER}")
+    parser.add_argument("--trials", type=int, default=150,
+                        help="runs per configuration (paper: 1000)")
+    args = parser.parse_args()
+
+    names = args.benchmarks or None
+    bars = figure5(trials=args.trials, benchmarks=names)
+    print(render_figure5(bars))
+    print("\nExpected shape (paper): PCTWM >= PCT >= C11Tester on most "
+          "benchmarks;\nseqlock is the exception where the bounded "
+          "algorithms trail random testing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Run the litmus gallery under all four schedulers.
+
+Prints, for each litmus program, how often each algorithm produces the
+outcome of interest over N runs.  Expected picture:
+
+* SB / MP2 / MP(relaxed): weak outcomes — found by the weak-memory
+  schedulers, never by the naive SC random walk;
+* MP1 / MP(rel-acq) / LB / CoRR: protected or forbidden outcomes — never
+  produced by anyone (the memory model forbids them).
+"""
+
+from repro import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    run_once,
+)
+from repro.core.depth import estimate_parameters
+from repro.litmus import ALL_LITMUS
+from repro.memory.events import ACQ, REL
+from repro.litmus import message_passing
+
+TRIALS = 200
+
+
+def rate(factory, scheduler_factory) -> float:
+    hits = sum(
+        run_once(factory(), scheduler_factory(seed),
+                 keep_graph=False).bug_found
+        for seed in range(TRIALS)
+    )
+    return 100.0 * hits / TRIALS
+
+
+def main() -> None:
+    cases = dict(ALL_LITMUS)
+    cases["MP(rel-acq)"] = lambda: message_passing(
+        flag_store_order=REL, flag_load_order=ACQ
+    )
+    header = (f"{'litmus':12s} {'naive':>8s} {'c11tester':>10s} "
+              f"{'pct':>8s} {'pctwm':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name, factory in cases.items():
+        est = estimate_parameters(factory(), runs=3)
+        depth = 2
+        row = [
+            rate(factory, lambda s: NaiveRandomScheduler(seed=s)),
+            rate(factory, lambda s: C11TesterScheduler(seed=s)),
+            rate(factory, lambda s: PCTScheduler(depth, est.k, seed=s)),
+            rate(factory, lambda s: PCTWMScheduler(depth, est.k_com,
+                                                   history=2, seed=s)),
+        ]
+        print(f"{name:12s} " + " ".join(f"{r:7.1f}%" for r in row))
+
+
+if __name__ == "__main__":
+    main()

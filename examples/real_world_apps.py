@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Table 4 in miniature: race detection and overhead on the app models.
+
+Runs the Iris / Mabain / Silo models under C11Tester and PCTWM, reports
+whether the seeded data races are detected (the paper: "both C11Tester and
+PCTWM detect data races in all of these applications") and compares the
+testing time, showing PCTWM's view-maintenance overhead.
+"""
+
+from repro.harness import render_table4, table4
+
+
+def main() -> None:
+    rows = table4(runs=10, scale=2)
+    print(render_table4(rows))
+    print(
+        "\nExpected shape (paper): both algorithms detect races in every "
+        "run;\nPCTWM is ~10-20% slower on the time/s metric (view "
+        "maintenance);\nsingle vs multiple cores does not matter — the "
+        "framework runs one thread at a time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Cross-model comparison: the same litmus tests under C11 and x86-TSO.
+
+Demonstrates the paper's memory-model-agnostic claim (Section 5): the
+testing recipe — bound the number of weakness choice points an execution
+exercises — instantiates per model.  Under C11 the weaknesses are stale
+reads (PCTWM's d communication relations); under TSO the only weakness is
+the store buffer (our delayed-write scheduler's d delayed stores).
+
+Expected output shape:
+
+* SB is weak under both models; MP/MP2/IRIW/LB are weak only under C11
+  relaxed atomics — TSO preserves W→W and R→R order and is multi-copy
+  atomic;
+* the bounded algorithms hit SB deterministically at full depth under
+  both models (d=0 communications for C11 views; d=2 delayed stores for
+  TSO).
+"""
+
+from repro import C11TesterScheduler, PCTWMScheduler, run_once
+from repro.litmus import iriw, load_buffering, message_passing, mp2, \
+    store_buffering
+from repro.tso import TsoDelayedWriteScheduler, TsoNaiveScheduler, run_tso
+
+TRIALS = 300
+
+CASES = {
+    "SB": store_buffering,
+    "MP": message_passing,
+    "MP2": mp2,
+    "IRIW": iriw,
+    "LB": load_buffering,
+}
+
+
+def c11_rate(factory, make):
+    hits = sum(run_once(factory(), make(s), keep_graph=False).bug_found
+               for s in range(TRIALS))
+    return 100.0 * hits / TRIALS
+
+
+def tso_rate(factory, make):
+    hits = sum(run_tso(factory(), make(s), keep_graph=False).bug_found
+               for s in range(TRIALS))
+    return 100.0 * hits / TRIALS
+
+
+def main() -> None:
+    header = (f"{'litmus':6s} {'c11 random':>11s} {'c11 pctwm*':>11s} "
+              f"{'tso random':>11s} {'tso delayed*':>13s}")
+    print(header)
+    print("-" * len(header))
+    for name, factory in CASES.items():
+        row = [
+            c11_rate(factory, lambda s: C11TesterScheduler(seed=s)),
+            c11_rate(factory, lambda s: PCTWMScheduler(2, 6, 2, seed=s)),
+            tso_rate(factory, lambda s: TsoNaiveScheduler(seed=s)),
+            tso_rate(factory,
+                     lambda s: TsoDelayedWriteScheduler(2, 4, seed=s)),
+        ]
+        print(f"{name:6s} " + " ".join(f"{r:10.1f}%" for r in row))
+    print("\n(*) bounded algorithms at representative depths; SB under "
+          "'tso delayed' with\nd = k_writes = 2 is deterministic — the "
+          "Section 5.4 guarantee instantiated for TSO.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+#!/bin/sh
+# Mirrors the artifact's result_pct.sh: the comparative figures where the
+# PCT baseline appears.
+TRIALS="${1:-200}"
+set -e
+python -m repro figure5 --trials "$TRIALS"
+python -m repro figure6 --trials "$TRIALS"

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Mirrors the artifact's result_pctwm.sh: PCTWM's tables and figures.
+# Usage: scripts/result_pctwm.sh [trials]   (paper scale: 1000)
+TRIALS="${1:-200}"
+set -e
+python -m repro table1
+python -m repro table2 --trials "$TRIALS"
+python -m repro table3 --trials "$TRIALS"

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Mirrors the artifact's run_all.sh: every table and figure plus the
+# application overhead measurements, then a generated markdown report.
+TRIALS="${1:-200}"
+set -e
+python -m repro all --trials "$TRIALS"
+python -m repro report --trials "$TRIALS" --out evaluation_report.md
+echo "wrote evaluation_report.md"

@@ -1,0 +1,74 @@
+"""PCTWM: Probabilistic Concurrency Testing for Weak Memory Programs.
+
+Reproduction of Gao, Chakraborty & Kulahcioglu Ozkan (ASPLOS 2023).
+
+Quickstart::
+
+    from repro import PCTWMScheduler, run_once
+    from repro.litmus import store_buffering
+
+    result = run_once(store_buffering(), PCTWMScheduler(depth=0, k_com=4))
+    assert result.bug_found   # the non-SC outcome a = b = 0
+
+Public surface:
+
+* :mod:`repro.memory` — the C11 axiomatic model substrate
+* :mod:`repro.runtime` — the program DSL and controlled executor
+* :mod:`repro.core` — PCTWM, PCT, C11Tester, naive schedulers and bounds
+* :mod:`repro.litmus` — litmus programs
+* :mod:`repro.workloads` — the paper's nine benchmarks and three apps
+* :mod:`repro.harness` — test campaigns and table/figure rendering
+"""
+
+from .core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    empirical_bug_depth,
+    estimate_parameters,
+    pct_lower_bound,
+    pctwm_lower_bound,
+)
+from .memory.events import ACQ, ACQ_REL, MemoryOrder, NA, REL, RLX, SC
+from .runtime import (
+    AssertionViolation,
+    Executor,
+    Program,
+    RunResult,
+    Scheduler,
+    fence,
+    join,
+    require,
+    run_once,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ACQ",
+    "ACQ_REL",
+    "AssertionViolation",
+    "C11TesterScheduler",
+    "Executor",
+    "MemoryOrder",
+    "NA",
+    "NaiveRandomScheduler",
+    "PCTScheduler",
+    "PCTWMScheduler",
+    "Program",
+    "REL",
+    "RLX",
+    "RunResult",
+    "SC",
+    "Scheduler",
+    "__version__",
+    "empirical_bug_depth",
+    "estimate_parameters",
+    "fence",
+    "join",
+    "pct_lower_bound",
+    "pctwm_lower_bound",
+    "require",
+    "run_once",
+]

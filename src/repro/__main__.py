@@ -1,0 +1,6 @@
+"""Entry point: ``python -m repro <table1|table2|...|all>``."""
+
+from .harness.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Execution analysis: trace rendering and consistency auditing."""
+
+from .audit import AuditReport, audit_graph, audit_run, count_external_reads
+from .diff import ExecutionDiff, diff_executions
+from .statistics import ExecutionStats, collect_stats
+from .trace import format_event, format_trace, to_dot
+
+__all__ = [
+    "AuditReport",
+    "ExecutionDiff",
+    "ExecutionStats",
+    "diff_executions",
+    "collect_stats",
+    "audit_graph",
+    "audit_run",
+    "count_external_reads",
+    "format_event",
+    "format_trace",
+    "to_dot",
+]

@@ -1,0 +1,68 @@
+"""Execution auditing: consistency axioms and communication accounting.
+
+``audit_run`` re-checks a finished run's execution graph against the C11
+axioms of Section 4 and reports the communication relations it contains —
+the operational counterpart of Definition 4 (the number of ``com``
+relations an execution used).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..memory.axioms import AxiomViolation, check_consistency
+from ..memory.execution import ExecutionGraph
+from ..runtime.executor import RunResult
+
+
+@dataclass
+class AuditReport:
+    """Consistency + communication summary of one execution."""
+
+    violations: List[AxiomViolation]
+    #: Number of inter-thread com edges (Definition 2) in the graph.
+    communication_edges: int
+    #: Number of distinct sink events participating in com.
+    communication_sinks: int
+    events: int
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+def audit_graph(graph: ExecutionGraph) -> AuditReport:
+    com = graph.com()
+    sinks = {b.uid for _a, b in com.edges()}
+    return AuditReport(
+        violations=check_consistency(graph),
+        communication_edges=len(com),
+        communication_sinks=len(sinks),
+        events=graph.size,
+    )
+
+
+def audit_run(result: RunResult) -> AuditReport:
+    if result.graph is None:
+        raise ValueError(
+            "run was executed with keep_graph=False; nothing to audit"
+        )
+    return audit_graph(result.graph)
+
+
+def count_external_reads(graph: ExecutionGraph) -> int:
+    """Reads whose rf source is a write of another thread (not init).
+
+    This is the narrowest notion of thread communication — the ``rf \\ po``
+    component of Definition 2 — and the one PCTWM's ``d`` most directly
+    bounds for non-synchronizing programs.
+    """
+    count = 0
+    for event in graph.events:
+        src = event.reads_from
+        if src is None or src.is_init:
+            continue
+        if src.tid != event.tid:
+            count += 1
+    return count

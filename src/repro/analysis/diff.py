@@ -1,0 +1,106 @@
+"""Execution diffing: where did two runs diverge?
+
+When a bug reproduces at one seed but not another, the first structural
+difference between the two executions usually points at the decisive
+scheduling or reads-from choice.  ``diff_executions`` aligns two graphs
+event by event (in execution order) and reports the first divergence plus
+per-thread rf differences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..memory.execution import ExecutionGraph
+from .trace import format_event
+
+#: Stable event identity across runs with matching control flow.
+EventKey = Tuple[int, int]
+
+
+@dataclass
+class ExecutionDiff:
+    """Structural comparison of two executions."""
+
+    #: Index (in execution order) of the first differing event, or None.
+    first_divergence: Optional[int] = None
+    #: Human-readable description of the divergence.
+    divergence: str = ""
+    #: (tid, po_index) -> (source description in A, in B) where rf differs.
+    rf_differences: Dict[EventKey, Tuple[str, str]] = field(
+        default_factory=dict
+    )
+    #: Events present in only one execution (by stable key).
+    only_in_a: List[EventKey] = field(default_factory=list)
+    only_in_b: List[EventKey] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return (self.first_divergence is None
+                and not self.rf_differences
+                and not self.only_in_a and not self.only_in_b)
+
+    def render(self) -> str:
+        if self.identical:
+            return "executions are identical"
+        lines = []
+        if self.first_divergence is not None:
+            lines.append(
+                f"first divergence at execution step "
+                f"{self.first_divergence}: {self.divergence}"
+            )
+        for key, (a, b) in sorted(self.rf_differences.items()):
+            lines.append(
+                f"rf differs at t{key[0]}#{key[1]}: {a}  vs  {b}"
+            )
+        if self.only_in_a:
+            lines.append(f"only in A: {sorted(self.only_in_a)}")
+        if self.only_in_b:
+            lines.append(f"only in B: {sorted(self.only_in_b)}")
+        return "\n".join(lines)
+
+
+def _source_label(event) -> str:
+    source = event.reads_from
+    if source is None:
+        return "-"
+    if source.is_init:
+        return "init"
+    return f"t{source.tid}#{source.po_index}({source.label.wval!r})"
+
+
+def diff_executions(a: ExecutionGraph, b: ExecutionGraph) -> ExecutionDiff:
+    """Compare two executions of (nominally) the same program."""
+    diff = ExecutionDiff()
+    events_a = [e for e in a.events if not e.is_init]
+    events_b = [e for e in b.events if not e.is_init]
+
+    for index, (ea, eb) in enumerate(zip(events_a, events_b)):
+        if (ea.tid, ea.label) != (eb.tid, eb.label):
+            diff.first_divergence = index
+            diff.divergence = (
+                f"A ran t{ea.tid} {format_event(ea)}; "
+                f"B ran t{eb.tid} {format_event(eb)}"
+            )
+            break
+    else:
+        if len(events_a) != len(events_b):
+            diff.first_divergence = min(len(events_a), len(events_b))
+            diff.divergence = (
+                f"A has {len(events_a)} events, B has {len(events_b)}"
+            )
+
+    reads_a = {
+        (e.tid, e.po_index): e for e in events_a if e.reads_from is not None
+    }
+    reads_b = {
+        (e.tid, e.po_index): e for e in events_b if e.reads_from is not None
+    }
+    for key in sorted(set(reads_a) & set(reads_b)):
+        la, lb = _source_label(reads_a[key]), _source_label(reads_b[key])
+        if la != lb:
+            diff.rf_differences[key] = (la, lb)
+    diff.only_in_a = sorted(set(reads_a) - set(reads_b))
+    diff.only_in_b = sorted(set(reads_b) - set(reads_a))
+    return diff

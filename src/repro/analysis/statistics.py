@@ -1,0 +1,96 @@
+"""Execution statistics: structural summaries of a run.
+
+Complements the hit-rate metrics with per-execution structure — event-kind
+counts, memory-order mix, communication topology — used by the harness's
+reporting and handy when characterizing a new test subject.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..memory.events import EventKind, MemoryOrder
+from ..memory.execution import ExecutionGraph
+
+
+@dataclass
+class ExecutionStats:
+    """Structural summary of one execution graph."""
+
+    events: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    by_order: Dict[str, int] = field(default_factory=dict)
+    locations: int = 0
+    threads: int = 0
+    #: Reads whose source is another thread's write (excluding init).
+    external_reads: int = 0
+    #: Reads of the initial value.
+    init_reads: int = 0
+    #: Reads of the thread's own writes.
+    own_reads: int = 0
+    #: (source tid, sink tid) -> count of cross-thread rf edges.
+    communication_matrix: Dict[Tuple[int, int], int] = \
+        field(default_factory=dict)
+    #: Maximum mo distance between a read's source and the mo-max at the
+    #: time of the read's creation ordering (staleness indicator).
+    max_staleness: int = 0
+
+    def render(self) -> str:
+        lines = [
+            f"events: {self.events} across {self.threads} threads, "
+            f"{self.locations} locations",
+            "by kind: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.by_kind.items())
+            ),
+            "by order: " + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.by_order.items())
+            ),
+            f"reads: {self.external_reads} external, {self.own_reads} own, "
+            f"{self.init_reads} initial; max staleness {self.max_staleness}",
+        ]
+        if self.communication_matrix:
+            edges = ", ".join(
+                f"t{a}->t{b}:{n}" for (a, b), n in
+                sorted(self.communication_matrix.items())
+            )
+            lines.append(f"communication: {edges}")
+        return "\n".join(lines)
+
+
+def collect_stats(graph: ExecutionGraph) -> ExecutionStats:
+    """Summarize an execution graph."""
+    kinds: Counter = Counter()
+    orders: Counter = Counter()
+    comms: Counter = Counter()
+    stats = ExecutionStats()
+    max_mo_seen: Dict[str, int] = {}
+    for event in graph.events:
+        if event.is_init:
+            continue
+        stats.events += 1
+        kinds[event.kind.value] += 1
+        orders[event.order.name.lower()] += 1
+        if event.is_write:
+            loc = event.loc
+            if event.mo_index > max_mo_seen.get(loc, 0):
+                max_mo_seen[loc] = event.mo_index
+        if event.reads_from is not None:
+            source = event.reads_from
+            if source.is_init:
+                stats.init_reads += 1
+            elif source.tid == event.tid:
+                stats.own_reads += 1
+            else:
+                stats.external_reads += 1
+                comms[(source.tid, event.tid)] += 1
+            staleness = max_mo_seen.get(event.loc, 0) - source.mo_index
+            if staleness > stats.max_staleness:
+                stats.max_staleness = staleness
+    stats.by_kind = dict(kinds)
+    stats.by_order = dict(orders)
+    stats.locations = len(list(graph.locations()))
+    stats.threads = len(graph.thread_ids())
+    stats.communication_matrix = dict(comms)
+    return stats

@@ -1,0 +1,70 @@
+"""Human-readable rendering of execution graphs.
+
+Produces textual traces like the paper's Figures 1-4: events in execution
+order with their thread, label, rf source, and (optionally) a DOT dump of
+the full relation structure for external visualization.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..memory.events import Event
+from ..memory.execution import ExecutionGraph
+
+
+def format_event(event: Event) -> str:
+    lab = event.label
+    order = lab.order.name.lower()
+    if event.is_fence:
+        return f"F({order})"
+    if event.is_rmw:
+        return f"U({lab.loc}, {lab.rval}->{lab.wval}, {order})"
+    if event.is_read:
+        return f"R({lab.loc}, {lab.rval}, {order})"
+    return f"W({lab.loc}, {lab.wval}, {order})"
+
+
+def format_trace(graph: ExecutionGraph, include_init: bool = False) -> str:
+    """One line per event in execution order, with rf provenance."""
+    lines: List[str] = []
+    for event in graph.events:
+        if event.is_init and not include_init:
+            continue
+        rf = ""
+        if event.reads_from is not None:
+            src = event.reads_from
+            origin = "init" if src.is_init else f"e{src.uid}(t{src.tid})"
+            rf = f"  [rf <- {origin}]"
+        tid = "init" if event.is_init else f"t{event.tid}"
+        lines.append(f"e{event.uid:<4d} {tid:>4s}  {format_event(event)}{rf}")
+    return "\n".join(lines)
+
+
+def to_dot(graph: ExecutionGraph) -> str:
+    """Graphviz DOT dump with po (solid), rf (dashed), mo (dotted) edges."""
+    lines = ["digraph execution {", "  rankdir=TB;"]
+    for event in graph.events:
+        shape = "box" if event.is_write and not event.is_rmw else "ellipse"
+        lines.append(
+            f'  e{event.uid} [label="{format_event(event)}\\n'
+            f't{event.tid}" shape={shape}];'
+        )
+    for tid, events in graph.events_by_tid.items():
+        if tid < 0:
+            continue
+        for a, b in zip(events, events[1:]):
+            lines.append(f"  e{a.uid} -> e{b.uid};")
+    for event in graph.events:
+        if event.reads_from is not None:
+            lines.append(
+                f'  e{event.reads_from.uid} -> e{event.uid} '
+                f'[style=dashed label="rf"];'
+            )
+    for writes in graph.writes_by_loc.values():
+        for a, b in zip(writes, writes[1:]):
+            lines.append(
+                f'  e{a.uid} -> e{b.uid} [style=dotted label="mo"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""The paper's contribution: PCTWM and its comparison schedulers."""
+
+from .ablations import (
+    PCTWMEagerViews,
+    PCTWMFullBagJoin,
+    PCTWMNoDelay,
+    PCTWMUnboundedHistory,
+)
+from .c11tester import C11TesterScheduler
+from .depth import ParameterEstimate, empirical_bug_depth, estimate_parameters
+from .guarantees import (
+    naive_detection_probability,
+    pct_lower_bound,
+    pct_sample_space,
+    pctwm_loose_bound,
+    pctwm_lower_bound,
+    pctwm_sample_space,
+)
+from .naive import NaiveRandomScheduler
+from .pct import PCTScheduler
+from .pctwm import PCTWMScheduler
+from .pos import POSScheduler
+from .ppct import PPCTScheduler
+from .priorities import PriorityScheduler
+from .views import View
+
+__all__ = [
+    "C11TesterScheduler",
+    "PCTWMEagerViews",
+    "PCTWMFullBagJoin",
+    "PCTWMNoDelay",
+    "PCTWMUnboundedHistory",
+    "NaiveRandomScheduler",
+    "PCTScheduler",
+    "PCTWMScheduler",
+    "POSScheduler",
+    "PPCTScheduler",
+    "ParameterEstimate",
+    "PriorityScheduler",
+    "View",
+    "empirical_bug_depth",
+    "estimate_parameters",
+    "naive_detection_probability",
+    "pct_lower_bound",
+    "pct_sample_space",
+    "pctwm_loose_bound",
+    "pctwm_lower_bound",
+    "pctwm_sample_space",
+]

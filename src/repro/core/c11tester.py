@@ -1,0 +1,20 @@
+"""The C11Tester random-testing baseline (Section 6).
+
+C11Tester explores program behaviours in two independent uniform choices:
+
+1. the next thread to execute is chosen uniformly among the enabled threads;
+2. a read picks its rf source uniformly among the coherence-visible writes.
+
+This is the default behaviour of the base :class:`repro.runtime.Scheduler`;
+the subclass only pins the name used in reports.
+"""
+
+from __future__ import annotations
+
+from ..runtime.scheduler import Scheduler
+
+
+class C11TesterScheduler(Scheduler):
+    """Uniform-random thread and reads-from choices."""
+
+    name = "c11tester"

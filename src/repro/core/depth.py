@@ -1,0 +1,78 @@
+"""Estimating test parameters: k, k_com, and empirical bug depth.
+
+PCT takes the estimated number of program events ``k`` and PCTWM the
+estimated number of communication events ``k_com`` as test parameters
+(Table 1 lists both per benchmark).  Like the artifact, we obtain the
+estimates by instrumented runs under the C11Tester random scheduler.
+
+``empirical_bug_depth`` searches for the smallest ``d`` at which PCTWM hits
+a program's bug — the operational reading of Definition 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..runtime.executor import run_once
+from ..runtime.program import Program
+from .c11tester import C11TesterScheduler
+from .pctwm import PCTWMScheduler
+
+
+@dataclass(frozen=True)
+class ParameterEstimate:
+    """Estimated k / k_com over a few instrumented runs."""
+
+    k: int
+    k_com: int
+    runs: int
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return f"k≈{self.k}, k_com≈{self.k_com} (over {self.runs} runs)"
+
+
+def estimate_parameters(program: Program, runs: int = 5,
+                        seed: Optional[int] = 0,
+                        max_steps: int = 20000) -> ParameterEstimate:
+    """Average event counts over ``runs`` random executions."""
+    if runs < 1:
+        raise ValueError("need at least one estimation run")
+    total_k = 0
+    total_kcom = 0
+    for i in range(runs):
+        sched = C11TesterScheduler(seed=None if seed is None else seed + i)
+        result = run_once(program, sched, max_steps=max_steps,
+                          keep_graph=False)
+        total_k += result.k
+        total_kcom += result.k_com
+    return ParameterEstimate(
+        k=max(1, round(total_k / runs)),
+        k_com=max(1, round(total_kcom / runs)),
+        runs=runs,
+    )
+
+
+def empirical_bug_depth(program: Program, max_depth: int = 4,
+                        history: int = 4, trials: int = 200,
+                        seed: int = 0, k_com: Optional[int] = None,
+                        max_steps: int = 20000) -> Optional[int]:
+    """Smallest ``d`` at which PCTWM detects the program's bug.
+
+    Returns None when no depth up to ``max_depth`` exposes a bug within the
+    trial budget.  This realizes Definition 4 operationally: the bug depth
+    is the minimum number of communication relations sufficient to produce
+    the bug.
+    """
+    if k_com is None:
+        k_com = estimate_parameters(program, seed=seed).k_com
+    for depth in range(max_depth + 1):
+        for trial in range(trials):
+            sched = PCTWMScheduler(depth=depth, k_com=k_com,
+                                   history=history,
+                                   seed=seed * 7919 + depth * 101 + trial)
+            result = run_once(program, sched, max_steps=max_steps,
+                              keep_graph=False)
+            if result.bug_found:
+                return depth
+    return None

@@ -1,0 +1,22 @@
+"""Naive random testing under interleaving (SC) semantics (Section 2.2).
+
+The naive algorithm picks the next event to schedule uniformly among all
+enabled events, and — because it assumes sequential consistency — every read
+observes the mo-maximal visible write ("the last written value").  It can
+therefore only produce interleaving behaviours: the SB litmus assertion, for
+example, never fails under this scheduler (a property the tests pin down).
+"""
+
+from __future__ import annotations
+
+from ..memory.events import Event
+from ..runtime.scheduler import ReadContext, Scheduler
+
+
+class NaiveRandomScheduler(Scheduler):
+    """Uniform thread choice; reads always see the latest write."""
+
+    name = "naive"
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        return ctx.candidates[-1]

@@ -1,0 +1,78 @@
+"""The PCT baseline, adapted to weak memory as in the paper's evaluation.
+
+The original PCT algorithm (Burckhardt et al., ASPLOS 2010) assigns random
+priorities to threads, runs the highest-priority enabled thread, and lowers
+the running thread's priority at ``d-1`` random steps out of the ``k``
+program events.  It guarantees detecting a depth-``d`` bug with probability
+at least ``1/(t · k^(d-1))``.
+
+The paper's evaluation (Section 6) uses a *weak-memory variant*: scheduling
+is exactly PCT, but "the read operations do not necessarily read the last
+written value on a variable — they read any of the observable values under
+the given memory model, selected uniformly at random".  That is what this
+class implements: PCT priorities + uniform choice over the full
+coherence-visible write set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..memory.events import Event
+from ..runtime.scheduler import ReadContext
+from .priorities import PriorityScheduler
+
+
+class PCTScheduler(PriorityScheduler):
+    """PCT priorities; reads sample uniformly over all visible writes.
+
+    Parameters mirror the artifact's CLI: ``depth`` is ``-b`` (bug depth)
+    and ``k_events`` is ``-l`` (the estimated number of shared accesses,
+    from which the ``d-1`` priority-change points are drawn).
+    """
+
+    name = "pct"
+
+    def __init__(self, depth: int, k_events: int,
+                 seed: Optional[int] = None):
+        super().__init__(depth, seed)
+        if k_events < 1:
+            raise ValueError("k_events must be >= 1")
+        self.k_events = k_events
+        self._change_points: Set[int] = set()
+        self._slots: dict = {}
+        self._executed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def on_run_start(self, state) -> None:
+        self.assign_initial_priorities([t.tid for t in state.threads])
+        self._executed = 0
+        count = max(self.depth - 1, 0)
+        universe = range(1, max(self.k_events, count) + 1)
+        points = sorted(self.rng.sample(list(universe), count))
+        # The j-th change point (in firing order) moves its thread to slot
+        # d-1-j, so later change points produce lower priorities.
+        self._slots = {p: self.depth - 1 - j for j, p in enumerate(points)}
+        self._change_points = set(points)
+
+    def on_event_executed(self, state, event: Event, info: dict) -> None:
+        self._executed += 1
+
+    # -- decisions ------------------------------------------------------------
+
+    def choose_thread(self, state) -> int:
+        while True:
+            tid = self.highest_priority_enabled(state)
+            diverted = self.divert_if_spinning(state, tid)
+            if diverted is not None:
+                return diverted
+            step = self._executed + 1
+            if step in self._change_points:
+                self._change_points.discard(step)
+                self.lower_priority(tid, self._slots[step])
+                continue
+            return tid
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        return self.rng.choice(ctx.candidates)

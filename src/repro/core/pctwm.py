@@ -1,0 +1,203 @@
+"""PCTWM: Probabilistic Concurrency Testing for Weak Memory (Section 5).
+
+PCTWM samples a test execution with ``d`` history-bounded communication
+relations:
+
+* Threads run by strict random priority (as in PCT), but the priority-change
+  points are placed at ``d`` randomly chosen *communication events* out of
+  the estimated ``k_com`` (Algorithm 1).  A selected event's thread is
+  delayed below every initial priority — slot ``d-k`` for the ``k``-th tuple
+  entry — so the selected sinks execute as late as possible and in tuple
+  order.
+* Every thread maintains a local *view* (Definition 1); events snapshot the
+  view into their *bag* when they execute (Algorithm 2 line 26).
+* A read that was selected as a communication sink (the ``reordered`` set)
+  reads globally from a visible write within history depth ``h``; every
+  other read reads from its thread-local view (``readLocal``), so the
+  amount of inter-thread communication is exactly what the ``d`` sampled
+  relations allow.
+* View propagation follows Algorithm 2: a synchronizing read joins the
+  whole bag of the communication source; a relaxed external read joins only
+  the read location's entry; acquire fences join the bags of all their sw
+  sources; SC events join the bag of their SC-predecessor; release fences
+  propagate nothing.
+
+Deviations forced by the substrate (documented in DESIGN.md):
+
+* RMW/CAS reads always observe the mo-maximal write, because modification
+  order is append-only and the atomicity axiom requires ``fr; mo = ∅``.
+  When that write is external, the view update still follows Algorithm 2's
+  external-read rules.
+* The livelock heuristic (Section 6.2): when a read site spins, the
+  scheduler switches to a random other thread *and* lets the spinning read
+  read globally; otherwise a wait loop could never observe the value it
+  waits for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..memory.events import Event
+from ..runtime.ops import is_communication_op
+from ..runtime.scheduler import ReadContext
+from .priorities import PriorityScheduler
+from .views import View
+
+
+class PCTWMScheduler(PriorityScheduler):
+    """Algorithm 1 (scheduling) + Algorithm 2 (view maintenance).
+
+    Parameters mirror the artifact's CLI: ``depth`` is ``-d``, ``k_com`` is
+    ``-k`` (estimated number of communication events), ``history`` is ``-y``
+    and ``seed`` is ``-s``.
+    """
+
+    name = "pctwm"
+
+    def __init__(self, depth: int, k_com: int, history: int = 1,
+                 seed: Optional[int] = None):
+        super().__init__(depth, seed)
+        if k_com < 1:
+            raise ValueError("k_com must be >= 1")
+        if history < 1:
+            raise ValueError("history depth must be >= 1")
+        self.k_com = k_com
+        self.history = history
+        # Per-run state, reset by on_run_start.
+        self._i = 0
+        self._counted: Set[int] = set()
+        self._reordered: Set[int] = set()
+        self._slot_by_count: Dict[int, int] = {}
+        self._views: Dict[int, View] = {}
+        self._bags: Dict[int, View] = {}
+        self._last_sc: Optional[Event] = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def on_run_start(self, state) -> None:
+        self.assign_initial_priorities([t.tid for t in state.threads])
+        self._i = 0
+        self._counted = set()
+        self._reordered = set()
+        self._last_sc = None
+        universe = range(1, max(self.k_com, self.depth) + 1)
+        points = self.rng.sample(list(universe), self.depth)
+        # Tuple entry d_k (1-based k) maps to priority slot d-k: the first
+        # tuple entry gets the highest of the low slots, so the selected
+        # sinks execute in tuple order (Algorithm 1, lines 10-11).
+        self._slot_by_count = {
+            point: self.depth - (k + 1) for k, point in enumerate(points)
+        }
+        self._views = {
+            t.tid: View(state.init_writes) for t in state.threads
+        }
+        self._bags = {}
+
+    def on_thread_created(self, state, tid: int, parent_tid: int) -> None:
+        super().on_thread_created(state, tid, parent_tid)
+        # The child inherits the parent's view: the spawn edge is hb, so
+        # everything the parent observed is available to the child.
+        self._views[tid] = self._views[parent_tid].copy()
+
+    # -- Algorithm 1: thread selection ---------------------------------------
+
+    def choose_thread(self, state) -> int:
+        while True:
+            tid = self.highest_priority_enabled(state)
+            diverted = self.divert_if_spinning(state, tid)
+            if diverted is not None:
+                return diverted
+            op = state.peek(tid)
+            if op is not None and is_communication_op(op) \
+                    and id(op) not in self._counted:
+                self._counted.add(id(op))
+                self._i += 1
+                slot = self._slot_by_count.get(self._i)
+                if slot is not None:
+                    self.lower_priority(tid, slot)
+                    self._reordered.add(id(op))
+                    continue
+            return tid
+
+    # -- Algorithm 2: read behaviour -------------------------------------------
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        view = self._views[ctx.tid]
+        if ctx.order.is_seq_cst and self._last_sc is not None:
+            # getSC: an SC event first absorbs its SC-predecessor's bag
+            # (lines 6-8), so readLocal below observes the SC history.
+            view.join(self._bags.get(self._last_sc.uid))
+        if id(ctx.op) in self._reordered or ctx.spinning:
+            return self._read_global(ctx)
+        return self._read_local(view, ctx)
+
+    def _read_global(self, ctx: ReadContext) -> Event:
+        """readGlobal: uniform choice within history depth h (line 12)."""
+        bounded = ctx.candidates[-self.history:]
+        return self.rng.choice(bounded)
+
+    def _read_local(self, view: View, ctx: ReadContext) -> Event:
+        """readLocal: the thread's own view entry (line 19).
+
+        The view entry is always coherence-visible (view joins accompany
+        every clock join), but we clamp defensively to the coherence floor
+        in case a program mixes paradigms the view does not model (e.g.
+        values learned through thread join).
+        """
+        entry = view.get(ctx.loc)
+        floor = ctx.candidates[0]
+        if entry.mo_index < floor.mo_index:
+            return floor
+        return entry
+
+    # -- Algorithm 2: view updates ------------------------------------------------
+
+    def on_event_executed(self, state, event: Event, info: dict) -> None:
+        tid = event.tid
+        view = self._views[tid]
+        op = info.get("op")
+        if event.is_sc and (event.is_write or event.is_fence):
+            # SC reads joined their predecessor's bag in choose_read_from.
+            if self._last_sc is not None:
+                view.join(self._bags.get(self._last_sc.uid))
+        if event.is_read:
+            self._apply_read_update(state, view, event, op, info)
+        if event.is_write:
+            # Lines 4-5: the thread now holds its own write for this loc.
+            view.set(event.loc, event)
+        if event.is_acquire_fence:
+            # Lines 20-23: join the bags of every sw source.
+            for source in info.get("fence_sync_sources", ()):
+                view.join(self._bags.get(source.uid))
+        # Release fences (line 25): no update.
+        # Line 26: snapshot the view as this event's bag.
+        self._bags[event.uid] = view.copy()
+        if event.is_sc:
+            self._last_sc = event
+        if op is not None:
+            self._reordered.discard(id(op))
+
+    def _apply_read_update(self, state, view: View, event: Event,
+                           op, info: dict) -> None:
+        source = event.reads_from
+        if source is None:
+            return
+        external = (
+            (op is not None and id(op) in self._reordered)
+            or info.get("spinning", False)
+            or info.get("rmw", False)
+        )
+        if not external and view.get(event.loc) is source:
+            # readLocal: the thread already held this write; no update.
+            return
+        if info.get("sync_source") is not None:
+            # Line 14: sw formed — join the source's whole bag.
+            view.join(self._bags.get(info["sync_source"].uid))
+            view.join_loc(event.loc, source)
+        else:
+            # Line 16: relaxed external read — join only this location.
+            bag = self._bags.get(source.uid)
+            if bag is not None:
+                view.join_loc(event.loc, bag.get(event.loc))
+            view.join_loc(event.loc, source)

@@ -1,0 +1,58 @@
+"""Partial Order Sampling (POS) — an additional randomized baseline.
+
+The paper's related work (Section 7) cites the POS algorithm (Yuan, Yang,
+Gu — CAV 2018) as the other randomized tester with theoretical probability
+bounds.  This is the classic priority-based formulation adapted to our
+runtime: every *pending operation* gets an independent uniform priority
+when it first becomes pending, the scheduler always executes the enabled
+operation with the highest priority, and — following the paper's
+weak-memory adaptation of PCT — reads sample uniformly over the visible
+write set.
+
+Compared to PCT's thread priorities, POS's per-event priorities sample
+partial orders more uniformly; compared to PCTWM it has no communication
+bounding, so it inherits PCT's dilution under many visible writes
+(Figure 6's effect).  Included as an extension baseline; not part of the
+paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..memory.events import Event
+from ..runtime.scheduler import ReadContext, Scheduler
+
+
+class POSScheduler(Scheduler):
+    """Per-event random priorities; highest-priority enabled op runs."""
+
+    name = "pos"
+
+    def __init__(self, seed: Optional[int] = None):
+        super().__init__(seed)
+        self._priorities: Dict[int, float] = {}
+
+    def on_run_start(self, state) -> None:
+        self._priorities = {}
+
+    def _priority_of(self, op) -> float:
+        key = id(op)
+        if key not in self._priorities:
+            self._priorities[key] = self.rng.random()
+        return self._priorities[key]
+
+    def choose_thread(self, state) -> int:
+        enabled = state.enabled_tids()
+        return max(
+            enabled,
+            key=lambda tid: (self._priority_of(state.peek(tid)), -tid),
+        )
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        return self.rng.choice(ctx.candidates)
+
+    def on_event_executed(self, state, event, info) -> None:
+        op = info.get("op")
+        if op is not None:
+            self._priorities.pop(id(op), None)

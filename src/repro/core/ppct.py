@@ -1,0 +1,71 @@
+"""PPCT — parallel PCT (related-work baseline).
+
+The paper's related work cites PPCT [Nagarakatte, Burckhardt, Martin,
+Musuvathi — PLDI 2012]: instead of serializing all threads by strict
+priority, PPCT keeps all non-lowered threads runnable *in parallel* and
+only the ``d-1`` change points demote threads below the parallel band.
+On a serializing engine "parallel" means the runnable band interleaves
+uniformly — the scheduler constrains only who is in the band.
+
+Reads sample uniformly over the visible set (the same weak-memory
+adaptation the paper applies to PCT).  Included as an extension baseline;
+not part of the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..memory.events import Event
+from ..runtime.scheduler import ReadContext, Scheduler
+
+
+class PPCTScheduler(Scheduler):
+    """Parallel band + d−1 demotion points."""
+
+    name = "ppct"
+
+    def __init__(self, depth: int, k_events: int,
+                 seed: Optional[int] = None):
+        super().__init__(seed)
+        if depth < 0:
+            raise ValueError("depth must be >= 0")
+        if k_events < 1:
+            raise ValueError("k_events must be >= 1")
+        self.depth = depth
+        self.k_events = k_events
+        self._lowered: Dict[int, int] = {}   # tid -> demotion slot
+        self._changes: Dict[int, int] = {}   # event index -> slot
+        self._executed = 0
+
+    def on_run_start(self, state) -> None:
+        self._lowered = {}
+        self._executed = 0
+        count = max(self.depth - 1, 0)
+        universe = list(range(1, max(self.k_events, count) + 1))
+        points = sorted(self.rng.sample(universe, count))
+        self._changes = {p: self.depth - 1 - j
+                         for j, p in enumerate(points)}
+
+    def on_event_executed(self, state, event: Event, info: dict) -> None:
+        self._executed += 1
+
+    def choose_thread(self, state) -> int:
+        enabled = state.enabled_tids()
+        band = [tid for tid in enabled if tid not in self._lowered]
+        while True:
+            if band:
+                tid = self.rng.choice(band)
+            else:
+                # Only demoted threads remain: run them by slot order.
+                tid = max(enabled, key=lambda t: self._lowered[t])
+            point = self._executed + 1
+            slot = self._changes.pop(point, None)
+            if slot is not None:
+                self._lowered[tid] = slot
+                band = [t for t in enabled if t not in self._lowered]
+                continue
+            return tid
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        return self.rng.choice(ctx.candidates)

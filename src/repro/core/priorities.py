@@ -1,0 +1,77 @@
+"""Shared priority machinery for the PCT-family schedulers.
+
+Both PCT and PCTWM run threads strictly by priority and lower a thread's
+priority at randomly chosen change points.  This base class owns the
+priority table, the highest-priority-enabled selection, and the livelock
+heuristic of Section 6.2: when the thread about to run is stuck in a wait
+loop, the scheduler switches to a random other enabled thread so the value
+the loop waits for can eventually be produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..runtime.scheduler import Scheduler
+
+
+class PriorityScheduler(Scheduler):
+    """Strict-priority thread selection with random initial priorities."""
+
+    def __init__(self, depth: int, seed: Optional[int] = None):
+        super().__init__(seed)
+        if depth < 0:
+            raise ValueError("bug depth must be >= 0")
+        self.depth = depth
+        self._priorities: Dict[int, float] = {}
+
+    # -- priorities ---------------------------------------------------------
+
+    def assign_initial_priorities(self, tids: List[int]) -> None:
+        """Random permutation of values above all change slots.
+
+        Change slots occupy priorities ``0 .. depth-1`` (the first ``d``
+        positions of Algorithm 1's ascending ``threads`` list), so initial
+        priorities start at ``depth + 1``.
+        """
+        values = list(range(self.depth + 1, self.depth + 1 + len(tids)))
+        self.rng.shuffle(values)
+        self._priorities = dict(zip(tids, values))
+
+    def priority_of(self, tid: int) -> float:
+        return self._priorities[tid]
+
+    def on_thread_created(self, state, tid: int, parent_tid: int) -> None:
+        """A SpawnOp created a thread: give it a random initial-band
+        priority (original PCT assigns spawned threads random priorities
+        on creation)."""
+        upper = self.depth + 1 + len(self._priorities) + 1
+        self._priorities[tid] = self.rng.uniform(self.depth + 0.5, upper)
+
+    def lower_priority(self, tid: int, slot: float) -> None:
+        """Move a thread into a low slot (a priority-change point fired)."""
+        self._priorities[tid] = slot
+
+    def highest_priority_enabled(self, state) -> int:
+        enabled = state.enabled_tids()
+        return max(enabled, key=lambda tid: (self._priorities[tid], -tid))
+
+    # -- livelock heuristic ----------------------------------------------------
+
+    def divert_if_spinning(self, state, tid: int) -> Optional[int]:
+        """Pick a random other enabled thread when ``tid`` is spinning.
+
+        Returns the diverted thread id, or None when no diversion applies.
+        The more often this fires, the closer the algorithm drifts to naive
+        random testing — exactly the trade-off Section 6.2 describes for
+        the seqlock benchmark.
+        """
+        thread = state.threads[tid]
+        if thread.pending is None:
+            return None
+        if not state.spins.is_spinning(thread.site_key):
+            return None
+        others = [t for t in state.enabled_tids() if t != tid]
+        if not others:
+            return None
+        return self.rng.choice(others)

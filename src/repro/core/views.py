@@ -1,0 +1,86 @@
+"""Thread-local views and bags (Definition 1 of the paper).
+
+A *view* maps each memory location to the mo-maximal write event the thread
+has observed for it.  Because the modification order is total per location,
+the ``maximal_mo`` set of Definition 1 is a single event per location, so a
+view is a plain mapping ``loc -> write event`` compared by mo index.
+
+A *bag* is the snapshot of the executing thread's view taken when an event
+executes (Algorithm 2, line 26); when the event later becomes the source of
+a communication relation, its bag is what gets joined into the sink thread's
+view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from ..memory.events import Event
+
+
+class View:
+    """Definition 1: a map from locations to mo-maximal write events.
+
+    Locations absent from the mapping implicitly hold their initialization
+    write, supplied by ``init_writes``.
+    """
+
+    __slots__ = ("_entries", "_init")
+
+    def __init__(self, init_writes: Mapping[str, Event],
+                 entries: Optional[Dict[str, Event]] = None):
+        self._init = init_writes
+        self._entries: Dict[str, Event] = dict(entries) if entries else {}
+
+    def get(self, loc: str) -> Event:
+        """The write this view holds for ``loc`` (init write by default)."""
+        event = self._entries.get(loc)
+        if event is not None:
+            return event
+        return self._init[loc]
+
+    def set(self, loc: str, event: Event) -> None:
+        """Overwrite the entry for ``loc`` (Algorithm 2, lines 4-5)."""
+        self._entries[loc] = event
+
+    def join_loc(self, loc: str, event: Optional[Event]) -> None:
+        """``view(x) <- ⊔mo(view(x), event)``: keep the mo-later write."""
+        if event is None:
+            return
+        current = self._entries.get(loc)
+        if current is None or event.mo_index > current.mo_index:
+            self._entries[loc] = event
+
+    def join(self, other: Optional["View"]) -> None:
+        """``view <- ⊔mo(view, other)`` pointwise over all locations."""
+        if other is None:
+            return
+        for loc, event in other._entries.items():
+            self.join_loc(loc, event)
+
+    def copy(self) -> "View":
+        """Snapshot for use as an event's bag."""
+        return View(self._init, self._entries)
+
+    def items(self) -> Iterator[Tuple[str, Event]]:
+        """Explicit (non-default) entries."""
+        return iter(self._entries.items())
+
+    def __contains__(self, loc: str) -> bool:
+        return loc in self._entries or loc in self._init
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, View):
+            return NotImplemented
+        locs = set(self._entries) | set(other._entries) \
+            | set(self._init) | set(other._init)
+        return all(self.get(loc) is other.get(loc) for loc in locs)
+
+    def __hash__(self):  # pragma: no cover - views are mutable
+        raise TypeError("View is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{loc}->e{e.uid}" for loc, e in sorted(self._entries.items())
+        )
+        return f"View({{{inner}}})"

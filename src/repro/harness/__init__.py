@@ -1,0 +1,88 @@
+"""Test-campaign harness: hit-rate campaigns and the paper's tables/figures."""
+
+from .coverage import (
+    CoverageReport,
+    coverage_campaign,
+    execution_signature,
+)
+from .campaign import (
+    CampaignResult,
+    c11tester_factory,
+    naive_factory,
+    pct_factory,
+    pctwm_factory,
+    run_campaign,
+)
+from .figures import (
+    Figure5Bar,
+    Figure6Series,
+    figure5,
+    figure6,
+    render_figure5,
+    render_figure6,
+)
+from .charts import bar_chart, line_chart, line_charts
+from .report import generate_report, write_report
+from .stats import (
+    mean,
+    relative_stdev_pct,
+    significantly_greater,
+    stdev,
+    two_proportion_z,
+    wilson_interval,
+)
+from .tables import (
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    Table4Row,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "CampaignResult",
+    "bar_chart",
+    "line_chart",
+    "line_charts",
+    "CoverageReport",
+    "coverage_campaign",
+    "execution_signature",
+    "Figure5Bar",
+    "Figure6Series",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "Table4Row",
+    "c11tester_factory",
+    "figure5",
+    "figure6",
+    "generate_report",
+    "mean",
+    "naive_factory",
+    "pct_factory",
+    "pctwm_factory",
+    "relative_stdev_pct",
+    "render_figure5",
+    "render_figure6",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_campaign",
+    "significantly_greater",
+    "stdev",
+    "two_proportion_z",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "wilson_interval",
+    "write_report",
+]

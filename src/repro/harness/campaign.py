@@ -1,0 +1,120 @@
+"""Test campaigns: repeated randomized runs with hit-rate accounting.
+
+A *campaign* runs a program factory under a scheduler factory for N trials
+(the paper uses 1000 trials for Tables 2-3 and 500 for Figure 6) and
+reports the bug hitting rate plus timing, mirroring the artifact's metrics
+(Bug Hitting Rate %, Average Running time, Throughput).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..core.c11tester import C11TesterScheduler
+from ..core.naive import NaiveRandomScheduler
+from ..core.pct import PCTScheduler
+from ..core.pctwm import PCTWMScheduler
+from ..runtime.executor import RunResult, run_once
+from ..runtime.program import Program
+from ..runtime.scheduler import Scheduler
+
+ProgramFactory = Callable[[], Program]
+SchedulerFactory = Callable[[int], Scheduler]
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate outcome of N randomized test runs."""
+
+    program: str
+    scheduler: str
+    trials: int
+    hits: int = 0
+    inconclusive: int = 0
+    total_steps: int = 0
+    total_events: int = 0
+    elapsed_s: float = 0.0
+    #: Per-run elapsed times, for Table 4's RSD column.
+    run_times_s: List[float] = field(default_factory=list)
+    #: Per-run application-defined operation counts (Silo throughput).
+    operations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Bug hitting rate in percent (the paper's headline metric)."""
+        return 100.0 * self.hits / self.trials if self.trials else 0.0
+
+    @property
+    def avg_time_ms(self) -> float:
+        return 1000.0 * self.elapsed_s / self.trials if self.trials else 0.0
+
+    @property
+    def ops_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.operations / self.elapsed_s
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return (
+            f"{self.program} / {self.scheduler}: "
+            f"{self.hit_rate:.1f}% over {self.trials} runs "
+            f"({self.avg_time_ms:.2f} ms/run)"
+        )
+
+
+def run_campaign(program_factory: ProgramFactory,
+                 scheduler_factory: SchedulerFactory,
+                 trials: int = 100,
+                 base_seed: int = 0,
+                 max_steps: int = 20000,
+                 scheduler_name: Optional[str] = None,
+                 count_operations: Optional[Callable[[RunResult], int]] = None,
+                 ) -> CampaignResult:
+    """Run ``trials`` independent randomized tests and aggregate."""
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    probe = scheduler_factory(base_seed)
+    result = CampaignResult(
+        program=program_factory().name,
+        scheduler=scheduler_name or probe.name,
+        trials=trials,
+    )
+    start = time.perf_counter()
+    for i in range(trials):
+        scheduler = scheduler_factory(base_seed + i)
+        t0 = time.perf_counter()
+        run = run_once(program_factory(), scheduler, max_steps=max_steps,
+                       keep_graph=False)
+        result.run_times_s.append(time.perf_counter() - t0)
+        if run.bug_found:
+            result.hits += 1
+        if run.limit_exceeded:
+            result.inconclusive += 1
+        result.total_steps += run.steps
+        result.total_events += run.k
+        if count_operations is not None:
+            result.operations += count_operations(run)
+    result.elapsed_s = time.perf_counter() - start
+    return result
+
+
+# -- convenience scheduler factories ------------------------------------------
+
+
+def pctwm_factory(depth: int, k_com: int,
+                  history: int = 1) -> SchedulerFactory:
+    return lambda seed: PCTWMScheduler(depth, k_com, history, seed=seed)
+
+
+def pct_factory(depth: int, k_events: int) -> SchedulerFactory:
+    return lambda seed: PCTScheduler(depth, k_events, seed=seed)
+
+
+def c11tester_factory() -> SchedulerFactory:
+    return lambda seed: C11TesterScheduler(seed=seed)
+
+
+def naive_factory() -> SchedulerFactory:
+    return lambda seed: NaiveRandomScheduler(seed=seed)

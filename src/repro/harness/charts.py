@@ -1,0 +1,78 @@
+"""Terminal charts: bar and line renderings of Figures 5 and 6.
+
+The paper presents Figures 5-6 as charts; the numeric tables are rendered
+by :mod:`repro.harness.figures`, and this module adds an ASCII view so
+``python -m repro figure5/figure6`` output resembles the paper's plots
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .figures import Figure5Bar, Figure6Series
+
+#: Glyphs per algorithm, in the figures' legend order.
+GLYPHS = {"c11tester": "#", "pct": "+", "pctwm": "*"}
+
+
+def bar_chart(bars: Sequence[Figure5Bar], width: int = 50) -> str:
+    """Horizontal grouped bars, one group per benchmark (Figure 5)."""
+    lines = [
+        "legend: # C11Tester   + PCT   * PCTWM   (bar length = hit rate %)"
+    ]
+    for bar in bars:
+        lines.append(bar.benchmark)
+        for key, value in (("c11tester", bar.c11tester),
+                           ("pct", bar.pct), ("pctwm", bar.pctwm)):
+            filled = round(value / 100.0 * width)
+            lines.append(
+                f"  {GLYPHS[key]} |{GLYPHS[key] * filled:<{width}}| "
+                f"{value:5.1f}"
+            )
+    return "\n".join(lines)
+
+
+def line_chart(series: Figure6Series, height: int = 12,
+               width_per_point: int = 6) -> str:
+    """A small multi-series line plot on a character grid (Figure 6)."""
+    points = len(series.inserted)
+    if points == 0:
+        return "(empty series)"
+    width = points * width_per_point
+    grid = [[" "] * width for _ in range(height + 1)]
+
+    def plot(values: List[float], glyph: str) -> None:
+        for i, value in enumerate(values):
+            x = min(width - 1, i * width_per_point + width_per_point // 2)
+            y = height - round(value / 100.0 * height)
+            y = min(max(y, 0), height)
+            if grid[y][x] == " ":
+                grid[y][x] = glyph
+            else:
+                grid[y][x] = "o"  # overlapping series
+
+    plot(series.c11tester, GLYPHS["c11tester"])
+    plot(series.pct, GLYPHS["pct"])
+    plot(series.pctwm, GLYPHS["pctwm"])
+
+    lines = [f"{series.benchmark} — hit rate vs inserted relaxed writes "
+             "(o = overlap)"]
+    for row_index, row in enumerate(grid):
+        y_label = round((height - row_index) / height * 100)
+        lines.append(f"{y_label:4d}% |" + "".join(row))
+    axis = "      +" + "-" * width
+    labels = "       " + "".join(
+        f"{n:^{width_per_point}d}" for n in series.inserted
+    )
+    lines.append(axis)
+    lines.append(labels)
+    lines.append("       inserted writes   "
+                 "(# C11Tester  + PCT  * PCTWM)")
+    return "\n".join(lines)
+
+
+def line_charts(series_by_name: Dict[str, Figure6Series]) -> str:
+    return "\n\n".join(
+        line_chart(series) for series in series_by_name.values()
+    )

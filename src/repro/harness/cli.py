@@ -1,0 +1,240 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Mirrors the artifact's ``result_pctwm.sh`` / ``run_all.sh`` scripts:
+
+    python -m repro table1
+    python -m repro table2 --trials 1000          # paper-scale
+    python -m repro table3 --benchmarks dekker seqlock
+    python -m repro table4 --runs 10
+    python -m repro figure5 --trials 500
+    python -m repro figure6 --trials 500
+    python -m repro all --trials 100
+
+plus utility commands beyond the artifact:
+
+    python -m repro depth mpmcqueue               # estimate k/k_com/d
+    python -m repro hunt seqlock --out trace.json # find a bug, save trace
+    python -m repro litmus --trials 200           # run the litmus gallery
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .figures import figure5, figure6, render_figure5, render_figure6
+from .tables import (
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the PCTWM paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str) -> argparse.ArgumentParser:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--trials", type=int, default=100,
+                         help="runs per configuration (paper: 1000/500)")
+        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--benchmarks", nargs="*", default=None)
+        return cmd
+
+    add("table1", "benchmark characteristics (k, k_com, d)")
+    add("table2", "PCTWM hit rates for d, d+1, d+2")
+    add("table3", "PCTWM hit rates for h = 1..4")
+    t4 = sub.add_parser("table4", help="application performance overhead")
+    t4.add_argument("--runs", type=int, default=10)
+    t4.add_argument("--scale", type=int, default=1)
+    t4.add_argument("--seed", type=int, default=0)
+    add("figure5", "highest hit rates: C11Tester vs PCT vs PCTWM")
+    add("figure6", "hit rate vs inserted relaxed writes")
+    everything = add("all", "run every table and figure")
+    everything.add_argument("--runs", type=int, default=10)
+
+    depth_cmd = sub.add_parser(
+        "depth", help="estimate k, k_com and the empirical bug depth")
+    depth_cmd.add_argument("benchmark")
+    depth_cmd.add_argument("--trials", type=int, default=150)
+    depth_cmd.add_argument("--max-depth", type=int, default=4)
+    depth_cmd.add_argument("--seed", type=int, default=0)
+
+    hunt_cmd = sub.add_parser(
+        "hunt", help="find a bug with PCTWM and save a replayable trace")
+    hunt_cmd.add_argument("benchmark")
+    hunt_cmd.add_argument("--attempts", type=int, default=1000)
+    hunt_cmd.add_argument("--depth", type=int, default=None)
+    hunt_cmd.add_argument("--history", type=int, default=None)
+    hunt_cmd.add_argument("--seed", type=int, default=0)
+    hunt_cmd.add_argument("--out", default=None,
+                          help="write the trace JSON here")
+
+    litmus_cmd = sub.add_parser(
+        "litmus", help="run the litmus gallery under every scheduler")
+    litmus_cmd.add_argument("--trials", type=int, default=200)
+    litmus_cmd.add_argument("--seed", type=int, default=0)
+
+    report_cmd = sub.add_parser(
+        "report", help="regenerate the full evaluation as markdown")
+    report_cmd.add_argument("--trials", type=int, default=100)
+    report_cmd.add_argument("--runs", type=int, default=10)
+    report_cmd.add_argument("--seed", type=int, default=0)
+    report_cmd.add_argument("--scale", type=int, default=1)
+    report_cmd.add_argument("--out", default="evaluation_report.md")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    command = args.command
+    if command == "depth":
+        return _cmd_depth(args)
+    if command == "hunt":
+        return _cmd_hunt(args)
+    if command == "litmus":
+        return _cmd_litmus(args)
+    if command == "report":
+        from .report import write_report
+
+        path = write_report(args.out, trials=args.trials, runs=args.runs,
+                            seed=args.seed, scale=args.scale)
+        print(f"report written to {path}")
+        return 0
+    if command in ("table1", "all"):
+        print("== Table 1: benchmark characteristics ==")
+        print(render_table1(table1(seed=args.seed)))
+        print()
+    if command in ("table2", "all"):
+        print("== Table 2: hit rate vs bug depth ==")
+        print(render_table2(table2(trials=args.trials, seed=args.seed,
+                                   benchmarks=args.benchmarks)))
+        print()
+    if command in ("table3", "all"):
+        print("== Table 3: hit rate vs history depth ==")
+        print(render_table3(table3(trials=args.trials, seed=args.seed,
+                                   benchmarks=args.benchmarks)))
+        print()
+    if command in ("table4", "all"):
+        print("== Table 4: application performance ==")
+        runs = getattr(args, "runs", 10)
+        scale = getattr(args, "scale", 1)
+        print(render_table4(table4(runs=runs, seed=args.seed, scale=scale)))
+        print()
+    if command in ("figure5", "all"):
+        from .charts import bar_chart
+
+        print("== Figure 5: highest observed hit rates ==")
+        bars = figure5(trials=args.trials, seed=args.seed,
+                       benchmarks=args.benchmarks)
+        print(render_figure5(bars))
+        print()
+        print(bar_chart(bars))
+        print()
+    if command in ("figure6", "all"):
+        from .charts import line_charts
+
+        print("== Figure 6: inserted relaxed writes ==")
+        series = figure6(trials=args.trials, seed=args.seed,
+                         benchmarks=args.benchmarks)
+        print(render_figure6(series))
+        print()
+        print(line_charts(series))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())
+
+
+def _cmd_depth(args) -> int:
+    from ..core.depth import empirical_bug_depth, estimate_parameters
+    from ..workloads import BENCHMARKS
+
+    info = BENCHMARKS[args.benchmark]
+    est = estimate_parameters(info.build(), runs=5, seed=args.seed)
+    print(f"{info.name}: {est}")
+    depth = empirical_bug_depth(info.build(), max_depth=args.max_depth,
+                                trials=args.trials, seed=args.seed,
+                                k_com=est.k_com)
+    paper = info.paper_depth
+    print(f"empirical bug depth: {depth} (paper: {paper}, "
+          f"calibrated: {info.measured_depth})")
+    return 0
+
+
+def _cmd_hunt(args) -> int:
+    from ..analysis import format_trace
+    from ..core.depth import estimate_parameters
+    from ..core.pctwm import PCTWMScheduler
+    from ..replay import find_and_record
+    from ..workloads import BENCHMARKS
+
+    info = BENCHMARKS[args.benchmark]
+    est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+    depth = args.depth if args.depth is not None else info.measured_depth
+    history = args.history if args.history is not None \
+        else info.best_history
+    print(f"hunting {info.name} with PCTWM(d={depth}, k_com={est.k_com}, "
+          f"h={history})...")
+    found = find_and_record(
+        info.build,
+        lambda seed: PCTWMScheduler(depth, est.k_com, history, seed=seed),
+        max_attempts=args.attempts, base_seed=args.seed,
+    )
+    if found is None:
+        print(f"no bug found in {args.attempts} attempts")
+        return 1
+    seed, result, trace = found
+    print(f"found at seed {seed}: {result.bug_message}")
+    print(format_trace(result.graph))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(trace.to_json())
+        print(f"trace saved to {args.out} "
+              f"(replay with repro.replay.replay_run)")
+    return 0
+
+
+def _cmd_litmus(args) -> int:
+    from ..core import (
+        C11TesterScheduler,
+        NaiveRandomScheduler,
+        PCTScheduler,
+        PCTWMScheduler,
+    )
+    from ..core.depth import estimate_parameters
+    from ..litmus import ALL_LITMUS
+    from ..runtime.executor import run_once
+
+    header = (f"{'litmus':10s} {'naive':>8s} {'c11tester':>10s} "
+              f"{'pct':>8s} {'pctwm':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name, factory in ALL_LITMUS.items():
+        est = estimate_parameters(factory(), runs=3, seed=args.seed)
+        rates = []
+        for make in (
+            lambda s: NaiveRandomScheduler(seed=s),
+            lambda s: C11TesterScheduler(seed=s),
+            lambda s: PCTScheduler(2, est.k, seed=s),
+            lambda s: PCTWMScheduler(2, est.k_com, 2, seed=s),
+        ):
+            hits = sum(
+                run_once(factory(), make(args.seed + i),
+                         keep_graph=False).bug_found
+                for i in range(args.trials)
+            )
+            rates.append(100.0 * hits / args.trials)
+        print(f"{name:10s} " + " ".join(f"{r:7.1f}%" for r in rates))
+    return 0

@@ -1,0 +1,165 @@
+"""Regeneration of the paper's Figures 5 and 6 (as data series).
+
+The paper plots these; we produce the series (and an ASCII rendering) so
+the benchmark harness can print the same comparison.
+
+* **Figure 5** — the highest observed bug-hitting rate per benchmark for
+  C11Tester, PCT, and PCTWM (each bounded algorithm searches its parameter
+  grid for its best configuration, as the paper's "highest bug hitting
+  rates observed" implies).
+* **Figure 6** — bug-hitting rate as benign relaxed writes are inserted
+  into four benchmarks: PCT (uniform rf sampling) degrades, PCTWM stays
+  stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.depth import estimate_parameters
+from ..workloads.registry import BENCHMARKS, BenchmarkInfo
+from .campaign import (
+    c11tester_factory,
+    pct_factory,
+    pctwm_factory,
+    run_campaign,
+)
+
+
+@dataclass
+class Figure5Bar:
+    benchmark: str
+    c11tester: float
+    pct: float
+    pctwm: float
+    pct_config: str = ""
+    pctwm_config: str = ""
+
+
+def figure5(trials: int = 100, seed: int = 0,
+            pctwm_depth_offsets: Sequence[int] = (0, 1, 2),
+            pct_depths: Sequence[int] = (1, 2, 3, 4),
+            histories: Sequence[int] = (1, 2, 3),
+            benchmarks: Optional[Sequence[str]] = None) -> List[Figure5Bar]:
+    """Highest observed hit rate per benchmark and algorithm."""
+    bars = []
+    for info in _selected(benchmarks):
+        est = estimate_parameters(info.build(), runs=3, seed=seed)
+        c11 = run_campaign(info.build, c11tester_factory(), trials=trials,
+                           base_seed=seed)
+
+        best_pct, pct_cfg = -1.0, ""
+        for d in pct_depths:
+            campaign = run_campaign(info.build, pct_factory(d, est.k),
+                                    trials=trials, base_seed=seed + 17 * d)
+            if campaign.hit_rate > best_pct:
+                best_pct, pct_cfg = campaign.hit_rate, f"d={d}"
+
+        best_wm, wm_cfg = -1.0, ""
+        for offset in pctwm_depth_offsets:
+            depth = info.measured_depth + offset
+            for h in histories:
+                campaign = run_campaign(
+                    info.build, pctwm_factory(depth, est.k_com, h),
+                    trials=trials, base_seed=seed + 31 * depth + 7 * h,
+                )
+                if campaign.hit_rate > best_wm:
+                    best_wm, wm_cfg = campaign.hit_rate, f"d={depth},h={h}"
+
+        bars.append(Figure5Bar(info.name, c11.hit_rate, best_pct, best_wm,
+                               pct_cfg, wm_cfg))
+    return bars
+
+
+def render_figure5(bars: Sequence[Figure5Bar]) -> str:
+    header = (
+        f"{'Benchmark':14s} {'C11Tester':>10s} {'PCT':>10s} {'PCTWM':>10s}"
+        f"   (best configs)"
+    )
+    lines = [header, "-" * len(header)]
+    for b in bars:
+        lines.append(
+            f"{b.benchmark:14s} {b.c11tester:9.1f}% {b.pct:9.1f}% "
+            f"{b.pctwm:9.1f}%   pct[{b.pct_config}] pctwm[{b.pctwm_config}]"
+        )
+    avg = (
+        sum(b.c11tester for b in bars) / len(bars),
+        sum(b.pct for b in bars) / len(bars),
+        sum(b.pctwm for b in bars) / len(bars),
+    )
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'average':14s} {avg[0]:9.1f}% {avg[1]:9.1f}% {avg[2]:9.1f}%"
+    )
+    return "\n".join(lines)
+
+
+@dataclass
+class Figure6Series:
+    benchmark: str
+    inserted: List[int] = field(default_factory=list)
+    c11tester: List[float] = field(default_factory=list)
+    pct: List[float] = field(default_factory=list)
+    pctwm: List[float] = field(default_factory=list)
+
+
+def figure6(trials: int = 100, seed: int = 0,
+            insert_counts: Sequence[int] = (0, 2, 4, 6, 8, 10),
+            benchmarks: Optional[Sequence[str]] = None,
+            ) -> Dict[str, Figure6Series]:
+    """Hit rate vs number of inserted relaxed writes (Figure 6)."""
+    if benchmarks is None:
+        benchmarks = [
+            info.name for info in BENCHMARKS.values() if info.in_figure6
+        ]
+    out = {}
+    for name in benchmarks:
+        info = BENCHMARKS[name]
+        series = Figure6Series(name)
+        for n in insert_counts:
+            def build(inserted=n, info=info):
+                return info.build(inserted_writes=inserted)
+
+            est = estimate_parameters(build(), runs=3, seed=seed)
+            depth = info.measured_depth
+            series.inserted.append(n)
+            series.c11tester.append(
+                run_campaign(build, c11tester_factory(), trials=trials,
+                             base_seed=seed + n).hit_rate
+            )
+            series.pct.append(
+                run_campaign(build, pct_factory(max(depth, 1) + 1, est.k),
+                             trials=trials, base_seed=seed + n + 1).hit_rate
+            )
+            series.pctwm.append(
+                run_campaign(
+                    build,
+                    pctwm_factory(depth, est.k_com, info.best_history),
+                    trials=trials, base_seed=seed + n + 2,
+                ).hit_rate
+            )
+        out[name] = series
+    return out
+
+
+def render_figure6(series: Dict[str, Figure6Series]) -> str:
+    lines = []
+    for name, s in series.items():
+        lines.append(f"{name} — inserting relaxed writes")
+        lines.append(
+            f"  {'inserted':>9s} " + " ".join(f"{n:>6d}" for n in s.inserted)
+        )
+        for label, values in (("C11Tester", s.c11tester), ("PCT", s.pct),
+                              ("PCTWM", s.pctwm)):
+            lines.append(
+                f"  {label:>9s} " + " ".join(f"{v:6.1f}" for v in values)
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _selected(names: Optional[Sequence[str]]) -> List[BenchmarkInfo]:
+    if names is None:
+        return list(BENCHMARKS.values())
+    return [BENCHMARKS[n] for n in names]

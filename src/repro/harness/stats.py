@@ -1,0 +1,74 @@
+"""Small statistics helpers for campaign reporting."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper reports RSD over 10 runs)."""
+    if not values:
+        raise ValueError("stdev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def relative_stdev_pct(values: Sequence[float]) -> float:
+    """Relative standard deviation in percent, as in Table 4."""
+    mu = mean(values)
+    if mu == 0:
+        return 0.0
+    return 100.0 * stdev(values) / abs(mu)
+
+
+def wilson_interval(hits: int, trials: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a hit rate — used by tests to compare
+    empirical rates against theoretical bounds without flakiness."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= hits <= trials:
+        raise ValueError("hits out of range")
+    phat = hits / trials
+    denom = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials ** 2))
+        / denom
+    )
+    return (max(0.0, center - margin), min(1.0, center + margin))
+
+
+def two_proportion_z(hits_a: int, trials_a: int,
+                     hits_b: int, trials_b: int) -> float:
+    """Two-proportion z statistic for comparing hit rates.
+
+    Positive when A's rate exceeds B's.  Used to state Figure 5 claims
+    ("PCTWM beats C11Tester on benchmark X") with statistical backing
+    rather than raw-point comparison.
+    """
+    if trials_a <= 0 or trials_b <= 0:
+        raise ValueError("trials must be positive")
+    if not (0 <= hits_a <= trials_a and 0 <= hits_b <= trials_b):
+        raise ValueError("hits out of range")
+    pa, pb = hits_a / trials_a, hits_b / trials_b
+    pooled = (hits_a + hits_b) / (trials_a + trials_b)
+    if pooled in (0.0, 1.0):
+        return 0.0
+    se = math.sqrt(pooled * (1 - pooled) * (1 / trials_a + 1 / trials_b))
+    return (pa - pb) / se
+
+
+def significantly_greater(hits_a: int, trials_a: int, hits_b: int,
+                          trials_b: int, z_threshold: float = 1.645) -> bool:
+    """One-sided test at ~95%: is A's hit rate significantly above B's?"""
+    return two_proportion_z(hits_a, trials_a, hits_b, trials_b) \
+        > z_threshold

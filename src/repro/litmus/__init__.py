@@ -1,0 +1,47 @@
+"""Litmus tests: the paper's running examples and classic shapes."""
+
+from .extended import (
+    EXTENDED_LITMUS,
+    corr2,
+    corw,
+    coww,
+    cowr,
+    isa2,
+    r_shape,
+    s_shape,
+    wrc,
+)
+from .programs import (
+    ALL_LITMUS,
+    corr,
+    iriw,
+    load_buffering,
+    message_passing,
+    mp1,
+    mp2,
+    p1,
+    store_buffering,
+    two_plus_two_w,
+)
+
+__all__ = [
+    "ALL_LITMUS",
+    "EXTENDED_LITMUS",
+    "corr2",
+    "corw",
+    "coww",
+    "cowr",
+    "isa2",
+    "r_shape",
+    "s_shape",
+    "wrc",
+    "corr",
+    "iriw",
+    "load_buffering",
+    "message_passing",
+    "mp1",
+    "mp2",
+    "p1",
+    "store_buffering",
+    "two_plus_two_w",
+]

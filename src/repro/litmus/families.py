@@ -1,0 +1,144 @@
+"""Parameterized litmus families (litmus-generator style).
+
+Scalable versions of the classic shapes, for studying how algorithms
+degrade with size — the same spirit as the paper's Figure 6 experiment:
+
+* ``sb_family(n)`` — n threads in a store-buffering ring;
+* ``mp_chain(n)`` — message passing relayed through n intermediate hops
+  (the bug depth grows with the chain length);
+* ``coherence_chain(writes)`` — one location, many writes, one reader
+  that must respect mo (engine stress test);
+* ``staleness_gauge(writes, target)`` — Program P1 generalized: the
+  reader hits iff it reads a specific mo position, for calibrating
+  history-depth behaviour.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+
+def sb_family(n: int = 2) -> Program:
+    """n-thread store-buffering ring: Ti writes Xi then reads X(i+1).
+
+    The all-zero read outcome needs no communication (depth 0) for any n;
+    under SC at least one thread must observe a one.
+    """
+    if n < 2:
+        raise ValueError("the ring needs at least two threads")
+    p = Program(f"SB[{n}]")
+    locs = [p.atomic(f"X{i}", 0) for i in range(n)]
+
+    def body(i):
+        yield locs[i].store(1, RLX)
+        return (yield locs[(i + 1) % n].load(RLX))
+
+    for i in range(n):
+        p.add_thread(body, i, name=f"t{i}")
+
+    def check(results):
+        require(any(v == 1 for v in results.values()),
+                f"SB[{n}]: every thread read 0")
+
+    p.add_final_check(check)
+    return p
+
+
+def mp_chain(hops: int = 1) -> Program:
+    """Message passing through ``hops`` relay threads (depth = hops + 1).
+
+    T0 writes DATA then FLAG0; relay i forwards FLAGi -> FLAGi+1; the
+    final consumer reads the last flag and then DATA.  All relaxed: the
+    consumer can observe the flag chain yet miss the data.
+    """
+    if hops < 0:
+        raise ValueError("hops must be >= 0")
+    p = Program(f"MPchain[{hops}]")
+    data = p.atomic("DATA", 0)
+    flags = [p.atomic(f"FLAG{i}", 0) for i in range(hops + 1)]
+
+    def producer():
+        yield data.store(42, RLX)
+        yield flags[0].store(1, RLX)
+
+    def relay(i):
+        for _ in range(6):
+            seen = yield flags[i].load(RLX)
+            if seen == 1:
+                yield flags[i + 1].store(1, RLX)
+                return True
+        return False
+
+    def consumer():
+        for _ in range(6):
+            seen = yield flags[hops].load(RLX)
+            if seen == 1:
+                value = yield data.load(RLX)
+                require(value == 42,
+                        f"MPchain[{hops}]: flag chain outran the data")
+                return value
+        return None
+
+    p.add_thread(producer)
+    for i in range(hops):
+        p.add_thread(relay, i, name=f"relay{i}")
+    p.add_thread(consumer)
+    return p
+
+
+def coherence_chain(writes: int = 6) -> Program:
+    """One writer producing a long mo chain; a reader samples twice.
+
+    The second read must never observe an mo-earlier write than the
+    first (sc-per-location) — an engine invariant for any scheduler.
+    """
+    if writes < 1:
+        raise ValueError("need at least one write")
+    p = Program(f"CoChain[{writes}]")
+    x = p.atomic("X", 0)
+
+    def writer():
+        for v in range(1, writes + 1):
+            yield x.store(v, RLX)
+
+    def reader():
+        first = yield x.load(RLX)
+        second = yield x.load(RLX)
+        require(second >= first,
+                f"coherence violated: {first} then {second}")
+        return (first, second)
+
+    p.add_thread(writer)
+    p.add_thread(reader)
+    return p
+
+
+def staleness_gauge(writes: int = 5, target: int = 0) -> Program:
+    """The reader 'hits' iff it observes exactly mo position ``target``.
+
+    Generalizes Program P1: with ``target = writes`` the hit needs the
+    freshest value (h = 1 suffices); with ``target = 0`` it needs the
+    initial value (PCTWM's d = 0 hits deterministically; uniform-rf
+    testers hit with probability 1/(writes+1)).
+    """
+    if writes < 1:
+        raise ValueError("need at least one write")
+    if not 0 <= target <= writes:
+        raise ValueError("target must be within [0, writes]")
+    p = Program(f"Gauge[{writes}->{target}]")
+    x = p.atomic("X", 0)
+
+    def writer():
+        for v in range(1, writes + 1):
+            yield x.store(v, RLX)
+
+    def reader():
+        value = yield x.load(RLX)
+        require(value != target, f"gauge hit: read {value}")
+        return value
+
+    p.add_thread(writer)
+    p.add_thread(reader)
+    return p

@@ -1,0 +1,291 @@
+"""Litmus programs from the paper and the weak-memory literature.
+
+Each factory returns a fresh :class:`repro.runtime.Program` whose final
+check raises :class:`AssertionViolation` exactly when the weak (or buggy)
+outcome of interest occurred, so a campaign's hit rate measures how often a
+scheduler produces that outcome.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX, SC
+from ..runtime.api import fence
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+
+def store_buffering(order=RLX) -> Program:
+    """Program SB (Section 2.1): the a = b = 0 outcome is non-SC.
+
+    The assertion ``a == 1 or b == 1`` holds under every interleaving but
+    fails under weak memory when both loads read the initial values.
+    """
+    p = Program("SB")
+    x = p.atomic("X", 0)
+    y = p.atomic("Y", 0)
+
+    def left():
+        yield x.store(1, order)
+        a = yield y.load(order)
+        return a
+
+    def right():
+        yield y.store(1, order)
+        b = yield x.load(order)
+        return b
+
+    p.add_thread(left)
+    p.add_thread(right)
+    p.add_final_check(
+        lambda r: require(r["left"] == 1 or r["right"] == 1,
+                          "SB: both threads read 0")
+    )
+    return p
+
+
+def p1(k: int = 5, order=SC) -> Program:
+    """Program P1 (Section 2.2): writer storing 1..k; bug when reader sees k.
+
+    Under SC the bug has depth 1 (schedule the read after ``X = k``); under
+    weak memory it needs one communication relation with history depth
+    reaching the last write.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    p = Program(f"P1(k={k})")
+    x = p.atomic("X", 0)
+
+    def writer():
+        for value in range(1, k + 1):
+            yield x.store(value, order)
+
+    def reader():
+        value = yield x.load(order)
+        require(value != k, f"P1: read X == {k}")
+        return value
+
+    p.add_thread(writer)
+    p.add_thread(reader)
+    return p
+
+
+def mp1() -> Program:
+    """Program MP1 (Section 5.2): fence-synchronized message passing.
+
+    ``a == 1 and b == 0`` is the bug: if the reader sees the flag, the
+    release/acquire fences must make it see the data.
+    """
+    p = Program("MP1")
+    x = p.atomic("X", 0)
+    y = p.atomic("Y", 0)
+
+    def writer():
+        yield x.store(1, RLX)
+        yield fence(REL)
+        yield y.store(1, RLX)
+
+    def reader():
+        a = yield y.load(RLX)
+        yield fence(ACQ)
+        b = yield x.load(RLX)
+        return (a, b)
+
+    p.add_thread(writer)
+    p.add_thread(reader)
+
+    def check(r):
+        a, b = r["reader"]
+        require(not (a == 1 and b == 0), "MP1: saw flag but not data")
+
+    p.add_final_check(check)
+    return p
+
+
+def mp2() -> Program:
+    """Program MP2 (Section 5.3): all-relaxed three-thread message passing.
+
+    The bug (depth d = 2) fires when T3 reads ``Y == 1`` but ``X == 0`` —
+    it needs two communication relations: X from T1 to T2 and Y from T2 to
+    T3, while X never reaches T3's view.
+    """
+    p = Program("MP2")
+    x = p.atomic("X", 0)
+    y = p.atomic("Y", 0)
+
+    def t1():
+        yield x.store(1, RLX)
+
+    def t2():
+        a = yield x.load(RLX)
+        if a == 1:
+            yield y.store(1, RLX)
+
+    def t3():
+        b = yield y.load(RLX)
+        if b == 1:
+            c = yield x.load(RLX)
+            require(c != 0, "MP2: Y == 1 but X == 0")
+
+    p.add_thread(t1)
+    p.add_thread(t2)
+    p.add_thread(t3)
+    return p
+
+
+def message_passing(data_order=RLX, flag_store_order=RLX,
+                    flag_load_order=RLX) -> Program:
+    """Two-thread message passing with configurable orders.
+
+    With ``flag_store_order=REL`` and ``flag_load_order=ACQ`` the bug is
+    impossible (sw protects the data); all-relaxed it is a depth-1 weak bug.
+    """
+    p = Program("MP")
+    data = p.atomic("DATA", 0)
+    flag = p.atomic("FLAG", 0)
+
+    def producer():
+        yield data.store(42, data_order)
+        yield flag.store(1, flag_store_order)
+
+    def consumer():
+        f = yield flag.load(flag_load_order)
+        if f == 1:
+            d = yield data.load(data_order)
+            require(d == 42, "MP: stale data after flag")
+            return d
+        return None
+
+    p.add_thread(producer)
+    p.add_thread(consumer)
+    return p
+
+
+def load_buffering(order=RLX) -> Program:
+    """LB: both loads reading 1 requires a (po ∪ rf) cycle.
+
+    The executor forbids out-of-thin-air by construction (reads only read
+    executed writes), so the ``a == b == 1`` outcome must never occur; the
+    final check asserts its absence and a hit would be an engine bug.
+    """
+    p = Program("LB")
+    x = p.atomic("X", 0)
+    y = p.atomic("Y", 0)
+
+    def left():
+        a = yield x.load(order)
+        yield y.store(1, order)
+        return a
+
+    def right():
+        b = yield y.load(order)
+        yield x.store(1, order)
+        return b
+
+    p.add_thread(left)
+    p.add_thread(right)
+    p.add_final_check(
+        lambda r: require(not (r["left"] == 1 and r["right"] == 1),
+                          "LB: out-of-thin-air outcome")
+    )
+    return p
+
+
+def iriw(order=RLX) -> Program:
+    """IRIW: two readers disagreeing on the order of independent writes.
+
+    Weak under relaxed accesses; forbidden when every access is SC.
+    """
+    p = Program("IRIW")
+    x = p.atomic("X", 0)
+    y = p.atomic("Y", 0)
+
+    def w1():
+        yield x.store(1, order)
+
+    def w2():
+        yield y.store(1, order)
+
+    def r1():
+        a = yield x.load(order)
+        b = yield y.load(order)
+        return (a, b)
+
+    def r2():
+        c = yield y.load(order)
+        d = yield x.load(order)
+        return (c, d)
+
+    p.add_thread(w1)
+    p.add_thread(w2)
+    p.add_thread(r1)
+    p.add_thread(r2)
+
+    def check(r):
+        a, b = r["r1"]
+        c, d = r["r2"]
+        require(not (a == 1 and b == 0 and c == 1 and d == 0),
+                "IRIW: readers saw the writes in opposite orders")
+
+    p.add_final_check(check)
+    return p
+
+
+def corr(order=RLX) -> Program:
+    """CoRR: same-location read pairs must respect mo (coherence).
+
+    ``a == 2, b == 1`` would violate read-coherence; the engine must never
+    produce it under any scheduler.
+    """
+    p = Program("CoRR")
+    x = p.atomic("X", 0)
+
+    def writer():
+        yield x.store(1, order)
+        yield x.store(2, order)
+
+    def reader():
+        a = yield x.load(order)
+        b = yield x.load(order)
+        require(not (a == 2 and b == 1), "CoRR: coherence violation")
+        return (a, b)
+
+    p.add_thread(writer)
+    p.add_thread(reader)
+    return p
+
+
+def two_plus_two_w(order=RLX) -> Program:
+    """2+2W: both locations ending with value 1 needs mo against po order.
+
+    With append-only modification order the final value at each location is
+    whichever store executed last, so the check documents which outcomes
+    the substrate can produce (tests assert engine invariants on it).
+    """
+    p = Program("2+2W")
+    x = p.atomic("X", 0)
+    y = p.atomic("Y", 0)
+
+    def left():
+        yield x.store(1, order)
+        yield y.store(2, order)
+
+    def right():
+        yield y.store(1, order)
+        yield x.store(2, order)
+
+    p.add_thread(left)
+    p.add_thread(right)
+    return p
+
+
+ALL_LITMUS = {
+    "SB": store_buffering,
+    "P1": p1,
+    "MP1": mp1,
+    "MP2": mp2,
+    "MP": message_passing,
+    "LB": load_buffering,
+    "IRIW": iriw,
+    "CoRR": corr,
+    "2+2W": two_plus_two_w,
+}

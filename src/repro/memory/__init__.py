@@ -1,0 +1,60 @@
+"""C11 axiomatic weak-memory model substrate.
+
+Implements Section 4 of the paper: events, executions, derived relations,
+the consistency axioms, coherence-respecting visible-write sets, and
+happens-before data-race detection.
+"""
+
+from .events import (
+    ACQ,
+    ACQ_REL,
+    Event,
+    EventKind,
+    INIT_TID,
+    Label,
+    MemoryOrder,
+    NA,
+    REL,
+    RLX,
+    SC,
+    clock_join,
+    clock_leq,
+    happens_before,
+)
+from .execution import ExecutionGraph
+from .relations import Relation, identity, imm, maximal
+from .visibility import VisibilityTracker
+from .races import DataRace, RaceDetector
+from .axioms import (
+    AxiomViolation,
+    check_consistency,
+    is_consistent,
+)
+
+__all__ = [
+    "ACQ",
+    "ACQ_REL",
+    "AxiomViolation",
+    "DataRace",
+    "Event",
+    "EventKind",
+    "ExecutionGraph",
+    "INIT_TID",
+    "Label",
+    "MemoryOrder",
+    "NA",
+    "RLX",
+    "REL",
+    "RaceDetector",
+    "Relation",
+    "SC",
+    "VisibilityTracker",
+    "check_consistency",
+    "clock_join",
+    "clock_leq",
+    "happens_before",
+    "identity",
+    "imm",
+    "is_consistent",
+    "maximal",
+]

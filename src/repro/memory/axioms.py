@@ -1,0 +1,141 @@
+"""C11 consistency axioms (Section 4 of the paper).
+
+An execution is *consistent* when:
+
+* (write-coherence)  ``mo; rf?; hb?`` is irreflexive
+* (read-coherence)   ``fr; rf?; hb``  is irreflexive
+* (Atomicity)        ``fr; mo = ∅``
+* (irrMOSC)          ``mo; SC`` is irreflexive
+* (SC)               ``hb ∪ rf ∪ SC`` is acyclic  (C11Tester's formulation)
+
+The executor generates executions that satisfy these by construction; this
+module is the independent auditor used by tests and by
+:mod:`repro.analysis` to verify that claim on every generated graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .execution import ExecutionGraph
+from .relations import Relation
+
+
+@dataclass(frozen=True)
+class AxiomViolation:
+    """A named consistency-axiom failure, for reporting."""
+
+    axiom: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return f"{self.axiom}: {self.detail}"
+
+
+def _reflexive_pairs(rel: Relation) -> List[str]:
+    return [repr(a) for a, b in rel.edges() if a is b or a == b]
+
+
+def check_write_coherence(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """``mo; rf?; hb?`` irreflexive."""
+    events = set(graph.events)
+    mo = graph.mo()
+    rf_opt = graph.rf().reflexive(events)
+    hb_opt = graph.hb().reflexive(events)
+    bad = _reflexive_pairs(mo.compose(rf_opt).compose(hb_opt))
+    return [AxiomViolation("write-coherence", e) for e in bad]
+
+
+def check_read_coherence(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """``fr; rf?; hb`` irreflexive."""
+    events = set(graph.events)
+    fr = graph.fr()
+    rf_opt = graph.rf().reflexive(events)
+    hb = graph.hb()
+    bad = _reflexive_pairs(fr.compose(rf_opt).compose(hb))
+    return [AxiomViolation("read-coherence", e) for e in bad]
+
+
+def check_atomicity(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """RMWs read their immediate mo-predecessor.
+
+    The paper states this as ``(fr; mo) = ∅``, which — with ``fr`` defined
+    over the full event set — is the standard RC11 requirement that
+    ``fr; mo`` is *irreflexive*: no write may sit mo-between an RMW and the
+    write it reads from (otherwise ``fr(u, w'); mo(w', u)`` closes a cycle
+    at ``u``).
+    """
+    out: List[AxiomViolation] = []
+    for u in graph.events:
+        if not u.is_rmw or u.reads_from is None:
+            continue
+        source = u.reads_from
+        between = [
+            w for w in graph.writes_by_loc[u.loc]
+            if source.mo_index < w.mo_index < u.mo_index
+        ]
+        if between:
+            out.append(AxiomViolation(
+                "atomicity",
+                f"{u!r} is not mo-adjacent to its source {source!r}: "
+                f"{between[0]!r} sits in between",
+            ))
+    return out
+
+
+def check_irr_mo_sc(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """``mo; SC`` irreflexive: mo and SC agree on same-location accesses."""
+    bad = _reflexive_pairs(graph.mo().compose(graph.sc()))
+    return [AxiomViolation("irrMOSC", e) for e in bad]
+
+
+def check_sc_acyclic(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """``hb ∪ rf ∪ SC`` acyclic (C11Tester's (SC) axiom).
+
+    Acyclicity of this union also forbids out-of-thin-air reads since
+    ``po ⊆ hb``.
+    """
+    union = graph.hb() | graph.rf() | graph.sc()
+    if union.is_acyclic():
+        return []
+    return [AxiomViolation("SC", "hb ∪ rf ∪ SC has a cycle")]
+
+
+def check_rf_wellformed(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """Every read reads-from exactly one same-location write."""
+    out: List[AxiomViolation] = []
+    for e in graph.events:
+        if e.is_read and not e.is_init:
+            w = e.reads_from
+            if w is None:
+                out.append(AxiomViolation("rf", f"{e!r} has no rf source"))
+            elif not w.is_write or w.loc != e.loc:
+                out.append(AxiomViolation("rf", f"{e!r} reads from {w!r}"))
+            elif w.label.wval != e.label.rval:
+                out.append(
+                    AxiomViolation("rf", f"{e!r} value differs from {w!r}")
+                )
+    return out
+
+
+ALL_CHECKS = (
+    check_rf_wellformed,
+    check_write_coherence,
+    check_read_coherence,
+    check_atomicity,
+    check_irr_mo_sc,
+    check_sc_acyclic,
+)
+
+
+def check_consistency(graph: ExecutionGraph) -> List[AxiomViolation]:
+    """Run every axiom; an empty list means the execution is consistent."""
+    out: List[AxiomViolation] = []
+    for check in ALL_CHECKS:
+        out.extend(check(graph))
+    return out
+
+
+def is_consistent(graph: ExecutionGraph) -> bool:
+    return not check_consistency(graph)

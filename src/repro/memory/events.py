@@ -1,0 +1,210 @@
+"""C11 events: the nodes of an execution graph.
+
+An event is a single dynamic shared-memory access or fence, following the
+axiomatic presentation in Section 4 of the paper.  Each event is a tuple
+``<id, tid, lab>`` where the label carries the operation kind, the memory
+location, the value read, and the value written.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Thread id reserved for the implicit initialization writes.
+INIT_TID = -1
+
+
+class MemoryOrder(enum.IntEnum):
+    """C11 memory orders, ordered by strength.
+
+    ``NA`` marks non-atomic accesses; they carry no ordering strength and
+    participate in data-race detection instead of synchronization.
+    """
+
+    NA = 0
+    RELAXED = 1
+    ACQUIRE = 2
+    RELEASE = 3
+    ACQ_REL = 4
+    SEQ_CST = 5
+
+    @property
+    def is_acquire(self) -> bool:
+        """True for ``acq``, ``acq-rel`` and ``sc`` orders (paper: E⊒acq)."""
+        return self in (MemoryOrder.ACQUIRE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST)
+
+    @property
+    def is_release(self) -> bool:
+        """True for ``rel``, ``acq-rel`` and ``sc`` orders (paper: E⊒rel)."""
+        return self in (MemoryOrder.RELEASE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST)
+
+    @property
+    def is_seq_cst(self) -> bool:
+        return self is MemoryOrder.SEQ_CST
+
+    @property
+    def is_atomic(self) -> bool:
+        return self is not MemoryOrder.NA
+
+
+#: Short aliases used pervasively by programs written in the DSL.
+NA = MemoryOrder.NA
+RLX = MemoryOrder.RELAXED
+ACQ = MemoryOrder.ACQUIRE
+REL = MemoryOrder.RELEASE
+ACQ_REL = MemoryOrder.ACQ_REL
+SC = MemoryOrder.SEQ_CST
+
+
+class EventKind(enum.Enum):
+    """Operation kind of an event.
+
+    ``READ``/``WRITE`` are plain loads and stores, ``RMW`` is a successful
+    atomic update (the paper's U events; a failed RMW degenerates to a READ),
+    and ``FENCE`` is a memory fence.
+    """
+
+    READ = "R"
+    WRITE = "W"
+    RMW = "U"
+    FENCE = "F"
+
+
+@dataclass(frozen=True)
+class Label:
+    """The ``lab = <op, loc, rVal, wVal>`` tuple of an event.
+
+    For fences ``loc``, ``rval`` and ``wval`` are ``None`` (the paper's ⊥).
+    """
+
+    kind: EventKind
+    order: MemoryOrder
+    loc: Optional[str] = None
+    rval: Optional[object] = None
+    wval: Optional[object] = None
+
+
+@dataclass(eq=False)
+class Event:
+    """A node of the execution graph.
+
+    Identity is by object (``eq=False``); ``uid`` gives a stable total order
+    of creation which equals the execution order of the generated run.
+    """
+
+    uid: int
+    tid: int
+    label: Label
+    #: Index of the event within its own thread (position in po).
+    po_index: int = 0
+    #: For write/RMW events: position in the per-location modification order.
+    mo_index: int = -1
+    #: For read/RMW events: the write event this event reads from.
+    reads_from: Optional["Event"] = None
+    #: Happens-before vector clock, stamped at execution time.
+    clock: Tuple[int, ...] = field(default=())
+    #: Position in the global SC order for seq_cst events, else -1.
+    sc_index: int = -1
+
+    # -- kind predicates ---------------------------------------------------
+
+    @property
+    def kind(self) -> EventKind:
+        return self.label.kind
+
+    @property
+    def order(self) -> MemoryOrder:
+        return self.label.order
+
+    @property
+    def loc(self) -> Optional[str]:
+        return self.label.loc
+
+    @property
+    def is_read(self) -> bool:
+        """Member of the paper's R = R ∪ U set."""
+        return self.label.kind in (EventKind.READ, EventKind.RMW)
+
+    @property
+    def is_write(self) -> bool:
+        """Member of the paper's W = W ∪ U set."""
+        return self.label.kind in (EventKind.WRITE, EventKind.RMW)
+
+    @property
+    def is_rmw(self) -> bool:
+        return self.label.kind is EventKind.RMW
+
+    @property
+    def is_fence(self) -> bool:
+        return self.label.kind is EventKind.FENCE
+
+    @property
+    def is_acquire_fence(self) -> bool:
+        """Member of F⊒acq."""
+        return self.is_fence and self.order.is_acquire
+
+    @property
+    def is_release_fence(self) -> bool:
+        """Member of F⊒rel."""
+        return self.is_fence and self.order.is_release
+
+    @property
+    def is_sc(self) -> bool:
+        return self.order.is_seq_cst
+
+    @property
+    def is_init(self) -> bool:
+        return self.tid == INIT_TID
+
+    @property
+    def is_atomic(self) -> bool:
+        return self.order.is_atomic
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lab = self.label
+        if self.is_fence:
+            body = f"F{lab.order.name.lower()}"
+        else:
+            parts = [lab.kind.value, f"{lab.loc}"]
+            if self.is_read:
+                parts.append(f"r={lab.rval}")
+            if self.is_write:
+                parts.append(f"w={lab.wval}")
+            body = f"{'.'.join(parts)}@{lab.order.name.lower()}"
+        return f"<e{self.uid} t{self.tid} {body}>"
+
+
+def clock_leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
+    """Pointwise ≤ on vector clocks (missing entries are zero)."""
+    if len(a) > len(b):
+        return all(x <= (b[i] if i < len(b) else 0) for i, x in enumerate(a))
+    return all(x <= b[i] for i, x in enumerate(a))
+
+
+def clock_join(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Pointwise max of two vector clocks."""
+    if len(a) < len(b):
+        a, b = b, a
+    return tuple(
+        max(x, b[i]) if i < len(b) else x for i, x in enumerate(a)
+    )
+
+
+def happens_before(a: Event, b: Event) -> bool:
+    """hb(a, b) decided via vector clocks.
+
+    ``a`` happens-before ``b`` iff ``b``'s clock has seen ``a``'s increment.
+    Initialization events happen-before everything else.
+    """
+    if a is b:
+        return False
+    if a.is_init:
+        return not b.is_init or a.uid < b.uid
+    if b.is_init:
+        return False
+    slot = a.tid
+    if slot >= len(b.clock):
+        return False
+    return a.clock[slot] <= b.clock[slot]

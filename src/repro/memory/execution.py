@@ -1,0 +1,288 @@
+"""The C11 execution graph ``X = <E, po, rf, mo, SC>``.
+
+The graph is built incrementally by the runtime executor: every shared-memory
+access or fence appends one event, writes are appended to their location's
+modification order, and reads record their ``rf`` source.  Derived relations
+(``fr``, ``sw``, ``hb``, ``com``) are materialized on demand as
+:class:`repro.memory.relations.Relation` objects for auditing, while the hot
+path uses vector clocks (see :mod:`repro.memory.events`).
+
+Modification-order placement
+    New writes are appended at the mo-tail of their location, which mirrors
+    C11Tester's operational treatment and automatically satisfies
+    write-coherence (a write can never be placed mo-before a write that
+    happens-before it, because that write was appended earlier).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .events import (
+    Event,
+    EventKind,
+    INIT_TID,
+    Label,
+    MemoryOrder,
+    happens_before,
+)
+from .relations import Relation
+
+
+class ExecutionGraph:
+    """Incremental store of an execution's events and relations."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        #: Per-location modification order (paper's mo), densest structure.
+        self.writes_by_loc: Dict[str, List[Event]] = defaultdict(list)
+        #: Per-thread program order (paper's po restricted to one thread).
+        self.events_by_tid: Dict[int, List[Event]] = defaultdict(list)
+        #: Global SC order as the list of seq_cst events in execution order.
+        self.sc_order: List[Event] = []
+        self._uid = 0
+
+    # -- construction -------------------------------------------------------
+
+    def _fresh(self, tid: int, label: Label) -> Event:
+        event = Event(uid=self._uid, tid=tid, label=label)
+        self._uid += 1
+        event.po_index = len(self.events_by_tid[tid])
+        self.events_by_tid[tid].append(event)
+        self.events.append(event)
+        return event
+
+    def add_init_write(self, loc: str, value: object) -> Event:
+        """Record the initialization write for a location.
+
+        Initialization writes sit at the mo-origin of their location and
+        happen-before every other event (paper: "memory locations are
+        initialized at the start of the execution").
+        """
+        label = Label(EventKind.WRITE, MemoryOrder.RELAXED, loc, wval=value)
+        event = self._fresh(INIT_TID, label)
+        event.mo_index = len(self.writes_by_loc[loc])
+        self.writes_by_loc[loc].append(event)
+        return event
+
+    def add_write(self, tid: int, loc: str, value: object,
+                  order: MemoryOrder) -> Event:
+        """Append a store event at the mo-tail of ``loc``."""
+        event = self._fresh(tid, Label(EventKind.WRITE, order, loc, wval=value))
+        event.mo_index = len(self.writes_by_loc[loc])
+        self.writes_by_loc[loc].append(event)
+        if order.is_seq_cst:
+            event.sc_index = len(self.sc_order)
+            self.sc_order.append(event)
+        return event
+
+    def add_read(self, tid: int, loc: str, source: Event,
+                 order: MemoryOrder) -> Event:
+        """Append a load event reading from ``source``."""
+        if source.loc != loc:
+            raise ValueError(
+                f"rf source {source!r} is at {source.loc}, not {loc}"
+            )
+        label = Label(EventKind.READ, order, loc, rval=source.label.wval)
+        event = self._fresh(tid, label)
+        event.reads_from = source
+        if order.is_seq_cst:
+            event.sc_index = len(self.sc_order)
+            self.sc_order.append(event)
+        return event
+
+    def add_rmw(self, tid: int, loc: str, source: Event, new_value: object,
+                order: MemoryOrder) -> Event:
+        """Append a successful atomic update (U event).
+
+        The update reads from ``source`` and appends its own write at the
+        mo-tail.  Callers must pass the current mo-maximal write as
+        ``source`` so that the atomicity axiom ``fr;mo = ∅`` holds (see
+        :meth:`repro.memory.axioms.check_atomicity`).
+        """
+        label = Label(
+            EventKind.RMW, order, loc, rval=source.label.wval, wval=new_value
+        )
+        event = self._fresh(tid, label)
+        event.reads_from = source
+        event.mo_index = len(self.writes_by_loc[loc])
+        self.writes_by_loc[loc].append(event)
+        if order.is_seq_cst:
+            event.sc_index = len(self.sc_order)
+            self.sc_order.append(event)
+        return event
+
+    def add_fence(self, tid: int, order: MemoryOrder) -> Event:
+        event = self._fresh(tid, Label(EventKind.FENCE, order))
+        if order.is_seq_cst:
+            event.sc_index = len(self.sc_order)
+            self.sc_order.append(event)
+        return event
+
+    # -- simple queries -----------------------------------------------------
+
+    def mo_max(self, loc: str) -> Event:
+        """The mo-maximal write at ``loc`` (the 'latest' value)."""
+        writes = self.writes_by_loc[loc]
+        if not writes:
+            raise KeyError(f"location {loc!r} was never initialized")
+        return writes[-1]
+
+    def locations(self) -> Iterable[str]:
+        return self.writes_by_loc.keys()
+
+    def thread_ids(self) -> Sequence[int]:
+        return [tid for tid in self.events_by_tid if tid != INIT_TID]
+
+    @property
+    def size(self) -> int:
+        return len(self.events)
+
+    def last_sc(self, before: Optional[Event] = None) -> Optional[Event]:
+        """The SC-maximal event, or the SC-predecessor of ``before``.
+
+        Used by PCTWM's ``getSC`` to fetch the previous event in SC order.
+        """
+        if before is None:
+            return self.sc_order[-1] if self.sc_order else None
+        if before.sc_index <= 0:
+            return None
+        return self.sc_order[before.sc_index - 1]
+
+    # -- sw / release-sequence machinery -------------------------------------
+
+    def release_source(self, write: Event) -> Optional[Event]:
+        """The sw source reachable from ``write`` through ``rf+`` chains.
+
+        Implements the source side of
+        ``sw ≜ [E⊒rel]; ([F]; po)?; rf+; (po; [F])?; [E⊒acq]``:
+
+        * if ``write`` is itself a release write, it is the source;
+        * else if a release fence precedes ``write`` in po, that fence is
+          the source (the ``[F]; po`` prefix);
+        * else if ``write`` is an RMW, the chain continues through the
+          write it read from (the ``rf+`` closure).
+
+        Returns ``None`` when no release source exists, i.e. reading from
+        ``write`` cannot synchronize.
+        """
+        seen = set()
+        current: Optional[Event] = write
+        while current is not None and current.uid not in seen:
+            seen.add(current.uid)
+            if current.order.is_release:
+                return current
+            fence = self._release_fence_before(current)
+            if fence is not None:
+                return fence
+            current = current.reads_from if current.is_rmw else None
+        return None
+
+    def _release_fence_before(self, event: Event) -> Optional[Event]:
+        if event.is_init:
+            return None
+        for prior in reversed(self.events_by_tid[event.tid][: event.po_index]):
+            if prior.is_release_fence:
+                return prior
+        return None
+
+    # -- relation materialization (audit path) ------------------------------
+
+    def po(self) -> Relation:
+        rel = Relation()
+        for tid, events in self.events_by_tid.items():
+            if tid == INIT_TID:
+                continue
+            for i, a in enumerate(events):
+                for b in events[i + 1 :]:
+                    rel.add(a, b)
+        # Initialization writes po-precede nothing but happen-before all;
+        # the paper treats them as a separate set of initial events.
+        return rel
+
+    def rf(self) -> Relation:
+        rel = Relation()
+        for e in self.events:
+            if e.reads_from is not None:
+                rel.add(e.reads_from, e)
+        return rel
+
+    def mo(self) -> Relation:
+        rel = Relation()
+        for writes in self.writes_by_loc.values():
+            for i, a in enumerate(writes):
+                for b in writes[i + 1 :]:
+                    rel.add(a, b)
+        return rel
+
+    def sc(self) -> Relation:
+        rel = Relation()
+        for i, a in enumerate(self.sc_order):
+            for b in self.sc_order[i + 1 :]:
+                rel.add(a, b)
+        return rel
+
+    def fr(self) -> Relation:
+        """From-read: ``fr ≜ (rf⁻¹; mo) \\ [E]``."""
+        rel = Relation()
+        for e in self.events:
+            w = e.reads_from
+            if w is None or w.loc is None:
+                continue
+            for later in self.writes_by_loc[w.loc][w.mo_index + 1 :]:
+                if later is not e:
+                    rel.add(e, later)
+        return rel
+
+    def sw(self) -> Relation:
+        """Synchronizes-with per RC20 (materialized from rf edges)."""
+        rel = Relation()
+        for e in self.events:
+            w = e.reads_from
+            if w is None:
+                continue
+            source = self.release_source(w)
+            if source is None or source.is_init:
+                continue
+            if e.order.is_acquire:
+                rel.add(source, e)
+            else:
+                # (po; [F]) suffix: a later acquire fence in e's thread is
+                # the sink.
+                for later in self.events_by_tid[e.tid][e.po_index + 1 :]:
+                    if later.is_acquire_fence:
+                        rel.add(source, later)
+        return rel
+
+    def hb(self) -> Relation:
+        """Happens-before: ``(po ∪ sw)⁺`` plus initialization edges."""
+        base = self.po() | self.sw()
+        for e in self.events:
+            if e.is_init:
+                for other in self.events:
+                    if other is not e and not other.is_init:
+                        base.add(e, other)
+        return base.transitive()
+
+    def com(self) -> Relation:
+        """Communication relation: ``com ≜ (rf ∪ hb ∪ SC) \\ po``.
+
+        Initialization edges are excluded: reading the initial value of a
+        location is not thread communication (Definition 2 concerns
+        *concurrent* events).
+        """
+        po = self.po()
+        out = Relation()
+        for a, b in (self.rf() | self.hb() | self.sc()).edges():
+            if a.is_init or b.is_init:
+                continue
+            if a.tid == b.tid:
+                continue
+            if (a, b) not in po:
+                out.add(a, b)
+        return out
+
+    def happens_before(self, a: Event, b: Event) -> bool:
+        """Vector-clock hb query (fast path)."""
+        return happens_before(a, b)

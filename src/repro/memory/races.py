@@ -1,0 +1,86 @@
+"""Online happens-before data-race detection.
+
+Two accesses form a data race when they touch the same location, at least one
+is a write, at least one is non-atomic, they come from different threads, and
+neither happens-before the other.  This is the C11 definition C11Tester
+checks; racy programs have undefined behaviour, so a detected race counts as
+a found bug in the application benchmarks (Table 4).
+
+Detection is vector-clock based (FastTrack-style epochs collapsed to "last
+access per thread"), giving O(threads) work per access.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .events import Event, happens_before
+
+
+@dataclass(frozen=True)
+class DataRace:
+    """A pair of unordered conflicting accesses, first by execution order."""
+
+    first: Event
+    second: Event
+
+    @property
+    def loc(self) -> str:
+        return self.first.loc
+
+    def __str__(self) -> str:  # pragma: no cover - reporting aid
+        return (
+            f"data race on {self.loc!r}: {self.first!r} unordered with "
+            f"{self.second!r}"
+        )
+
+
+class RaceDetector:
+    """Tracks last accesses per (location, thread) and reports races."""
+
+    def __init__(self) -> None:
+        self._last_write: Dict[str, Dict[int, Event]] = defaultdict(dict)
+        self._last_read: Dict[str, Dict[int, Event]] = defaultdict(dict)
+        self.races: List[DataRace] = []
+
+    def on_access(self, event: Event) -> Optional[DataRace]:
+        """Record a memory access; return the first race it creates, if any."""
+        if event.is_fence or event.loc is None or event.is_init:
+            return None
+        race = self._check(event)
+        loc = event.loc
+        if event.is_write:
+            self._last_write[loc][event.tid] = event
+        if event.is_read:
+            self._last_read[loc][event.tid] = event
+        return race
+
+    def _check(self, event: Event) -> Optional[DataRace]:
+        loc = event.loc
+        found: Optional[DataRace] = None
+        for tid, prior in self._last_write[loc].items():
+            if tid == event.tid:
+                continue
+            found = found or self._race_between(prior, event)
+        if event.is_write:
+            for tid, prior in self._last_read[loc].items():
+                if tid == event.tid:
+                    continue
+                found = found or self._race_between(prior, event)
+        if found is not None:
+            self.races.append(found)
+        return found
+
+    @staticmethod
+    def _race_between(prior: Event, event: Event) -> Optional[DataRace]:
+        if prior.is_atomic and event.is_atomic:
+            return None
+        if happens_before(prior, event):
+            return None
+        return DataRace(prior, event)
+
+    @property
+    def racy(self) -> bool:
+        return bool(self.races)

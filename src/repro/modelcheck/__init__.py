@@ -1,0 +1,12 @@
+"""Exhaustive and bounded systematic exploration for tiny programs."""
+
+from .bounded import BoundedReport, explore_bounded, preemption_ladder
+from .explorer import ExplorationReport, explore
+
+__all__ = [
+    "BoundedReport",
+    "ExplorationReport",
+    "explore",
+    "explore_bounded",
+    "preemption_ladder",
+]

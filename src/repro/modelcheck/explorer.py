@@ -1,0 +1,129 @@
+"""Exhaustive exploration of the execution space (CDSChecker-style).
+
+The randomized algorithms *sample* executions; for tiny programs we can
+instead *enumerate* them all: a DFS over every scheduling choice and every
+coherence-visible reads-from choice, realized by replaying decision
+prefixes (stateless model checking, as in CDSChecker — the paper's
+reference [38]).
+
+This provides ground truth for the test suite: the exact set of reachable
+behaviours, whether a bug is reachable at all, and the fraction of buggy
+executions — the denominator the randomized testers are up against.
+
+    report = explore(store_buffering)
+    report.executions     # 36 for SB: 6 interleavings x rf choices
+    report.buggy          # how many violate the assertion
+    report.signatures     # distinct reads-from behaviours
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set, Tuple
+
+from ..harness.coverage import Signature, execution_signature
+from ..memory.events import Event
+from ..runtime.executor import RunResult, run_once
+from ..runtime.program import Program
+from ..runtime.scheduler import ReadContext, Scheduler
+
+#: A decision: ("t", index-into-sorted-enabled) or ("r", candidate index).
+Decision = Tuple[str, int]
+
+
+class _EnumScheduler(Scheduler):
+    """Follows a decision prefix, then takes first options while recording
+    the arity of every decision met beyond the prefix."""
+
+    name = "enumerate"
+
+    def __init__(self, prefix: List[Decision]):
+        super().__init__(seed=0)
+        self.prefix = prefix
+        self.taken: List[Decision] = []
+        self.arities: List[int] = []
+
+    def _decide(self, kind: str, arity: int) -> int:
+        position = len(self.taken)
+        if position < len(self.prefix):
+            expected_kind, choice = self.prefix[position]
+            if expected_kind != kind:
+                raise RuntimeError(
+                    f"exploration divergence at {position}: prefix has "
+                    f"{expected_kind!r}, run asks {kind!r}"
+                )
+        else:
+            choice = 0
+        self.taken.append((kind, choice))
+        self.arities.append(arity)
+        return choice
+
+    def choose_thread(self, state) -> int:
+        enabled = sorted(state.enabled_tids())
+        choice = self._decide("t", len(enabled))
+        return enabled[choice]
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        choice = self._decide("r", len(ctx.candidates))
+        return ctx.candidates[choice]
+
+
+@dataclass
+class ExplorationReport:
+    """Exhaustive summary of a program's execution space."""
+
+    program: str = ""
+    executions: int = 0
+    buggy: int = 0
+    signatures: Set[Signature] = field(default_factory=set)
+    buggy_signatures: Set[Signature] = field(default_factory=set)
+    #: True when exploration stopped at the execution budget.
+    truncated: bool = False
+    #: One witness result for a buggy execution, if any was found.
+    witness: Optional[RunResult] = None
+
+    @property
+    def bug_reachable(self) -> bool:
+        return self.buggy > 0
+
+    @property
+    def bug_fraction(self) -> float:
+        return self.buggy / self.executions if self.executions else 0.0
+
+
+def explore(program_factory: Callable[[], Program],
+            max_executions: int = 20000,
+            max_steps: int = 2000) -> ExplorationReport:
+    """Enumerate every (schedule x reads-from) execution of a program.
+
+    DFS by prefix replay: each completed run reports the arity of every
+    decision beyond its prefix; unexplored alternatives are pushed as new
+    prefixes.  Suitable for litmus-sized programs — the space is the
+    product of all choice arities.
+    """
+    report = ExplorationReport()
+    stack: List[List[Decision]] = [[]]
+    while stack:
+        if report.executions >= max_executions:
+            report.truncated = True
+            break
+        prefix = stack.pop()
+        scheduler = _EnumScheduler(prefix)
+        result = run_once(program_factory(), scheduler, max_steps=max_steps)
+        report.program = result.program
+        report.executions += 1
+        signature = execution_signature(result.graph)
+        report.signatures.add(signature)
+        if result.bug_found:
+            report.buggy += 1
+            report.buggy_signatures.add(signature)
+            if report.witness is None:
+                report.witness = result
+        # Branch on every post-prefix decision with unexplored options.
+        for position in range(len(prefix), len(scheduler.taken)):
+            kind, _chosen = scheduler.taken[position]
+            for alternative in range(1, scheduler.arities[position]):
+                stack.append(
+                    scheduler.taken[:position] + [(kind, alternative)]
+                )
+    return report

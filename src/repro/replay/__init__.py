@@ -1,0 +1,22 @@
+"""Record/replay: make any randomized bug-finding run reproducible."""
+
+from .minimize import MinimalConfig, minimize_configuration
+from .recording import (
+    RecordingScheduler,
+    ReplayScheduler,
+    find_and_record,
+    record_run,
+    replay_run,
+)
+from .trace import Trace
+
+__all__ = [
+    "MinimalConfig",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "Trace",
+    "find_and_record",
+    "minimize_configuration",
+    "record_run",
+    "replay_run",
+]

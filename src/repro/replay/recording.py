@@ -1,0 +1,141 @@
+"""Recording and replaying test executions.
+
+:class:`RecordingScheduler` wraps any scheduler, forwarding every decision
+to it and logging the outcome into a :class:`repro.replay.trace.Trace`;
+:class:`ReplayScheduler` re-executes a trace deterministically.  Replay
+works because the executor is deterministic given the decision sequence:
+the candidate write lists a read chooses from are a pure function of the
+decisions taken so far.
+
+    result, trace = record_run(program_factory(), PCTWMScheduler(2, 10))
+    again = replay_run(program_factory(), trace)
+    assert again.bug_found == result.bug_found
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+from ..memory.events import Event
+from ..runtime.errors import ReproError
+from ..runtime.executor import RunResult, run_once
+from ..runtime.program import Program
+from ..runtime.scheduler import ReadContext, Scheduler
+from .trace import READ, THREAD, Trace
+
+
+class RecordingScheduler(Scheduler):
+    """Wraps an inner scheduler and logs its decisions."""
+
+    def __init__(self, inner: Scheduler):
+        super().__init__(seed=0)
+        self.inner = inner
+        self.name = f"record({inner.name})"
+        self.trace = Trace(scheduler=inner.name)
+
+    def on_run_start(self, state) -> None:
+        self.trace = Trace(program=state.program.name,
+                           scheduler=self.inner.name)
+        self.inner.on_run_start(state)
+
+    def choose_thread(self, state) -> int:
+        tid = self.inner.choose_thread(state)
+        self.trace.record_thread(tid)
+        return tid
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        source = self.inner.choose_read_from(state, ctx)
+        try:
+            index = ctx.candidates.index(source)
+        except ValueError:
+            raise ReproError(
+                f"{self.inner.name} chose a source outside the candidate "
+                "list; cannot record"
+            )
+        self.trace.record_read(index)
+        return source
+
+    def on_event_executed(self, state, event, info) -> None:
+        self.inner.on_event_executed(state, event, info)
+
+    def on_thread_finished(self, state, tid) -> None:
+        self.inner.on_thread_finished(state, tid)
+
+
+class ReplayScheduler(Scheduler):
+    """Feeds a recorded trace back to the executor, decision by decision."""
+
+    name = "replay"
+
+    def __init__(self, trace: Trace):
+        super().__init__(seed=0)
+        self._decisions = list(trace.decisions)
+        self._cursor = 0
+
+    def _next(self, expected_kind: str) -> int:
+        if self._cursor >= len(self._decisions):
+            raise ReproError(
+                "trace exhausted: the replayed program diverged from the "
+                "recorded one (more decisions needed)"
+            )
+        kind, value = self._decisions[self._cursor]
+        if kind != expected_kind:
+            raise ReproError(
+                f"trace divergence at step {self._cursor}: recorded "
+                f"{kind!r}, execution asked for {expected_kind!r}"
+            )
+        self._cursor += 1
+        return value
+
+    def choose_thread(self, state) -> int:
+        return self._next(THREAD)
+
+    def choose_read_from(self, state, ctx: ReadContext) -> Event:
+        index = self._next(READ)
+        if index >= len(ctx.candidates):
+            raise ReproError(
+                f"trace divergence: recorded candidate #{index} but only "
+                f"{len(ctx.candidates)} are visible"
+            )
+        return ctx.candidates[index]
+
+    @property
+    def fully_consumed(self) -> bool:
+        return self._cursor == len(self._decisions)
+
+
+def record_run(program: Program, scheduler: Scheduler,
+               max_steps: int = 20000,
+               spin_threshold: int = 8) -> Tuple[RunResult, Trace]:
+    """Run once under ``scheduler`` while recording every decision."""
+    recorder = RecordingScheduler(scheduler)
+    result = run_once(program, recorder, max_steps=max_steps,
+                      spin_threshold=spin_threshold)
+    return result, recorder.trace
+
+
+def replay_run(program: Program, trace: Trace,
+               max_steps: int = 20000) -> RunResult:
+    """Deterministically re-execute a recorded trace."""
+    return run_once(program, ReplayScheduler(trace), max_steps=max_steps)
+
+
+def find_and_record(program_factory: Callable[[], Program],
+                    scheduler_factory: Callable[[int], Scheduler],
+                    max_attempts: int = 1000, base_seed: int = 0,
+                    max_steps: int = 20000,
+                    ) -> Optional[Tuple[int, RunResult, Trace]]:
+    """Search seeds until a bug is found; return its replayable trace.
+
+    Returns ``(seed, result, trace)`` for the first bug-finding run, or
+    None when the attempt budget is exhausted.
+    """
+    for attempt in range(max_attempts):
+        seed = base_seed + attempt
+        result, trace = record_run(program_factory(),
+                                   scheduler_factory(seed),
+                                   max_steps=max_steps)
+        trace.seed = seed
+        if result.bug_found:
+            return seed, result, trace
+    return None

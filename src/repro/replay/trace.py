@@ -1,0 +1,61 @@
+"""Serializable decision traces.
+
+A randomized test run is fully determined by the sequence of scheduler
+decisions: which thread stepped, and which visible write each read
+observed (recorded as an index into the candidate list, which is itself a
+deterministic function of the prior decisions).  Recording that sequence
+makes any found bug replayable and shareable as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: Decision kinds.
+THREAD = "t"
+READ = "r"
+
+
+@dataclass
+class Trace:
+    """An ordered list of scheduler decisions plus provenance metadata."""
+
+    program: str = ""
+    scheduler: str = ""
+    seed: int = 0
+    decisions: List[Tuple[str, int]] = field(default_factory=list)
+
+    def record_thread(self, tid: int) -> None:
+        self.decisions.append((THREAD, tid))
+
+    def record_read(self, candidate_index: int) -> None:
+        self.decisions.append((READ, candidate_index))
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "program": self.program,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "decisions": self.decisions,
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "Trace":
+        raw = json.loads(text)
+        decisions = [(kind, int(value)) for kind, value in raw["decisions"]]
+        for kind, _value in decisions:
+            if kind not in (THREAD, READ):
+                raise ValueError(f"unknown decision kind {kind!r}")
+        return cls(
+            program=raw.get("program", ""),
+            scheduler=raw.get("scheduler", ""),
+            seed=int(raw.get("seed", 0)),
+            decisions=decisions,
+        )

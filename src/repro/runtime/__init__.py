@@ -1,0 +1,83 @@
+"""Concurrency runtime: the program DSL and the controlled executor.
+
+This package is the substrate the paper's algorithms run on — the analogue
+of the C11Tester runtime that intercepts atomic operations of a compiled
+C/C++ program.  Threads are Python generators yielding operation
+descriptors; an :class:`repro.runtime.executor.Executor` drives them under a
+pluggable :class:`repro.runtime.scheduler.Scheduler`.
+"""
+
+from .api import (
+    Atomic,
+    NonAtomic,
+    fence,
+    join,
+    sched_yield,
+    spawn,
+    spin_until,
+)
+from .errors import (
+    AssertionViolation,
+    DeadlockError,
+    ExecutionLimitExceeded,
+    ProgramDefinitionError,
+    ReproError,
+    require,
+)
+from .executor import ExecutionState, Executor, RunResult, run_once
+from .livelock import SpinTracker
+from .ops import (
+    CasOp,
+    FenceOp,
+    JoinOp,
+    LoadOp,
+    Op,
+    RmwOp,
+    SpawnOp,
+    StoreOp,
+    YieldOp,
+    is_communication_op,
+)
+from .sync import Mutex, RWLock, Semaphore, SpinBarrier
+from .program import Program
+from .scheduler import ReadContext, Scheduler
+from .thread import ThreadState
+
+__all__ = [
+    "AssertionViolation",
+    "Atomic",
+    "CasOp",
+    "DeadlockError",
+    "ExecutionLimitExceeded",
+    "ExecutionState",
+    "Executor",
+    "FenceOp",
+    "JoinOp",
+    "LoadOp",
+    "NonAtomic",
+    "Op",
+    "Program",
+    "ProgramDefinitionError",
+    "ReadContext",
+    "ReproError",
+    "Mutex",
+    "RWLock",
+    "RmwOp",
+    "RunResult",
+    "Semaphore",
+    "SpawnOp",
+    "SpinBarrier",
+    "Scheduler",
+    "SpinTracker",
+    "StoreOp",
+    "ThreadState",
+    "YieldOp",
+    "fence",
+    "is_communication_op",
+    "join",
+    "require",
+    "run_once",
+    "sched_yield",
+    "spawn",
+    "spin_until",
+]

@@ -1,0 +1,135 @@
+"""User-facing handles for writing DSL programs.
+
+:class:`Atomic` and :class:`NonAtomic` wrap a location name and produce the
+operation descriptors of :mod:`repro.runtime.ops`:
+
+    x = program.atomic("X", 0)
+
+    def reader():
+        a = yield x.load(ACQ)
+        ok, old = yield x.cas(expected=0, desired=1)
+        yield fence(SC)
+
+Every method *returns* an op to be ``yield``-ed; calling without yielding
+performs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..memory.events import MemoryOrder
+from .ops import (
+    CasOp,
+    FenceOp,
+    JoinOp,
+    LoadOp,
+    Op,
+    RmwOp,
+    SpawnOp,
+    StoreOp,
+    YieldOp,
+)
+
+
+class Atomic:
+    """Handle for a C11 atomic location."""
+
+    def __init__(self, loc: str, default_order: MemoryOrder = MemoryOrder.SEQ_CST):
+        self.loc = loc
+        self.default_order = default_order
+
+    def load(self, order: Optional[MemoryOrder] = None) -> LoadOp:
+        return LoadOp(self.loc, order or self.default_order)
+
+    def store(self, value: object, order: Optional[MemoryOrder] = None) -> StoreOp:
+        return StoreOp(self.loc, value, order or self.default_order)
+
+    def rmw(self, update: Callable[[object], object],
+            order: Optional[MemoryOrder] = None) -> RmwOp:
+        return RmwOp(self.loc, update, order or self.default_order)
+
+    def fetch_add(self, delta: int = 1,
+                  order: Optional[MemoryOrder] = None) -> RmwOp:
+        return RmwOp(self.loc, lambda v, d=delta: v + d,
+                     order or self.default_order)
+
+    def fetch_sub(self, delta: int = 1,
+                  order: Optional[MemoryOrder] = None) -> RmwOp:
+        return RmwOp(self.loc, lambda v, d=delta: v - d,
+                     order or self.default_order)
+
+    def exchange(self, value: object,
+                 order: Optional[MemoryOrder] = None) -> RmwOp:
+        return RmwOp(self.loc, lambda _v, nv=value: nv,
+                     order or self.default_order)
+
+    def cas(self, expected: object, desired: object,
+            success_order: Optional[MemoryOrder] = None,
+            failure_order: MemoryOrder = MemoryOrder.RELAXED) -> CasOp:
+        return CasOp(self.loc, expected, desired,
+                     success_order or self.default_order, failure_order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Atomic({self.loc!r})"
+
+
+class NonAtomic:
+    """Handle for a plain (non-atomic) location; races on it are bugs."""
+
+    def __init__(self, loc: str):
+        self.loc = loc
+
+    def load(self) -> LoadOp:
+        return LoadOp(self.loc, MemoryOrder.NA)
+
+    def store(self, value: object) -> StoreOp:
+        return StoreOp(self.loc, value, MemoryOrder.NA)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NonAtomic({self.loc!r})"
+
+
+def fence(order: MemoryOrder = MemoryOrder.SEQ_CST) -> FenceOp:
+    """A memory fence op (``Frel``, ``Facq``, or SC fence)."""
+    return FenceOp(order)
+
+
+def join(thread_name: str) -> JoinOp:
+    """Block until the named thread finishes; yields its return value."""
+    return JoinOp(thread_name)
+
+
+def sched_yield() -> YieldOp:
+    """A pure scheduling point (no memory event is generated)."""
+    return YieldOp()
+
+
+def spawn(body, *args, name=None) -> SpawnOp:
+    """Create a thread at runtime; yields the child's name (joinable).
+
+    ``body`` is a generator function like any static thread body.
+    """
+    return SpawnOp(body, args, name)
+
+
+def spin_until(handle: Atomic, predicate, order: Optional[MemoryOrder] = None,
+               max_spins: int = 60):
+    """Bounded wait loop: re-load ``handle`` until ``predicate`` holds.
+
+    Returns the satisfying value, or None when the bound is exhausted
+    (callers treat that as starvation, not a bug).  Use with
+    ``yield from``:
+
+        value = yield from spin_until(flag, lambda v: v == 1, ACQ)
+
+    The loop cooperates with the executor's livelock heuristics: each
+    iteration is an ordinary load at a stable program site.
+    """
+    if max_spins < 1:
+        raise ValueError("max_spins must be >= 1")
+    for _ in range(max_spins):
+        value = yield handle.load(order or handle.default_order)
+        if predicate(value):
+            return value
+    return None

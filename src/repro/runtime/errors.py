@@ -1,0 +1,34 @@
+"""Runtime error types."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class AssertionViolation(ReproError):
+    """A program-level assertion failed: the concurrency bug manifested."""
+
+
+class ProgramDefinitionError(ReproError):
+    """A program is malformed (duplicate locations, no threads, ...)."""
+
+
+class ExecutionLimitExceeded(ReproError):
+    """A run exceeded its step budget; treated as an inconclusive run."""
+
+
+class DeadlockError(ReproError):
+    """No thread is enabled but the program has not finished."""
+
+
+def require(condition: bool, message: str = "assertion failed") -> None:
+    """Program-level assertion helper for DSL thread bodies.
+
+    Unlike the builtin ``assert``, this cannot be stripped by ``-O`` and
+    raises :class:`AssertionViolation`, which the executor records as a
+    found concurrency bug.
+    """
+    if not condition:
+        raise AssertionViolation(message)

@@ -1,0 +1,445 @@
+"""The execution engine.
+
+Drives a :class:`repro.runtime.program.Program` step by step under a
+:class:`repro.runtime.scheduler.Scheduler`, building a C11 execution graph
+(:mod:`repro.memory`) as it goes:
+
+* at each step the scheduler picks an enabled thread (possibly peeking
+  pending ops, as PCTWM's Algorithm 1 does);
+* the thread's pending operation becomes an event: writes append at the
+  mo-tail, reads pick an rf source among the coherence-visible writes via
+  the scheduler, fences and synchronizing reads join vector clocks;
+* assertion violations, data races and deadlocks are recorded as bugs.
+
+Every generated execution satisfies the consistency axioms of Section 4 by
+construction (tests audit this with :mod:`repro.memory.axioms`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..memory.events import Event, MemoryOrder, clock_join
+from ..memory.execution import ExecutionGraph
+from ..memory.races import DataRace, RaceDetector
+from ..memory.visibility import VisibilityTracker
+from .errors import (
+    AssertionViolation,
+    ProgramDefinitionError,
+    ReproError,
+)
+from .livelock import SpinTracker
+from .ops import (
+    CasOp,
+    FenceOp,
+    JoinOp,
+    LoadOp,
+    Op,
+    RmwOp,
+    SpawnOp,
+    StoreOp,
+    YieldOp,
+    is_communication_op,
+)
+from .program import Program
+from .scheduler import ReadContext, Scheduler
+from .thread import ThreadState
+
+
+@dataclass
+class RunResult:
+    """Outcome of a single test execution."""
+
+    program: str
+    scheduler: str
+    bug_found: bool = False
+    bug_kind: Optional[str] = None  # "assertion" | "race" | "deadlock"
+    bug_message: Optional[str] = None
+    #: True when the run hit the step budget (inconclusive, not a bug).
+    limit_exceeded: bool = False
+    steps: int = 0
+    #: Number of program events executed (the paper's k), excluding init.
+    k: int = 0
+    #: Number of communication events executed (the paper's k_com).
+    k_com: int = 0
+    races: List[DataRace] = field(default_factory=list)
+    thread_results: Dict[str, Any] = field(default_factory=dict)
+    graph: Optional[ExecutionGraph] = None
+
+    def __bool__(self) -> bool:
+        return self.bug_found
+
+
+class ExecutionState:
+    """Mutable per-run state shared between the executor and scheduler."""
+
+    def __init__(self, program: Program, spin_threshold: int = 8):
+        self.program = program
+        self.graph = ExecutionGraph()
+        self.init_writes: Dict[str, Event] = {}
+        for loc, init in program.locations.items():
+            self.init_writes[loc] = self.graph.add_init_write(loc, init)
+        self.threads: List[ThreadState] = program.instantiate()
+        self.visibility = VisibilityTracker(self.graph)
+        self.races = RaceDetector()
+        self.spins = SpinTracker(spin_threshold)
+        n = len(self.threads)
+        self.clocks: List[Tuple[int, ...]] = [(0,) * n for _ in range(n)]
+        self.steps = 0
+        self.k = 0
+        self.k_com = 0
+        self._by_name = {t.name: t for t in self.threads}
+
+    def spawn_thread(self, body, args, name: Optional[str]) -> ThreadState:
+        """Create a runtime thread (SpawnOp); returns its primed state."""
+        tid = len(self.threads)
+        base = name or getattr(body, "__name__", "thread")
+        unique = base
+        suffix = 1
+        while unique in self._by_name:
+            unique = f"{base}#{suffix}"
+            suffix += 1
+        thread = ThreadState(tid, unique, body(*args))
+        thread.prime()
+        self.threads.append(thread)
+        self.clocks.append(self.clocks[0][:0])  # placeholder, set by caller
+        self._by_name[unique] = thread
+        return thread
+
+    # -- queries used by schedulers -------------------------------------------
+
+    def enabled_tids(self) -> List[int]:
+        """Threads that can take a step right now."""
+        out = []
+        for t in self.threads:
+            if t.finished:
+                continue
+            if isinstance(t.pending, JoinOp):
+                target = self._by_name.get(t.pending.thread_name)
+                if target is None:
+                    raise ProgramDefinitionError(
+                        f"join target {t.pending.thread_name!r} does not exist"
+                    )
+                if not target.finished:
+                    continue
+            out.append(t.tid)
+        return out
+
+    def peek(self, tid: int) -> Optional[Op]:
+        """The pending (not yet executed) op of a thread."""
+        return self.threads[tid].pending
+
+    def all_finished(self) -> bool:
+        return all(t.finished for t in self.threads)
+
+    def thread_by_name(self, name: str) -> ThreadState:
+        return self._by_name[name]
+
+
+class Executor:
+    """Runs a program to completion under a scheduler."""
+
+    def __init__(self, program: Program, scheduler: Scheduler,
+                 max_steps: int = 20000, spin_threshold: int = 8,
+                 keep_graph: bool = True):
+        self.program = program
+        self.scheduler = scheduler
+        self.max_steps = max_steps
+        self.spin_threshold = spin_threshold
+        self.keep_graph = keep_graph
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute one randomized test run and report the outcome."""
+        state = ExecutionState(self.program, self.spin_threshold)
+        result = RunResult(self.program.name, self.scheduler.name)
+        self.scheduler.on_run_start(state)
+        try:
+            self._loop(state, result)
+        except AssertionViolation as violation:
+            result.bug_found = True
+            result.bug_kind = "assertion"
+            result.bug_message = str(violation)
+        self._finish(state, result)
+        return result
+
+    # -- main loop -----------------------------------------------------------
+
+    def _loop(self, state: ExecutionState, result: RunResult) -> None:
+        while True:
+            if state.all_finished():
+                self._run_final_checks(state, result)
+                return
+            enabled = state.enabled_tids()
+            if not enabled:
+                result.bug_found = True
+                result.bug_kind = "deadlock"
+                result.bug_message = "no enabled thread but program not done"
+                return
+            if state.steps >= self.max_steps:
+                result.limit_exceeded = True
+                return
+            tid = self.scheduler.choose_thread(state)
+            if tid not in enabled:
+                raise ReproError(
+                    f"{self.scheduler.name} chose disabled thread {tid}"
+                )
+            self._step(state, tid)
+
+    def _run_final_checks(self, state: ExecutionState,
+                          result: RunResult) -> None:
+        results = {t.name: t.result for t in state.threads}
+        result.thread_results = results
+        for check in self.program.final_checks:
+            check(results)
+
+    def _finish(self, state: ExecutionState, result: RunResult) -> None:
+        result.steps = state.steps
+        result.k = state.k
+        result.k_com = state.k_com
+        result.races = list(state.races.races)
+        if not result.thread_results:
+            result.thread_results = {
+                t.name: t.result for t in state.threads if t.finished
+            }
+        if state.races.racy and self.program.races_are_bugs \
+                and not result.bug_found:
+            result.bug_found = True
+            result.bug_kind = "race"
+            result.bug_message = str(state.races.races[0])
+        if self.keep_graph:
+            result.graph = state.graph
+
+    # -- single step ---------------------------------------------------------
+
+    def _step(self, state: ExecutionState, tid: int) -> None:
+        thread = state.threads[tid]
+        op = thread.pending
+        state.steps += 1
+        if isinstance(op, YieldOp):
+            thread.advance(None)
+            return
+        if isinstance(op, JoinOp):
+            self._exec_join(state, thread, op)
+            return
+        if isinstance(op, SpawnOp):
+            self._exec_spawn(state, thread, op)
+            return
+        if is_communication_op(op):
+            state.k_com += 1
+        state.k += 1
+        if isinstance(op, FenceOp):
+            self._exec_fence(state, thread, op)
+        elif isinstance(op, StoreOp):
+            self._exec_store(state, thread, op)
+        elif isinstance(op, LoadOp):
+            self._exec_load(state, thread, op)
+        elif isinstance(op, RmwOp):
+            self._exec_rmw(state, thread, op)
+        elif isinstance(op, CasOp):
+            self._exec_cas(state, thread, op)
+        else:
+            raise ReproError(f"unknown op {op!r}")
+
+    # -- clock helpers ----------------------------------------------------------
+
+    @staticmethod
+    def _tick(state: ExecutionState, tid: int,
+              joins: List[Event]) -> Tuple[int, ...]:
+        clock = state.clocks[tid]
+        for src in joins:
+            if not src.is_init:
+                clock = clock_join(clock, src.clock)
+        bumped = list(clock)
+        if len(bumped) <= tid:
+            # Spawned threads carry their parent's (shorter) clock; pad to
+            # reach this thread's own slot.
+            bumped.extend([0] * (tid + 1 - len(bumped)))
+        bumped[tid] += 1
+        clock = tuple(bumped)
+        state.clocks[tid] = clock
+        return clock
+
+    def _commit(self, state: ExecutionState, thread: ThreadState,
+                event: Event, op: Op, result: Any, info: dict) -> None:
+        state.races.on_access(event)
+        info.setdefault("op", op)
+        self.scheduler.on_event_executed(state, event, info)
+        thread.advance(result)
+        if thread.finished:
+            self.scheduler.on_thread_finished(state, thread.tid)
+
+    # -- op execution -------------------------------------------------------------
+
+    def _exec_join(self, state: ExecutionState, thread: ThreadState,
+                   op: JoinOp) -> None:
+        target = state.thread_by_name(op.thread_name)
+        state.clocks[thread.tid] = clock_join(
+            state.clocks[thread.tid], state.clocks[target.tid]
+        )
+        thread.advance(target.result)
+        if thread.finished:
+            self.scheduler.on_thread_finished(state, thread.tid)
+
+    def _exec_spawn(self, state: ExecutionState, thread: ThreadState,
+                    op: SpawnOp) -> None:
+        child = state.spawn_thread(op.body, op.args, op.name)
+        # The child inherits the parent's clock: everything the parent did
+        # before the spawn happens-before the child's events.
+        state.clocks[child.tid] = state.clocks[thread.tid]
+        self.scheduler.on_thread_created(state, child.tid, thread.tid)
+        thread.advance(child.name)
+        if thread.finished:
+            self.scheduler.on_thread_finished(state, thread.tid)
+
+    def _exec_fence(self, state: ExecutionState, thread: ThreadState,
+                    op: FenceOp) -> None:
+        tid = thread.tid
+        fence_sources: List[Event] = []
+        if op.order.is_acquire:
+            fence_sources = list(thread.pending_sync_sources)
+            thread.pending_sync_sources.clear()
+        clock = self._tick(state, tid, fence_sources)
+        event = state.graph.add_fence(tid, op.order)
+        event.clock = clock
+        self._commit(state, thread, event, op, None,
+                     {"fence_sync_sources": fence_sources})
+
+    def _exec_store(self, state: ExecutionState, thread: ThreadState,
+                    op: StoreOp) -> None:
+        tid = thread.tid
+        self._require_loc(op.loc)
+        clock = self._tick(state, tid, [])
+        event = state.graph.add_write(tid, op.loc, op.value, op.order)
+        event.clock = clock
+        state.visibility.note_write(event)
+        self._commit(state, thread, event, op, None, {})
+
+    def _exec_load(self, state: ExecutionState, thread: ThreadState,
+                   op: LoadOp) -> None:
+        tid = thread.tid
+        self._require_loc(op.loc)
+        candidates = state.visibility.visible_writes(
+            tid, op.loc, state.clocks[tid], seq_cst=op.order.is_seq_cst
+        )
+        spinning = state.spins.is_spinning(thread.site_key)
+        ctx = ReadContext(tid=tid, loc=op.loc, order=op.order,
+                          candidates=candidates, op=op, spinning=spinning)
+        source = self.scheduler.choose_read_from(state, ctx)
+        if source not in candidates:
+            raise ReproError(
+                f"{self.scheduler.name} chose rf source outside the "
+                f"visible set: {source!r}"
+            )
+        self._finish_read(state, thread, op, op.order, source, spinning,
+                          result=source.label.wval)
+
+    def _exec_rmw(self, state: ExecutionState, thread: ThreadState,
+                  op: RmwOp) -> None:
+        tid = thread.tid
+        self._require_loc(op.loc)
+        source = state.graph.mo_max(op.loc)
+        old = source.label.wval
+        new = op.update(old)
+        sync_source, fence_source = self._sync_sources(
+            state, thread, source, op.order
+        )
+        clock = self._tick(state, tid,
+                           [sync_source] if sync_source else [])
+        event = state.graph.add_rmw(tid, op.loc, source, new, op.order)
+        event.clock = clock
+        state.visibility.note_read(tid, source)
+        state.visibility.note_write(event)
+        state.spins.note(thread.site_key, old)
+        self._commit(state, thread, event, op, old, {
+            "sync_source": sync_source,
+            "release_chain_source": fence_source,
+            "rmw": True,
+        })
+
+    def _exec_cas(self, state: ExecutionState, thread: ThreadState,
+                  op: CasOp) -> None:
+        tid = thread.tid
+        self._require_loc(op.loc)
+        source = state.graph.mo_max(op.loc)
+        old = source.label.wval
+        success = old == op.expected
+        order = op.success_order if success else op.failure_order
+        sync_source, fence_source = self._sync_sources(
+            state, thread, source, order
+        )
+        clock = self._tick(state, tid,
+                           [sync_source] if sync_source else [])
+        if success:
+            event = state.graph.add_rmw(tid, op.loc, source, op.desired,
+                                        op.success_order)
+            state.visibility.note_write(event)
+        else:
+            event = state.graph.add_read(tid, op.loc, source,
+                                         op.failure_order)
+        event.clock = clock
+        state.visibility.note_read(tid, source)
+        state.spins.note(thread.site_key, old)
+        self._commit(state, thread, event, op, (success, old), {
+            "sync_source": sync_source,
+            "release_chain_source": fence_source,
+            "rmw": True,
+        })
+
+    def _finish_read(self, state: ExecutionState, thread: ThreadState,
+                     op: Op, order: MemoryOrder, source: Event,
+                     spinning: bool, result: Any) -> None:
+        tid = thread.tid
+        sync_source, fence_source = self._sync_sources(
+            state, thread, source, order
+        )
+        clock = self._tick(state, tid,
+                           [sync_source] if sync_source else [])
+        event = state.graph.add_read(tid, op.loc, source, order)
+        event.clock = clock
+        state.visibility.note_read(tid, source)
+        state.spins.note(thread.site_key, result)
+        self._commit(state, thread, event, op, result, {
+            "sync_source": sync_source,
+            "release_chain_source": fence_source,
+            "spinning": spinning,
+        })
+
+    def _sync_sources(self, state: ExecutionState, thread: ThreadState,
+                      source: Event, order: MemoryOrder,
+                      ) -> Tuple[Optional[Event], Optional[Event]]:
+        """Resolve the sw consequences of reading from ``source``.
+
+        Returns ``(sync_source, release_chain_source)``: the first is the
+        event whose clock the reader joins *now* (acquire read of a release
+        chain); the second is the chain source recorded for a later acquire
+        fence (relaxed read of a release chain, the ``(po; [F])`` suffix of
+        the sw definition).
+        """
+        if source.is_init:
+            return None, None
+        chain = state.graph.release_source(source)
+        if chain is None:
+            return None, None
+        if order.is_acquire:
+            return chain, chain
+        thread.pending_sync_sources.append(chain)
+        return None, chain
+
+    def _require_loc(self, loc: str) -> None:
+        if loc not in self.program.locations:
+            raise ProgramDefinitionError(
+                f"location {loc!r} is not declared in program "
+                f"{self.program.name!r}"
+            )
+
+
+def run_once(program: Program, scheduler: Scheduler,
+             max_steps: int = 20000, spin_threshold: int = 8,
+             keep_graph: bool = True) -> RunResult:
+    """Convenience wrapper: build an executor and run a single test."""
+    executor = Executor(program, scheduler, max_steps=max_steps,
+                        spin_threshold=spin_threshold, keep_graph=keep_graph)
+    return executor.run()

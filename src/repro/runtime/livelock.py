@@ -1,0 +1,61 @@
+"""Livelock (spin-starvation) detection.
+
+Priority-based schedulers can starve a wait loop forever: the spinning
+thread keeps the highest priority, and — under PCTWM — keeps re-reading its
+stale thread-local view, so it can never observe the value it waits for
+(Section 6.2 discusses this for the seqlock benchmark).
+
+The tracker flags a thread as *spinning* when the same program point has
+re-executed more than ``threshold`` times while observing the same value.
+Schedulers respond per the paper's heuristic: switch to a random thread
+and/or allow the spinning read to read globally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Tuple
+
+
+class SpinTracker:
+    """Counts consecutive same-value executions per program point."""
+
+    def __init__(self, threshold: int = 8):
+        if threshold < 1:
+            raise ValueError("spin threshold must be >= 1")
+        self.threshold = threshold
+        self._counts: Dict[Tuple[int, int], int] = {}
+        self._last_value: Dict[Tuple[int, int], Hashable] = {}
+
+    def note(self, site: Tuple[int, int], value: Hashable) -> bool:
+        """Record one execution of ``site`` observing ``value``.
+
+        Returns True when the site has now exceeded the spin threshold.
+        """
+        try:
+            same = self._last_value.get(site, _UNSET) == value
+        except Exception:  # unhashable / incomparable values never spin
+            same = False
+        if same:
+            self._counts[site] = self._counts.get(site, 0) + 1
+        else:
+            self._counts[site] = 1
+            self._last_value[site] = value
+        return self._counts[site] > self.threshold
+
+    def is_spinning(self, site: Tuple[int, int]) -> bool:
+        return self._counts.get(site, 0) > self.threshold
+
+    def reset(self, site: Tuple[int, int]) -> None:
+        self._counts.pop(site, None)
+        self._last_value.pop(site, None)
+
+
+class _Unset:
+    def __eq__(self, other: object) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+
+_UNSET = _Unset()

@@ -1,0 +1,116 @@
+"""Operation descriptors yielded by DSL thread bodies.
+
+A thread body is a Python generator; each shared-memory access is expressed
+by yielding one of these descriptors, and the executor sends the operation's
+result back into the generator:
+
+    a = yield LoadOp("X", ACQ)        # -> value read
+    yield StoreOp("X", 1, REL)        # -> None
+    old = yield RmwOp("X", lambda v: v + 1, ACQ_REL)   # -> old value
+    ok, old = yield CasOp("X", 0, 1, ACQ_REL, RLX)     # -> (success, old)
+    yield FenceOp(SC)                 # -> None
+    ret = yield JoinOp("worker")      # -> target thread's return value
+
+Programs normally construct these through the handles in
+:mod:`repro.runtime.api` rather than directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..memory.events import MemoryOrder
+
+
+@dataclass(eq=False)
+class Op:
+    """Base operation; identity is by instance (ops are single-use)."""
+
+
+@dataclass(eq=False)
+class LoadOp(Op):
+    loc: str
+    order: MemoryOrder = MemoryOrder.SEQ_CST
+
+
+@dataclass(eq=False)
+class StoreOp(Op):
+    loc: str
+    value: object = None
+    order: MemoryOrder = MemoryOrder.SEQ_CST
+
+
+@dataclass(eq=False)
+class RmwOp(Op):
+    """Unconditional atomic update: new value = ``update(old)``.
+
+    Always succeeds; the event is a U event.  Per the atomicity axiom the
+    read side observes the mo-maximal write.
+    """
+
+    loc: str
+    update: Callable[[object], object] = field(default=lambda v: v)
+    order: MemoryOrder = MemoryOrder.SEQ_CST
+
+
+@dataclass(eq=False)
+class CasOp(Op):
+    """Compare-and-swap.  Result is ``(success, old_value)``.
+
+    On success it is a U event with ``success_order``; on failure it
+    degenerates to a read with ``failure_order`` (paper Section 4).
+    """
+
+    loc: str
+    expected: object = None
+    desired: object = None
+    success_order: MemoryOrder = MemoryOrder.SEQ_CST
+    failure_order: MemoryOrder = MemoryOrder.SEQ_CST
+
+
+@dataclass(eq=False)
+class FenceOp(Op):
+    order: MemoryOrder = MemoryOrder.SEQ_CST
+
+
+@dataclass(eq=False)
+class SpawnOp(Op):
+    """Create a new thread at runtime; result is the child's name.
+
+    The child starts with the parent's happens-before knowledge (its
+    initial clock is the parent's at the spawn point), matching
+    ``pthread_create`` semantics.
+    """
+
+    body: Callable[..., object] = field(default=lambda: iter(()))
+    args: tuple = ()
+    name: Optional[str] = None
+
+
+@dataclass(eq=False)
+class JoinOp(Op):
+    """Block until the named thread finishes; result is its return value."""
+
+    thread_name: str = ""
+
+
+@dataclass(eq=False)
+class YieldOp(Op):
+    """A pure scheduling point (no memory event)."""
+
+
+def is_communication_op(op: Op) -> bool:
+    """The ``isCommunicationEvent`` predicate of Algorithm 1, on pending ops.
+
+    A communication event is an SC event, a read (including RMW/CAS), or an
+    acquire fence — the possible *sinks* of a ``com`` relation
+    (Definition 3).
+    """
+    if isinstance(op, (LoadOp, RmwOp, CasOp)):
+        return True
+    if isinstance(op, StoreOp):
+        return op.order.is_seq_cst
+    if isinstance(op, FenceOp):
+        return op.order.is_acquire or op.order.is_seq_cst
+    return False

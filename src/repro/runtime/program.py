@@ -1,0 +1,134 @@
+"""Program definition: shared locations, thread bodies, and final checks.
+
+A :class:`Program` is a reusable description of a concurrent test case; each
+test run instantiates fresh thread generators from it.
+
+    sb = Program("SB")
+    x = sb.atomic("X", 0)
+    y = sb.atomic("Y", 0)
+
+    @sb.thread
+    def left():
+        yield x.store(1, RLX)
+        a = yield y.load(RLX)
+        return a
+
+    @sb.thread
+    def right():
+        yield y.store(1, RLX)
+        b = yield x.load(RLX)
+        return b
+
+    sb.add_final_check(lambda r: require(r["left"] == 1 or r["right"] == 1))
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..memory.events import MemoryOrder
+from .api import Atomic, NonAtomic
+from .errors import ProgramDefinitionError
+from .thread import ThreadState
+
+FinalCheck = Callable[[Dict[str, Any]], None]
+
+
+class Program:
+    """A concurrent program expressed in the operation DSL."""
+
+    def __init__(self, name: str):
+        self.name = name
+        #: location name -> initial value
+        self.locations: Dict[str, Any] = {}
+        self._threads: List[Tuple[str, Callable[..., Any], tuple, dict]] = []
+        self._final_checks: List[FinalCheck] = []
+        #: Treat detected data races as bugs (on by default; the nine data
+        #: structure benchmarks use assertion bugs and switch this off so
+        #: that their seeded races do not mask the assertion outcome).
+        self.races_are_bugs = True
+
+    # -- locations ----------------------------------------------------------
+
+    def atomic(self, loc: str, init: Any = 0,
+               default_order: MemoryOrder = MemoryOrder.SEQ_CST) -> Atomic:
+        """Declare an atomic location and return its handle."""
+        self._register(loc, init)
+        return Atomic(loc, default_order)
+
+    def non_atomic(self, loc: str, init: Any = 0) -> NonAtomic:
+        """Declare a plain (non-atomic) location and return its handle."""
+        self._register(loc, init)
+        return NonAtomic(loc)
+
+    def _register(self, loc: str, init: Any) -> None:
+        if loc in self.locations:
+            raise ProgramDefinitionError(f"duplicate location {loc!r}")
+        self.locations[loc] = init
+
+    # -- threads --------------------------------------------------------------
+
+    def thread(self, fn: Callable[..., Any]) -> Callable[..., Any]:
+        """Decorator registering a no-argument thread body."""
+        self.add_thread(fn)
+        return fn
+
+    def add_thread(self, fn: Callable[..., Any], *args: Any,
+                   name: Optional[str] = None, **kwargs: Any) -> str:
+        """Register a thread body; returns the thread's name."""
+        thread_name = name or fn.__name__
+        if any(existing == thread_name for existing, *_ in self._threads):
+            suffix = sum(
+                1 for existing, *_ in self._threads
+                if existing == thread_name or existing.startswith(thread_name + "#")
+            )
+            thread_name = f"{thread_name}#{suffix}"
+        self._threads.append((thread_name, fn, args, kwargs))
+        return thread_name
+
+    @property
+    def thread_count(self) -> int:
+        return len(self._threads)
+
+    @property
+    def thread_names(self) -> List[str]:
+        return [name for name, *_ in self._threads]
+
+    # -- final checks ----------------------------------------------------------
+
+    def add_final_check(self, check: FinalCheck) -> None:
+        """Register a predicate over thread return values, run post-join.
+
+        The check receives ``{thread_name: return_value}`` and signals a bug
+        by raising :class:`repro.runtime.errors.AssertionViolation`
+        (typically via :func:`repro.runtime.errors.require`).
+        """
+        self._final_checks.append(check)
+
+    @property
+    def final_checks(self) -> List[FinalCheck]:
+        return list(self._final_checks)
+
+    # -- instantiation -----------------------------------------------------------
+
+    def instantiate(self) -> List[ThreadState]:
+        """Create fresh primed thread states for one run."""
+        if not self._threads:
+            raise ProgramDefinitionError(f"program {self.name!r} has no threads")
+        states = []
+        for tid, (name, fn, args, kwargs) in enumerate(self._threads):
+            gen = fn(*args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise ProgramDefinitionError(
+                    f"thread body {name!r} is not a generator function"
+                )
+            state = ThreadState(tid, name, gen)
+            state.prime()
+            states.append(state)
+        return states
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Program {self.name!r}: {len(self._threads)} threads, "
+            f"{len(self.locations)} locations>"
+        )

@@ -1,0 +1,91 @@
+"""The scheduler interface every testing algorithm implements.
+
+Generating a weak-memory test execution requires two families of choices
+(Section 5.2): *which thread runs next*, and *which write a read observes*.
+The executor delegates both to a :class:`Scheduler`:
+
+* :meth:`Scheduler.choose_thread` picks the next thread among the enabled
+  ones (and may peek pending ops through the state to implement
+  priority-change logic, as PCTWM's Algorithm 1 does);
+* :meth:`Scheduler.choose_read_from` picks the rf source among the
+  coherence-visible candidate writes.
+
+Schedulers also receive lifecycle hooks so that stateful algorithms (thread
+views, priority lists) can maintain their bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, TYPE_CHECKING
+
+from ..memory.events import Event, MemoryOrder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .executor import ExecutionState
+    from .ops import Op
+
+
+@dataclass
+class ReadContext:
+    """Everything a scheduler may consult when choosing an rf source."""
+
+    tid: int
+    loc: str
+    order: MemoryOrder
+    #: Coherence-visible candidate writes, in mo order.  Never empty; the
+    #: mo-maximal write is always present.  For RMW/CAS this is the single
+    #: mo-maximal write (atomicity).
+    candidates: List[Event]
+    #: The op being executed (identity lets PCTWM recognize reordered ops).
+    op: "Op"
+    #: True when the spin heuristic flagged this program point.
+    spinning: bool = False
+    #: True for the read side of an RMW or CAS.
+    is_rmw: bool = False
+
+
+class Scheduler:
+    """Base scheduler: uniform-random choices, overridable hooks."""
+
+    name = "base"
+
+    def __init__(self, seed: Optional[int] = None):
+        self.rng = random.Random(seed)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def on_run_start(self, state: "ExecutionState") -> None:
+        """Called once per run after threads are primed."""
+
+    def on_event_executed(self, state: "ExecutionState", event: Event,
+                          info: dict) -> None:
+        """Called after each event commits.
+
+        ``info`` keys: ``op`` (the executed op), ``reordered`` (bool, set by
+        the scheduler itself via state), ``sync_source`` (release-chain
+        source joined by an acquire read, or None), ``fence_sync_sources``
+        (sources consumed by an acquire fence).
+        """
+
+    def on_thread_finished(self, state: "ExecutionState", tid: int) -> None:
+        """Called when a thread runs to completion."""
+
+    def on_thread_created(self, state: "ExecutionState", tid: int,
+                          parent_tid: int) -> None:
+        """Called when a SpawnOp creates a thread at runtime."""
+
+    # -- decisions -----------------------------------------------------------
+
+    def choose_thread(self, state: "ExecutionState") -> int:
+        """Pick the next thread id among ``state.enabled_tids()``."""
+        return self.rng.choice(state.enabled_tids())
+
+    def choose_read_from(self, state: "ExecutionState",
+                         ctx: ReadContext) -> Event:
+        """Pick the rf source among ``ctx.candidates``."""
+        return self.rng.choice(ctx.candidates)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,144 @@
+"""Synchronization primitives built on the atomic DSL.
+
+The real C11Tester instruments pthread mutexes and condition variables;
+this module provides the equivalent building blocks for DSL programs,
+implemented *in the DSL itself* on top of C11 atomics — so they execute
+through the same scheduler/memory-model machinery as everything else and
+can be tested for correctness like any other workload.
+
+Usage inside a thread body (note ``yield from``):
+
+    m = Mutex(program, "m")
+
+    def worker():
+        yield from m.acquire()
+        ...critical section...
+        yield from m.release()
+
+All primitives here are *correctly* synchronized (release/acquire); the
+buggy counterparts live in :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..memory.events import ACQ, ACQ_REL, REL, RLX
+from .errors import ReproError
+from .ops import Op
+from .program import Program
+
+
+class Mutex:
+    """A CAS spinlock with acquire/release ordering."""
+
+    def __init__(self, program: Program, name: str):
+        self._word = program.atomic(f"{name}.lock", 0)
+        self.name = name
+
+    def acquire(self) -> Generator[Op, object, None]:
+        """Spin until the lock is taken.  Runs under the executor's
+        livelock heuristics; the step budget bounds pathological runs."""
+        while True:
+            ok, _ = yield self._word.cas(0, 1, ACQ_REL)
+            if ok:
+                return
+
+    def try_acquire(self) -> Generator[Op, object, bool]:
+        ok, _ = yield self._word.cas(0, 1, ACQ_REL)
+        return ok
+
+    def release(self) -> Generator[Op, object, None]:
+        yield self._word.store(0, REL)
+
+
+class Semaphore:
+    """A counting semaphore; ``down`` blocks by bounded spinning."""
+
+    def __init__(self, program: Program, name: str, permits: int = 1):
+        if permits < 0:
+            raise ReproError("semaphore permits must be >= 0")
+        self._count = program.atomic(f"{name}.sem", permits)
+        self.name = name
+
+    def down(self, max_spins: int = 200) -> Generator[Op, object, bool]:
+        """Acquire a permit; returns False when starved out."""
+        for _ in range(max_spins):
+            _ok, current = yield self._count.cas(-1, -1, RLX)  # RMW-read
+            if current <= 0:
+                continue
+            ok, _ = yield self._count.cas(current, current - 1, ACQ_REL)
+            if ok:
+                return True
+        return False
+
+    def up(self) -> Generator[Op, object, None]:
+        yield self._count.fetch_add(1, ACQ_REL)
+
+
+class SpinBarrier:
+    """A sense-reversing barrier for a fixed party count."""
+
+    def __init__(self, program: Program, name: str, parties: int):
+        if parties < 1:
+            raise ReproError("barrier needs at least one party")
+        self.parties = parties
+        self._count = program.atomic(f"{name}.count", 0)
+        self._sense = program.atomic(f"{name}.sense", 0)
+        self.name = name
+
+    def wait(self, max_spins: int = 200) -> Generator[Op, object, bool]:
+        """Block until all parties arrive; returns False when starved."""
+        arrival = yield self._count.fetch_add(1, ACQ_REL)
+        generation = arrival // self.parties
+        if arrival % self.parties == self.parties - 1:
+            # Last arriver opens the barrier for this generation.
+            yield self._sense.store(generation + 1, REL)
+            return True
+        for _ in range(max_spins):
+            sense = yield self._sense.load(ACQ)
+            if sense > generation:
+                return True
+        return False
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Readers increment the word when no writer holds or waits; a writer
+    parks a large negative bias.  All transitions are acquire/release.
+    """
+
+    _WRITER = -(10 ** 6)
+
+    def __init__(self, program: Program, name: str):
+        self._word = program.atomic(f"{name}.rw", 0)
+        self.name = name
+
+    def acquire_read(self, max_spins: int = 200,
+                     ) -> Generator[Op, object, bool]:
+        for _ in range(max_spins):
+            _ok, state = yield self._word.cas(-1, -1, RLX)  # RMW-read
+            if state < 0:
+                continue  # writer active
+            ok, _ = yield self._word.cas(state, state + 1, ACQ_REL)
+            if ok:
+                return True
+        return False
+
+    def release_read(self) -> Generator[Op, object, None]:
+        yield self._word.fetch_sub(1, ACQ_REL)
+
+    def acquire_write(self, max_spins: int = 200,
+                      ) -> Generator[Op, object, bool]:
+        for _ in range(max_spins):
+            ok, _ = yield self._word.cas(0, self._WRITER, ACQ_REL)
+            if ok:
+                return True
+        return False
+
+    def release_write(self) -> Generator[Op, object, None]:
+        yield self._word.store(0, REL)
+
+
+__all__ = ["Mutex", "RWLock", "Semaphore", "SpinBarrier"]

@@ -1,0 +1,72 @@
+"""Thread state: a DSL thread body driven as a coroutine.
+
+Each live thread always holds a *pending* operation so that schedulers can
+peek the next event without executing it — Algorithm 1 inspects
+``next(s, t)`` before deciding whether to delay the thread.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional, Tuple
+
+from ..memory.events import Event
+from .errors import ReproError
+from .ops import Op
+
+
+class ThreadState:
+    """One DSL thread: generator, pending op, and bookkeeping."""
+
+    def __init__(self, tid: int, name: str,
+                 generator: Generator[Op, Any, Any]):
+        self.tid = tid
+        self.name = name
+        self._gen = generator
+        self.pending: Optional[Op] = None
+        #: Code site (bytecode offset) of the pending op, for spin detection.
+        self.pending_site: int = -1
+        self.finished = False
+        self.result: Any = None
+        #: sw sources recorded by relaxed reads, consumed by acquire fences.
+        self.pending_sync_sources: List[Event] = []
+        self.events_executed = 0
+
+    def prime(self) -> None:
+        """Fetch the first pending op."""
+        self._advance_gen(None)
+
+    def advance(self, send_value: Any) -> None:
+        """Deliver the result of the executed pending op; fetch the next."""
+        if self.finished:
+            raise ReproError(f"thread {self.name!r} already finished")
+        self.events_executed += 1
+        self._advance_gen(send_value)
+
+    def _advance_gen(self, value: Any) -> None:
+        try:
+            if value is None and self.pending is None:
+                op = next(self._gen)
+            else:
+                op = self._gen.send(value)
+        except StopIteration as stop:
+            self.pending = None
+            self.finished = True
+            self.result = stop.value
+            return
+        if not isinstance(op, Op):
+            raise ReproError(
+                f"thread {self.name!r} yielded {op!r}, expected an Op; "
+                "did you forget to call .load()/.store()?"
+            )
+        self.pending = op
+        frame = self._gen.gi_frame
+        self.pending_site = frame.f_lasti if frame is not None else -1
+
+    @property
+    def site_key(self) -> Tuple[int, int]:
+        """Stable identity of the pending op's program point."""
+        return (self.tid, self.pending_site)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "done" if self.finished else f"pending={self.pending!r}"
+        return f"<Thread {self.tid}:{self.name} {status}>"

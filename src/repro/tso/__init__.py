@@ -1,0 +1,33 @@
+"""x86-TSO engine and testing algorithms (memory-model-agnostic demo)."""
+
+from .engine import (
+    Action,
+    FLUSH,
+    STEP,
+    TsoExecutor,
+    TsoRunResult,
+    TsoScheduler,
+    TsoState,
+    run_tso,
+)
+from .schedulers import (
+    TsoDelayedWriteScheduler,
+    TsoEagerScheduler,
+    TsoNaiveScheduler,
+    TsoPCTScheduler,
+)
+
+__all__ = [
+    "Action",
+    "FLUSH",
+    "STEP",
+    "TsoDelayedWriteScheduler",
+    "TsoEagerScheduler",
+    "TsoExecutor",
+    "TsoNaiveScheduler",
+    "TsoPCTScheduler",
+    "TsoRunResult",
+    "TsoScheduler",
+    "TsoState",
+    "run_tso",
+]

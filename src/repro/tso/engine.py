@@ -1,0 +1,320 @@
+"""An x86-TSO execution engine (store-buffer semantics).
+
+Section 5 of the paper claims PCTWM's construction is *memory-model
+agnostic*: the algorithm needs only (i) a notion of communication events
+and (ii) a thread-local-view mechanism, instantiated per model.  This
+package instantiates the recipe for a second model — x86-TSO [Owens,
+Sarkar, Sewell 2009] — to demonstrate the claim concretely.
+
+TSO semantics implemented here:
+
+* each thread owns a FIFO *store buffer*; a store is issued into the
+  buffer and becomes globally visible only when *flushed* (committed to
+  the per-location modification order);
+* a load first forwards from the newest same-location entry of its own
+  buffer; otherwise it reads the mo-maximal *committed* write — TSO is
+  multi-copy atomic, so there are no stale reads, only delayed stores;
+* fences (any order) and atomic RMWs drain the issuing thread's buffer
+  first (x86 ``MFENCE`` / ``LOCK`` semantics);
+* flushes are scheduler-visible actions, so testing algorithms control
+  the reordering the model allows (W→R), and nothing else.
+
+The engine reuses the event/graph vocabulary of :mod:`repro.memory`; a
+write event exists from issue time but enters mo only at flush time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..memory.events import Event, EventKind, Label, MemoryOrder
+from ..memory.execution import ExecutionGraph
+from ..runtime.errors import AssertionViolation, ProgramDefinitionError, \
+    ReproError
+from ..runtime.ops import (
+    CasOp,
+    FenceOp,
+    JoinOp,
+    LoadOp,
+    Op,
+    RmwOp,
+    StoreOp,
+    YieldOp,
+)
+from ..runtime.program import Program
+from ..runtime.thread import ThreadState
+
+#: Scheduler actions: execute a thread's pending op, or flush the oldest
+#: store-buffer entry of a thread.
+STEP = "step"
+FLUSH = "flush"
+Action = Tuple[str, int]
+
+
+@dataclass
+class TsoRunResult:
+    """Outcome of one TSO test execution."""
+
+    program: str
+    scheduler: str
+    bug_found: bool = False
+    bug_message: Optional[str] = None
+    limit_exceeded: bool = False
+    steps: int = 0
+    #: Number of issued program events (loads+stores+rmws+fences).
+    k: int = 0
+    #: Number of issued store events (the delayed-write universe).
+    k_writes: int = 0
+    thread_results: Dict[str, Any] = field(default_factory=dict)
+    graph: Optional[ExecutionGraph] = None
+
+    def __bool__(self) -> bool:
+        return self.bug_found
+
+
+class TsoState:
+    """Per-run state: threads, store buffers, and the execution graph."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.graph = ExecutionGraph()
+        for loc, init in program.locations.items():
+            self.graph.add_init_write(loc, init)
+        self.threads: List[ThreadState] = program.instantiate()
+        #: Per-thread FIFO of issued-but-uncommitted write events.
+        self.buffers: List[List[Event]] = [[] for _ in self.threads]
+        self.steps = 0
+        self.k = 0
+        self.k_writes = 0
+        self._by_name = {t.name: t for t in self.threads}
+
+    # -- queries ------------------------------------------------------------
+
+    def enabled_actions(self) -> List[Action]:
+        actions: List[Action] = []
+        for t in self.threads:
+            if not t.finished:
+                if isinstance(t.pending, JoinOp):
+                    target = self._by_name.get(t.pending.thread_name)
+                    if target is None:
+                        raise ProgramDefinitionError(
+                            f"join target {t.pending.thread_name!r} missing"
+                        )
+                    # A thread joins only after the target finished AND
+                    # its buffer drained (its effects are then global).
+                    if target.finished and not self.buffers[target.tid]:
+                        actions.append((STEP, t.tid))
+                else:
+                    actions.append((STEP, t.tid))
+        for tid, buffer in enumerate(self.buffers):
+            if buffer:
+                actions.append((FLUSH, tid))
+        return actions
+
+    def peek(self, tid: int) -> Optional[Op]:
+        return self.threads[tid].pending
+
+    def all_done(self) -> bool:
+        return all(t.finished for t in self.threads) \
+            and not any(self.buffers)
+
+    def buffered_value(self, tid: int, loc: str) -> Optional[Event]:
+        """Newest same-location entry of the thread's own buffer."""
+        for event in reversed(self.buffers[tid]):
+            if event.loc == loc:
+                return event
+        return None
+
+    def thread_by_name(self, name: str) -> ThreadState:
+        return self._by_name[name]
+
+
+class TsoScheduler:
+    """Base TSO scheduler: uniform choice among enabled actions."""
+
+    name = "tso-naive"
+
+    def __init__(self, seed: Optional[int] = None):
+        import random
+
+        self.rng = random.Random(seed)
+
+    def on_run_start(self, state: TsoState) -> None:
+        pass
+
+    def choose_action(self, state: TsoState,
+                      actions: List[Action]) -> Action:
+        return self.rng.choice(actions)
+
+    def on_write_issued(self, state: TsoState, event: Event) -> None:
+        pass
+
+
+class TsoExecutor:
+    """Drives a program under TSO store-buffer semantics."""
+
+    def __init__(self, program: Program, scheduler: TsoScheduler,
+                 max_steps: int = 20000, keep_graph: bool = True):
+        self.program = program
+        self.scheduler = scheduler
+        self.max_steps = max_steps
+        self.keep_graph = keep_graph
+
+    def run(self) -> TsoRunResult:
+        state = TsoState(self.program)
+        result = TsoRunResult(self.program.name, self.scheduler.name)
+        self.scheduler.on_run_start(state)
+        try:
+            self._loop(state, result)
+        except AssertionViolation as violation:
+            result.bug_found = True
+            result.bug_message = str(violation)
+        result.steps = state.steps
+        result.k = state.k
+        result.k_writes = state.k_writes
+        if not result.thread_results:
+            result.thread_results = {
+                t.name: t.result for t in state.threads if t.finished
+            }
+        if self.keep_graph:
+            result.graph = state.graph
+        return result
+
+    # -- main loop -----------------------------------------------------------
+
+    def _loop(self, state: TsoState, result: TsoRunResult) -> None:
+        while not state.all_done():
+            if state.steps >= self.max_steps:
+                result.limit_exceeded = True
+                return
+            actions = state.enabled_actions()
+            if not actions:
+                result.bug_found = True
+                result.bug_message = "deadlock under TSO"
+                return
+            action = self.scheduler.choose_action(state, actions)
+            if action not in actions:
+                raise ReproError(
+                    f"{self.scheduler.name} chose unavailable {action!r}"
+                )
+            self._apply(state, action)
+        results = {t.name: t.result for t in state.threads}
+        result.thread_results = results
+        for check in self.program.final_checks:
+            check(results)
+
+    # -- actions -----------------------------------------------------------------
+
+    def _apply(self, state: TsoState, action: Action) -> None:
+        kind, tid = action
+        state.steps += 1
+        if kind == FLUSH:
+            self._flush_one(state, tid)
+            return
+        thread = state.threads[tid]
+        op = thread.pending
+        if isinstance(op, YieldOp):
+            thread.advance(None)
+            return
+        if isinstance(op, JoinOp):
+            target = state.thread_by_name(op.thread_name)
+            thread.advance(target.result)
+            return
+        state.k += 1
+        if isinstance(op, StoreOp):
+            self._issue_store(state, thread, op)
+        elif isinstance(op, LoadOp):
+            self._do_load(state, thread, op)
+        elif isinstance(op, FenceOp):
+            self._drain(state, tid)
+            event = state.graph.add_fence(tid, op.order)
+            del event
+            thread.advance(None)
+        elif isinstance(op, RmwOp):
+            self._drain(state, tid)
+            source = state.graph.mo_max(op.loc)
+            old = source.label.wval
+            state.graph.add_rmw(tid, op.loc, source, op.update(old),
+                                MemoryOrder.SEQ_CST)
+            thread.advance(old)
+        elif isinstance(op, CasOp):
+            self._drain(state, tid)
+            source = state.graph.mo_max(op.loc)
+            old = source.label.wval
+            if old == op.expected:
+                state.graph.add_rmw(tid, op.loc, source, op.desired,
+                                    MemoryOrder.SEQ_CST)
+                thread.advance((True, old))
+            else:
+                state.graph.add_read(tid, op.loc, source,
+                                     MemoryOrder.SEQ_CST)
+                thread.advance((False, old))
+        else:
+            raise ReproError(
+                f"op {op!r} is not supported by the TSO engine"
+            )
+
+    def _issue_store(self, state: TsoState, thread: ThreadState,
+                     op: StoreOp) -> None:
+        if op.loc not in self.program.locations:
+            raise ProgramDefinitionError(f"unknown location {op.loc!r}")
+        # Create the event now (issue); it enters mo at flush time.
+        event = Event(
+            uid=state.graph._uid, tid=thread.tid,
+            label=Label(EventKind.WRITE, MemoryOrder.RELAXED, op.loc,
+                        wval=op.value),
+        )
+        state.graph._uid += 1
+        event.po_index = len(state.graph.events_by_tid[thread.tid])
+        state.graph.events_by_tid[thread.tid].append(event)
+        state.graph.events.append(event)
+        state.buffers[thread.tid].append(event)
+        state.k_writes += 1
+        self.scheduler.on_write_issued(state, event)
+        if op.order.is_seq_cst:
+            # The standard C11-to-x86 mapping compiles a seq_cst store to
+            # MOV + MFENCE: the buffer drains before the thread proceeds
+            # (rel/acq/relaxed stores are plain MOVs and stay buffered).
+            self._drain(state, thread.tid)
+        thread.advance(None)
+
+    def _do_load(self, state: TsoState, thread: ThreadState,
+                 op: LoadOp) -> None:
+        if op.loc not in self.program.locations:
+            raise ProgramDefinitionError(f"unknown location {op.loc!r}")
+        forwarded = state.buffered_value(thread.tid, op.loc)
+        source = forwarded if forwarded is not None \
+            else state.graph.mo_max(op.loc)
+        # Buffer-forwarded reads reference the uncommitted write; the
+        # graph read still records rf to it (mo position comes later).
+        event = Event(
+            uid=state.graph._uid, tid=thread.tid,
+            label=Label(EventKind.READ, MemoryOrder.RELAXED, op.loc,
+                        rval=source.label.wval),
+        )
+        state.graph._uid += 1
+        event.po_index = len(state.graph.events_by_tid[thread.tid])
+        event.reads_from = source
+        state.graph.events_by_tid[thread.tid].append(event)
+        state.graph.events.append(event)
+        thread.advance(source.label.wval)
+
+    def _flush_one(self, state: TsoState, tid: int) -> None:
+        buffer = state.buffers[tid]
+        if not buffer:
+            raise ReproError(f"flush of empty buffer (t{tid})")
+        event = buffer.pop(0)
+        event.mo_index = len(state.graph.writes_by_loc[event.loc])
+        state.graph.writes_by_loc[event.loc].append(event)
+
+    def _drain(self, state: TsoState, tid: int) -> None:
+        while state.buffers[tid]:
+            self._flush_one(state, tid)
+
+
+def run_tso(program: Program, scheduler: TsoScheduler,
+            max_steps: int = 20000, keep_graph: bool = True) -> TsoRunResult:
+    """Convenience wrapper: one TSO test run."""
+    return TsoExecutor(program, scheduler, max_steps=max_steps,
+                       keep_graph=keep_graph).run()

@@ -1,0 +1,151 @@
+"""Testing algorithms instantiated for the TSO engine.
+
+Following the paper's memory-model-agnostic recipe (Section 5): identify
+the model's *weakness choice points* and bound how many a test execution
+exercises.  Under TSO the only weakness is store→load reordering via
+delayed flushes, so:
+
+* :class:`TsoNaiveScheduler` — uniform over all enabled actions (steps
+  and flushes): the naive random baseline;
+* :class:`TsoEagerScheduler` — flushes immediately whenever possible:
+  produces only SC behaviours (the naive-SC analogue);
+* :class:`TsoPCTScheduler` — PCT priorities over threads with d−1 change
+  points; flushes happen eagerly *except* the scheduler may not flush
+  another thread's buffer out of turn (classic PCT lifted to TSO actions);
+* :class:`TsoDelayedWriteScheduler` — the PCTWM analogue: ``d`` randomly
+  selected *stores* (out of the estimated ``k_writes``) have their flushes
+  delayed as long as possible, every other store flushes eagerly.  The
+  number of W→R reorderings in the execution is thus bounded by ``d``,
+  and a given ``d``-delay configuration is sampled with probability
+  ``1/C(k_writes, d)`` — the direct TSO analogue of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..memory.events import Event
+from .engine import Action, FLUSH, STEP, TsoScheduler, TsoState
+
+
+class TsoNaiveScheduler(TsoScheduler):
+    """Uniform random over steps and flushes."""
+
+    name = "tso-naive"
+
+
+class TsoEagerScheduler(TsoScheduler):
+    """Always flush before stepping: sequential consistency only."""
+
+    name = "tso-eager"
+
+    def choose_action(self, state: TsoState,
+                      actions: List[Action]) -> Action:
+        flushes = [a for a in actions if a[0] == FLUSH]
+        if flushes:
+            return flushes[0]
+        return self.rng.choice(actions)
+
+
+class TsoPCTScheduler(TsoScheduler):
+    """PCT priorities over threads; eager flushing of the running thread."""
+
+    name = "tso-pct"
+
+    def __init__(self, depth: int, k_events: int,
+                 seed: Optional[int] = None):
+        super().__init__(seed)
+        if depth < 0 or k_events < 1:
+            raise ValueError("need depth >= 0 and k_events >= 1")
+        self.depth = depth
+        self.k_events = k_events
+        self._priorities = {}
+        self._executed = 0
+        self._changes = {}
+
+    def on_run_start(self, state: TsoState) -> None:
+        values = list(range(self.depth + 1,
+                            self.depth + 1 + len(state.threads)))
+        self.rng.shuffle(values)
+        self._priorities = {t.tid: v for t, v in zip(state.threads, values)}
+        self._executed = 0
+        count = max(self.depth - 1, 0)
+        universe = list(range(1, max(self.k_events, count) + 1))
+        points = sorted(self.rng.sample(universe, count))
+        self._changes = {p: self.depth - 1 - j
+                         for j, p in enumerate(points)}
+
+    def choose_action(self, state: TsoState,
+                      actions: List[Action]) -> Action:
+        # PCT is an SC algorithm: commit every store immediately, so the
+        # schedule (priorities + change points) is the only freedom left.
+        for action in actions:
+            if action[0] == FLUSH:
+                return action
+        step_tids = [tid for kind, tid in actions if kind == STEP]
+        while True:
+            tid = max(step_tids, key=lambda t: (self._priorities[t], -t))
+            point = self._executed + 1
+            slot = self._changes.pop(point, None)
+            if slot is not None:
+                self._priorities[tid] = slot
+                continue
+            break
+        self._executed += 1
+        return (STEP, tid)
+
+
+class TsoDelayedWriteScheduler(TsoScheduler):
+    """The PCTWM analogue for TSO: d delayed stores, everything else SC.
+
+    Parameters: ``depth`` is the number of stores whose flush is delayed
+    as long as possible; ``k_writes`` the estimated number of stores.
+    """
+
+    name = "tso-delayed"
+
+    def __init__(self, depth: int, k_writes: int,
+                 seed: Optional[int] = None):
+        super().__init__(seed)
+        if depth < 0 or k_writes < 1:
+            raise ValueError("need depth >= 0 and k_writes >= 1")
+        self.depth = depth
+        self.k_writes = k_writes
+        self._selected: Set[int] = set()
+        self._delayed_events: Set[int] = set()
+        self._issued = 0
+        self._priorities = {}
+
+    def on_run_start(self, state: TsoState) -> None:
+        universe = list(range(1, max(self.k_writes, self.depth) + 1))
+        self._selected = set(self.rng.sample(universe, self.depth))
+        self._delayed_events = set()
+        self._issued = 0
+        values = list(range(1, len(state.threads) + 1))
+        self.rng.shuffle(values)
+        self._priorities = {t.tid: v for t, v in zip(state.threads, values)}
+
+    def on_write_issued(self, state: TsoState, event: Event) -> None:
+        self._issued += 1
+        if self._issued in self._selected:
+            self._delayed_events.add(event.uid)
+
+    def _flushable(self, state: TsoState, tid: int) -> bool:
+        """A buffer may flush eagerly unless its head is a delayed store."""
+        buffer = state.buffers[tid]
+        return bool(buffer) and buffer[0].uid not in self._delayed_events
+
+    def choose_action(self, state: TsoState,
+                      actions: List[Action]) -> Action:
+        # 1. Eagerly commit every non-delayed store.
+        for kind, tid in actions:
+            if kind == FLUSH and self._flushable(state, tid):
+                return (kind, tid)
+        # 2. Step threads by priority.
+        step_tids = [tid for kind, tid in actions if kind == STEP]
+        if step_tids:
+            tid = max(step_tids, key=lambda t: (self._priorities[t], -t))
+            return (STEP, tid)
+        # 3. Only delayed flushes remain (threads blocked/finished):
+        #    release the longest-delayed one.
+        return actions[0]

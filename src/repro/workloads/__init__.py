@@ -1,0 +1,37 @@
+"""The paper's benchmarks: nine data structures plus three applications.
+
+Each data-structure benchmark mirrors a row of Table 1 — same structure,
+same *kind* of seeded weak-memory bug at (approximately) the same depth.
+The ``apps`` subpackage models the three real-world applications of
+Table 4 (Iris, Mabain, Silo).
+"""
+
+from .barrier import barrier
+from .cldeque import cldeque
+from .dekker import dekker
+from .linuxrwlocks import linuxrwlocks
+from .mcslock import mcslock
+from .mpmcqueue import mpmcqueue
+from .msqueue import msqueue
+from .registry import BENCHMARKS, BENCHMARK_ORDER, BenchmarkInfo
+from .rwlock import rwlock
+from .seqlock import seqlock
+from .spsc import spsc
+from .treiber import treiber
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_ORDER",
+    "BenchmarkInfo",
+    "barrier",
+    "cldeque",
+    "dekker",
+    "linuxrwlocks",
+    "mcslock",
+    "mpmcqueue",
+    "msqueue",
+    "rwlock",
+    "seqlock",
+    "spsc",
+    "treiber",
+]

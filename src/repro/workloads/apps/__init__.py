@@ -1,0 +1,37 @@
+"""Models of the paper's three real-world applications (Table 4).
+
+The paper tests Iris (async logging), Mabain (key-value store) and Silo
+(in-memory OCC storage engine) — C/C++ codebases instrumented through
+C11Tester.  These models reproduce each application's concurrency skeleton
+and its racy access pattern in the DSL so that Table 4's overhead
+comparison exercises the same code paths (scheduling, visible-write
+computation, PCTWM view maintenance).  See DESIGN.md for the substitution
+rationale.
+"""
+
+from .iris import iris
+from .mabain import mabain
+from .silo import silo, silo_operations
+from .workpool import workpool
+
+#: The paper's Table 4 trio.
+APPLICATIONS = {
+    "iris": iris,
+    "mabain": mabain,
+    "silo": silo,
+}
+
+#: Extension apps exercising substrate features beyond the paper's set.
+EXTENSION_APPLICATIONS = {
+    "workpool": workpool,
+}
+
+__all__ = [
+    "APPLICATIONS",
+    "EXTENSION_APPLICATIONS",
+    "iris",
+    "mabain",
+    "silo",
+    "silo_operations",
+    "workpool",
+]

@@ -1,0 +1,80 @@
+"""Model of Iris, the low-latency asynchronous C++ logging library.
+
+Table 4 of the paper measures testing *performance overhead* on Iris: both
+C11Tester and PCTWM detect its data races in every run, and the interesting
+output is elapsed time (PCTWM pays for view maintenance).
+
+The model captures Iris's architecture: each producer thread reserves a
+ring-buffer slot with an atomic ticket, fills the record's payload cells
+(plain, non-atomic memory — as in the real ring), and raises the slot's
+ready flag; a background flusher polls the flags and drains completed
+records to the "sink".  The seeded data race is the real-world one this
+design risks: the ready flags are ``relaxed``, so the flusher's payload
+reads are unordered against the producer writes.
+"""
+
+from __future__ import annotations
+
+from ...memory.events import ACQ, REL, RLX
+from ...runtime.program import Program
+
+RING_SIZE = 16
+
+#: Flusher poll budget per slot before giving up on a straggler.
+MAX_POLL = 30
+
+
+def iris(producers: int = 2, messages: int = 6, cores: int = 1,
+         fixed: bool = False) -> Program:
+    """Build the Iris model.
+
+    ``cores`` mirrors the paper's single/multiple-core configurations; like
+    C11Tester, this runtime executes one thread at a time, so the value is
+    recorded in the program name but does not change scheduling (the paper
+    makes the same observation about its own Table 4 numbers).
+
+    ``fixed=True`` raises each slot's ready flag with release and polls it
+    with acquire, ordering the payload handoff: no data race remains.
+    """
+    publish_order = REL if fixed else RLX
+    poll_order = ACQ if fixed else RLX
+    p = Program(f"iris(cores={cores})" + ("-fixed" if fixed else ""))
+    slots = [p.non_atomic(f"slot{i}", 0) for i in range(RING_SIZE)]
+    lengths = [p.non_atomic(f"len{i}", 0) for i in range(RING_SIZE)]
+    ready = [p.atomic(f"ready{i}", 0) for i in range(RING_SIZE)]
+    reserve = p.atomic("reserve", 0)
+    flushed = p.atomic("flushed", 0)
+
+    def producer(base: int):
+        for m in range(messages):
+            idx = yield reserve.fetch_add(1, RLX)
+            slot = idx % RING_SIZE
+            # Non-atomic payload writes: race with the flusher when the
+            # ready-flag handoff below is relaxed.
+            yield slots[slot].store(base + m)
+            yield lengths[slot].store(1 + (m % 3))
+            yield ready[slot].store(1, publish_order)
+
+    def flusher(expected: int):
+        drained = 0
+        flushed_bytes = 0
+        while drained < expected:
+            slot = drained % RING_SIZE
+            for _ in range(MAX_POLL):
+                flag = yield ready[slot].load(poll_order)
+                if flag == 1:
+                    break
+            else:
+                break  # straggling producer; stop draining
+            payload = yield slots[slot].load()
+            length = yield lengths[slot].load()
+            flushed_bytes += length if isinstance(length, int) else 0
+            del payload
+            drained += 1
+            yield flushed.store(drained, RLX)
+        return (drained, flushed_bytes)
+
+    for i in range(producers):
+        p.add_thread(producer, 1000 * (i + 1), name=f"producer{i}")
+    p.add_thread(flusher, producers * messages, name="flusher")
+    return p

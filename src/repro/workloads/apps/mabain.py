@@ -1,0 +1,95 @@
+"""Model of Mabain, the lightweight key-value store library.
+
+Table 4 measures elapsed testing time on Mabain; both algorithms detect its
+data races every run.
+
+The model captures Mabain's memory-mapped design: a fixed bucket array of
+key/value cells plus a shared header block.  Writers insert entries under a
+simple spin "writer lock" (atomic CAS), but — the seeded race — they update
+the header's entry-count and the bucket payload cells with plain non-atomic
+accesses, while readers walk buckets without taking the lock (Mabain's
+readers are lock-free by design).  Reader/writer accesses to the same cell
+therefore race.
+"""
+
+from __future__ import annotations
+
+from ...memory.events import RLX
+from ...runtime.program import Program
+
+
+class _Cell:
+    """Uniform handle over atomic/non-atomic cells (the fixed variant
+    upgrades Mabain's racy plain cells to relaxed atomics)."""
+
+    def __init__(self, program, loc, init, atomic):
+        self._handle = (program.atomic(loc, init) if atomic
+                        else program.non_atomic(loc, init))
+        self._atomic = atomic
+
+    def load(self):
+        if self._atomic:
+            return self._handle.load(RLX)
+        return self._handle.load()
+
+    def store(self, value):
+        if self._atomic:
+            return self._handle.store(value, RLX)
+        return self._handle.store(value)
+
+BUCKETS = 8
+
+
+def mabain(writers: int = 2, readers: int = 1, inserts: int = 4,
+           cores: int = 1, fixed: bool = False) -> Program:
+    """Build the Mabain model (``cores`` recorded; see :func:`.iris.iris`).
+
+    ``fixed=True`` applies the real-world remedy: the shared bucket cells
+    and header counter become (relaxed) atomics, eliminating the data
+    races while keeping the lock-free reader design.
+    """
+    p = Program(f"mabain(cores={cores})" + ("-fixed" if fixed else ""))
+    keys = [_Cell(p, f"key{i}", 0, fixed) for i in range(BUCKETS)]
+    values = [_Cell(p, f"value{i}", 0, fixed) for i in range(BUCKETS)]
+    count = _Cell(p, "header_count", 0, fixed)
+    lock = p.atomic("writer_lock", 0)
+
+    def writer(wid: int):
+        inserted = 0
+        for n in range(inserts):
+            key = (wid * inserts + n) % BUCKETS
+            acquired = False
+            for _ in range(12):
+                ok, _ = yield lock.cas(0, 1, RLX)
+                if ok:
+                    acquired = True
+                    break
+            if not acquired:
+                continue
+            # Non-atomic index update under the writer lock; readers do
+            # not take the lock, so these race with lookups.
+            yield keys[key].store(key + 1)
+            yield values[key].store(100 * wid + n)
+            current = yield count.load()
+            yield count.store(current + 1)
+            inserted += 1
+            yield lock.store(0, RLX)  # relaxed unlock (seeded ordering bug)
+        return inserted
+
+    def reader(rid: int):
+        found = 0
+        for n in range(inserts * 2):
+            key = (rid + n) % BUCKETS
+            k = yield keys[key].load()  # lock-free lookup: races by design
+            if k != 0:
+                v = yield values[key].load()
+                if v is not None:
+                    found += 1
+        total = yield count.load()
+        return (found, total)
+
+    for i in range(writers):
+        p.add_thread(writer, i, name=f"writer{i}")
+    for i in range(readers):
+        p.add_thread(reader, i, name=f"reader{i}")
+    return p

@@ -1,0 +1,80 @@
+"""A dynamic thread-pool work queue (extension application).
+
+Not part of the paper's Table 4 trio — this model exercises the substrate
+features the other apps do not: *dynamic thread creation* (the pool spawns
+its workers at runtime, as pthread-based pools do) and join-based
+shutdown.  The concurrency skeleton is a single-producer multi-consumer
+task queue: the main thread publishes task payloads into slots and bumps
+an atomic ticket; workers claim tickets and read the payloads.
+
+The seeded bug is the usual publication race: payload cells are plain
+memory and the ticket bump is ``relaxed``, so worker payload reads race
+with the producer's writes.  ``fixed=True`` releases on the bump and
+acquires on the claim.
+"""
+
+from __future__ import annotations
+
+from ...memory.events import ACQ, ACQ_REL, RLX
+from ...runtime.api import join, spawn
+from ...runtime.program import Program
+
+#: Worker claim attempts before giving up on an empty queue.
+MAX_CLAIM_TRIES = 40
+
+
+def workpool(workers: int = 2, tasks: int = 6,
+             fixed: bool = False) -> Program:
+    """Build the work-pool model.
+
+    ``fixed=True`` publishes the ticket with acq_rel ordering on both
+    sides, ordering each payload before its consumption: no race remains.
+    """
+    bump_order = ACQ_REL if fixed else RLX
+    claim_order = ACQ if fixed else RLX
+    p = Program("workpool" + ("-fixed" if fixed else ""))
+    payload = [p.non_atomic(f"task{i}", 0) for i in range(tasks)]
+    published = p.atomic("published", 0)
+    claimed = p.atomic("claimed", 0)
+    results = p.atomic("results", 0)
+
+    def worker(wid: int):
+        done = 0
+        for _ in range(MAX_CLAIM_TRIES):
+            # RMW-read of the ticket; the *failure* order is the claim's
+            # effective order (the CAS never succeeds by construction).
+            _ok, avail = yield published.cas(-1, -1, RLX,
+                                             failure_order=claim_order)
+            mine = yield claimed.fetch_add(0, RLX)  # RMW-read
+            if mine >= tasks:
+                break  # everything claimed; shut down
+            if mine >= avail:
+                continue  # queue momentarily empty
+            # Claim exactly the observed index: a CAS (not a blind bump)
+            # guarantees index < avail, whose payload we saw published.
+            ok, _ = yield claimed.cas(mine, mine + 1, RLX)
+            if not ok:
+                continue  # another worker took it
+            index = mine
+            value = yield payload[index].load()  # races when relaxed
+            value = value if isinstance(value, int) else 0
+            yield results.fetch_add(value, RLX)
+            done += 1
+        return done
+
+    def pool():
+        names = []
+        for w in range(workers):
+            names.append((yield spawn(worker, w, name=f"worker{w}")))
+        for i in range(tasks):
+            yield payload[i].store(10 + i)
+            # The seeded bug: ticket bump without release ordering.
+            yield published.fetch_add(1, bump_order)
+        completed = 0
+        for name in names:
+            completed += yield join(name)
+        total = yield results.fetch_add(0, RLX)
+        return (completed, total)
+
+    p.add_thread(pool)
+    return p

@@ -1,0 +1,65 @@
+"""Two-thread barrier with a seeded release-order bug.
+
+Paper Table 1: LOC 38, k ≈ 15, k_com ≈ 10, bug depth d = 1.
+
+Each thread writes its data and raises an arrival flag; the barrier opens
+when both arrivals are visible, after which each thread reads its partner's
+data.  Every barrier access is ``relaxed`` (the seeded bug — a correct
+barrier releases on arrival and acquires on the wait), so passing the
+barrier requires one communication relation (observing the partner's
+arrival flag) but does *not* propagate the partner's data write: the
+post-barrier read can still see the stale initial value.
+
+Bug depth 1: a single communication relation — the wait loop's flag read —
+suffices; the data read then misses from the thread-local view.  The wait
+loops are bounded below the executor's spin threshold so that a ``d = 0``
+run gives up (inconclusive) rather than being rescued by the livelock
+heuristic.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+#: Kept below the executor's default spin threshold (8): a d = 0 run must
+#: starve and give up, not get promoted to global reads by the heuristic.
+MAX_WAIT = 6
+
+
+def barrier(inserted_writes: int = 0, fixed: bool = False) -> Program:
+    """Build the barrier benchmark.
+
+    ``fixed=True`` releases on arrival and acquires on the wait, so a
+    thread that passes the barrier always sees its partner's data
+    (soundness check).
+    """
+    arrive_order = REL if fixed else RLX
+    wait_order = ACQ if fixed else RLX
+    p = Program("barrier" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    data0 = p.atomic("data0", 0)
+    data1 = p.atomic("data1", 0)
+    arrived0 = p.atomic("arrived0", 0)
+    arrived1 = p.atomic("arrived1", 0)
+
+    def body(my_data, my_flag, other_flag, other_data, my_value):
+        yield my_data.store(my_value, RLX)
+        for _ in range(inserted_writes):
+            yield my_data.store(my_value, RLX)  # benign duplicate (Fig. 6)
+        yield my_flag.store(1, arrive_order)  # relaxed = the seeded bug
+        for _ in range(MAX_WAIT):
+            seen = yield other_flag.load(wait_order)
+            if seen == 1:
+                break
+        else:
+            return None  # starved at the barrier: inconclusive, not a bug
+        observed = yield other_data.load(RLX)
+        require(observed != 0,
+                "barrier: passed the barrier but partner data is stale")
+        return observed
+
+    p.add_thread(body, data0, arrived0, arrived1, data1, 10, name="t0")
+    p.add_thread(body, data1, arrived1, arrived0, data0, 20, name="t1")
+    return p

@@ -1,0 +1,96 @@
+"""Chase-Lev work-stealing deque with a seeded publication bug.
+
+Paper Table 1: LOC 122, k ≈ 86, k_com ≈ 56, bug depth d = 1.
+
+The owner pushes to and pops from the bottom of its deque; a thief steals
+from the top with a CAS.  The seeded bug makes the owner's ``bottom``
+publication ``relaxed`` (a correct deque releases): the buffer-slot write
+is then not ordered before the bottom bump, so a thief that observes the
+new bottom (one communication relation) can win the top CAS and read the
+slot from its stale local view — the pool's poison value.
+
+Depth 1: the thief's ``bottom`` load is the single required communication
+sink; the slot read then misses locally.  The thief's retry loop is bounded
+below the spin threshold so a ``d = 0`` execution gives up empty-handed.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+POISON = -1
+
+#: Steal attempts; below the executor's default spin threshold (8).
+STEAL_ATTEMPTS = 6
+
+
+def cldeque(inserted_writes: int = 0, pushes: int = 3,
+            fixed: bool = False) -> Program:
+    """Build the cldeque benchmark: one owner, one thief.
+
+    ``fixed=True`` publishes ``bottom`` with release and makes the thief's
+    ``bottom`` load acquire, so a stolen slot is always initialized
+    (soundness check).
+    """
+    publish_order = REL if fixed else RLX
+    steal_order = ACQ if fixed else RLX
+    p = Program("cldeque" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    slots = [p.atomic(f"buf{i}", POISON) for i in range(pushes)]
+    stamps = [p.atomic(f"stamp{i}", POISON) for i in range(pushes)]
+    top = p.atomic("top", 0)
+    bottom = p.atomic("bottom", 0)
+
+    def owner():
+        b = 0
+        for i in range(pushes):
+            yield slots[b].store(100 + i, RLX)
+            yield stamps[b].store(i, RLX)  # element version stamp
+            b += 1
+            # Relaxed publication is the seeded bug (correct: release).
+            yield bottom.store(b, publish_order)
+            for _ in range(inserted_writes):
+                yield bottom.store(b, publish_order)  # benign (Fig. 6)
+        # Pop one element from the bottom (owner side of the protocol).
+        b -= 1
+        yield bottom.store(b, publish_order)
+        _ok, t = yield top.cas(-1, -1, RLX)  # RMW-read of top
+        taken = None
+        if t < b:
+            taken = yield slots[b].load(RLX)  # own write: always fresh
+        elif t == b:
+            ok, _ = yield top.cas(t, t + 1, RLX)
+            if ok:
+                taken = yield slots[b].load(RLX)
+            yield bottom.store(b + 1, RLX)
+        else:
+            yield bottom.store(b + 1, RLX)
+        if taken is not None:
+            require(taken != POISON, "cldeque: owner popped poison")
+        return taken
+
+    def thief():
+        stolen = []
+        for _ in range(STEAL_ATTEMPTS):
+            b = yield bottom.load(steal_order)  # the d = 1 sink
+            if b == 0:
+                continue  # deque looks empty from here
+            _ok, t = yield top.cas(-1, -1, RLX)  # RMW-read of top
+            if t >= b:
+                continue  # everything below bottom already taken
+            ok, _ = yield top.cas(t, t + 1, RLX)
+            if not ok:
+                continue  # lost the race for this element
+            item = yield slots[t].load(RLX)
+            stamp = yield stamps[t].load(RLX)
+            require(not (item == POISON and stamp == POISON),
+                    "cldeque: stole an element whose payload and stamp "
+                    "are both unpublished (poison)")
+            stolen.append(item)
+        return stolen
+
+    p.add_thread(owner)
+    p.add_thread(thief)
+    return p

@@ -1,0 +1,82 @@
+"""Dekker's mutual-exclusion algorithm with a seeded weak-memory bug.
+
+Paper Table 1: LOC 50, k ≈ 20, k_com ≈ 14, bug depth d = 0.
+
+The intent flags and turn variable use ``relaxed`` accesses instead of the
+``seq_cst`` Dekker requires (the seeded bug).  Under weak memory each
+thread can read the other's flag from its thread-local view — still 0 —
+and enter the critical section without a single communication relation,
+so the bug has depth 0: PCTWM's ``d = 0`` execution hits it
+deterministically.
+
+The observable failure is the lost update on the counter the critical
+section protects: both threads read the same counter value and write the
+same increment.  (With correct seq_cst flags, a late entrant synchronizes
+through the SC accesses and always sees the earlier increment.)
+"""
+
+from __future__ import annotations
+
+from ..memory.events import RLX, SC
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+
+def dekker(inserted_writes: int = 0, rounds: int = 1,
+           fixed: bool = False) -> Program:
+    """Build the dekker benchmark.
+
+    ``inserted_writes`` adds benign duplicate relaxed stores to the flag
+    locations (the Figure 6 transformation): they do not change program
+    behaviour or bug depth, but they dilute uniform reads-from sampling.
+
+    ``fixed=True`` builds the *correct* algorithm — flag and turn accesses
+    become seq_cst, as Dekker requires — whose lost-update assertion must
+    never fire under any scheduler (soundness check).
+    """
+    order = SC if fixed else RLX
+    p = Program("dekker" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    flag0 = p.atomic("flag0", 0)
+    flag1 = p.atomic("flag1", 0)
+    turn = p.atomic("turn", 0)
+    counter = p.atomic("counter", 0)
+
+    def body(my_flag, other_flag, my_id):
+        written = []
+        for _ in range(rounds):
+            yield my_flag.store(1, order)
+            for _ in range(inserted_writes):
+                yield my_flag.store(1, order)  # benign duplicate (Fig. 6)
+            other = yield other_flag.load(order)
+            if other == 1:
+                # Contention path: defer by turn, then retry once.
+                t = yield turn.load(order)
+                if t != my_id:
+                    yield my_flag.store(0, order)
+                    yield my_flag.store(1, order)
+                other = yield other_flag.load(order)
+                if other == 1:
+                    continue
+            # Critical section: plain read-increment-write, protected
+            # (only) by the mutual exclusion the flags should provide.
+            value = yield counter.load(RLX)
+            yield counter.store(value + 1, RLX)
+            written.append(value + 1)
+            # Leave.
+            yield turn.store(1 - my_id, order)
+            yield my_flag.store(0, order)
+        return written
+
+    p.add_thread(body, flag0, flag1, 0, name="t0")
+    p.add_thread(body, flag1, flag0, 1, name="t1")
+
+    def check(results):
+        mine, theirs = results["t0"], results["t1"]
+        collisions = set(mine) & set(theirs)
+        require(not collisions,
+                f"dekker: lost update — both critical sections wrote "
+                f"{sorted(collisions)}")
+
+    p.add_final_check(check)
+    return p

@@ -1,0 +1,99 @@
+"""Linux-style reader-writer spinlock with a seeded unlock-order bug.
+
+Paper Table 1: LOC 90, k ≈ 20, k_com ≈ 19, bug depth d = 2.
+
+The lock word counts readers; a writer parks a large negative bias.  Lock
+transitions are RMWs (they observe the real lock state), but the writer
+publishes its four payload words, its generation stamp, and the unlock all
+with ``relaxed`` stores (the seeded bug — unlock must release, Linux uses
+``smp_store_release``).
+
+A reader that read-locks after the writer can therefore observe the
+generation stamp (one communication relation) while its *entire* payload
+view is still the initial state — the lock's atomic-update contract is
+broken.  The multi-word payload is what separates the algorithms: once a
+PCTWM execution communicates the stamp, all four payload loads read the
+stale thread-local view together, whereas a uniform-rf tester must sample
+the stale value independently for every word.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+#: Writer bias parked in the lock word.
+WRITER = -1000
+
+#: Lock retry bound (RMWs observe real state, so retries are few).
+MAX_TRIES = 4
+
+#: Stamp poll bound; below the executor's default spin threshold (8).
+MAX_POLL = 6
+
+#: Payload written by the writer, indexed by field.
+PAYLOAD = (11, 22, 33, 44)
+
+
+def linuxrwlocks(inserted_writes: int = 0, readers: int = 2,
+                 fixed: bool = False) -> Program:
+    """Build the linuxrwlocks benchmark: one writer, N readers.
+
+    ``fixed=True`` publishes the generation stamp with release and polls
+    it with acquire (Linux's ``smp_store_release``/``smp_load_acquire``),
+    so the payload is always fresh under the read lock (soundness check).
+    """
+    stamp_order = REL if fixed else RLX
+    poll_order = ACQ if fixed else RLX
+    p = Program("linuxrwlocks" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    lock = p.atomic("lock", 0)
+    fields = [p.atomic(f"field{i}", 0) for i in range(len(PAYLOAD))]
+    gen = p.atomic("gen", 0)
+
+    def writer():
+        for _ in range(MAX_TRIES):
+            ok, _ = yield lock.cas(0, WRITER, RLX)
+            if ok:
+                break
+        else:
+            return None  # could not lock: inconclusive
+        for field, value in zip(fields, PAYLOAD):
+            yield field.store(value, RLX)
+        for _ in range(inserted_writes):
+            yield fields[0].store(PAYLOAD[0], RLX)  # benign (Fig. 6)
+        yield gen.store(1, stamp_order)   # relaxed = seeded bug
+        yield lock.store(0, RLX)  # seeded: unlock without release
+        return 1
+
+    def reader(idx: int):
+        for _ in range(MAX_TRIES):
+            ok, state = yield lock.cas(0, 1, RLX)
+            if ok:
+                break
+            if state > 0:
+                ok2, _ = yield lock.cas(state, state + 1, RLX)
+                if ok2:
+                    break
+        else:
+            return None  # never acquired the read lock
+        g = 0
+        for _ in range(MAX_POLL):
+            g = yield gen.load(poll_order)  # the sink window
+            if g == 1:
+                break
+        observed = []
+        if g == 1:
+            for field in fields:
+                observed.append((yield field.load(RLX)))
+            require(any(v != 0 for v in observed),
+                    "linuxrwlocks: generation visible but the whole "
+                    "payload is stale under the read lock")
+        yield lock.fetch_sub(1, RLX)
+        return (g, observed)
+
+    p.add_thread(writer)
+    for i in range(readers):
+        p.add_thread(reader, i, name=f"reader{i}")
+    return p

@@ -1,0 +1,109 @@
+"""MCS queue lock with a seeded handoff-order bug.
+
+Paper Table 1: LOC 75, k ≈ 26, k_com ≈ 16, bug depth d = 1.
+
+Each contender enqueues itself with an atomic exchange on ``tail`` and —
+when there is a predecessor — spins on its own ``locked`` flag, which the
+predecessor clears on release.  The tail exchange/CAS pair is
+acquire/release (correct), so the *uncontended* path synchronizes; the
+seeded bug is the contended handoff: the predecessor clears the successor's
+flag with a ``relaxed`` store instead of a release.
+
+The critical section updates a two-word account (balance and audit log);
+with the broken handoff the successor enters the critical section with a
+stale view of *both* words, producing a simultaneous lost update — both
+threads compute the same new balance and the same audit entry.
+
+Effective bug depth in this substrate is 2, one more than the paper's 1:
+our atomic updates always observe the real lock state (atomicity forces
+RMWs to read the mo-maximal write), so producing lock contention costs one
+extra communication — the predecessor must be delayed inside its critical
+section (sink 1) so the successor queues behind it, and the successor's
+handoff spin read is sink 2.  DESIGN.md documents this substitution.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, ACQ_REL, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+#: Handoff wait bound; below the executor's default spin threshold (8).
+MAX_WAIT = 6
+
+#: Null "pointer" for the tail / next fields (thread ids are offset by 1).
+NONE = 0
+
+
+def mcslock(inserted_writes: int = 0, fixed: bool = False) -> Program:
+    """Build the mcslock benchmark: two contenders, one lock acquisition each.
+
+    ``fixed=True`` releases on the handoff store and acquires on the
+    handoff spin, making the lost update impossible (soundness check).
+    """
+    handoff_store = REL if fixed else RLX
+    handoff_load = ACQ if fixed else RLX
+    p = Program("mcslock" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    tail = p.atomic("tail", NONE)
+    locked = [p.atomic(f"locked{i}", 0) for i in range(2)]
+    nexts = [p.atomic(f"next{i}", NONE) for i in range(2)]
+    balance = p.atomic("balance", 0)
+    audit = p.atomic("audit", 0)
+
+    def contender(me: int):
+        node = me + 1
+        # -- acquire -------------------------------------------------------
+        yield locked[me].store(1, RLX)
+        yield nexts[me].store(NONE, RLX)
+        pred = yield tail.exchange(node, ACQ_REL)
+        if pred != NONE:
+            yield nexts[pred - 1].store(node, RLX)
+            for _ in range(MAX_WAIT):
+                flag = yield locked[me].load(handoff_load)  # handoff sink
+                if flag == 0:
+                    break
+            else:
+                return None  # starved waiting for the handoff
+        # -- critical section: two-word unprotected account update ----------
+        bal = yield balance.load(RLX)
+        log = yield audit.load(RLX)
+        new_bal = bal + 10
+        new_log = log + 1
+        yield balance.store(new_bal, RLX)
+        yield audit.store(new_log, RLX)
+        for _ in range(inserted_writes):
+            yield balance.store(new_bal, RLX)  # benign duplicate (Fig. 6)
+        # -- release ----------------------------------------------------------
+        ok, _ = yield tail.cas(node, NONE, ACQ_REL)
+        if not ok:
+            # A successor enqueued; wait for its next-pointer to appear.
+            # The re-check is an RMW-read (as in implementations that spin
+            # with an atomic exchange), so it observes the real pointer.
+            succ = NONE
+            for _ in range(MAX_WAIT):
+                _ok, succ = yield nexts[me].cas(-2, -2, RLX)
+                if succ != NONE:
+                    break
+            if succ != NONE:
+                # Relaxed handoff is the seeded bug (correct: release).
+                yield locked[succ - 1].store(0, handoff_store)
+        return (new_bal, new_log)
+
+    p.add_thread(contender, 0, name="c0")
+    p.add_thread(contender, 1, name="c1")
+
+    def check(results):
+        completed = [v for v in results.values() if v is not None]
+        if len(completed) < 2:
+            return  # a starved contender is inconclusive, not a bug
+        balances = [bal for bal, _log in completed]
+        logs = [log for _bal, log in completed]
+        require(
+            not (len(set(balances)) == 1 and len(set(logs)) == 1),
+            "mcslock: lost update — both critical sections produced the "
+            f"same balance {balances[0]} and audit entry {logs[0]}",
+        )
+
+    p.add_final_check(check)
+    return p

@@ -1,0 +1,85 @@
+"""Bounded MPMC queue with a seeded two-step publication bug.
+
+Paper Table 1: LOC 108, k ≈ 19, k_com ≈ 17, bug depth d = 2.
+
+Producers claim a slot with an atomic ticket, write the payload, then raise
+the slot's ``published`` flag; consumers poll the tail ticket and the flag
+with plain relaxed loads before claiming the slot.  Both the tail poll and
+the flag poll are ``relaxed`` (the seeded bug — the flag should be a
+release/acquire pair), so exposing the bug needs *two* communication
+relations: (1) the consumer observes the advanced tail, (2) it observes the
+published flag — and the payload load can still read the stale local view.
+
+Depth 2 because with fewer communications the consumer either believes the
+queue is empty or never sees the flag, giving up without asserting.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+POISON = -1
+
+#: Poll bound per gate; below the executor's default spin threshold (8).
+MAX_POLL = 6
+
+
+def mpmcqueue(inserted_writes: int = 0, producers: int = 2,
+              fixed: bool = False) -> Program:
+    """Build the mpmcqueue benchmark: N producers, one polling consumer.
+
+    ``fixed=True`` raises the publication flag with release and polls it
+    with acquire, so a claimed slot always carries its payload and
+    checksum (soundness check).
+    """
+    publish_order = REL if fixed else RLX
+    poll_order = ACQ if fixed else RLX
+    p = Program("mpmcqueue" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    capacity = producers
+    data = [p.atomic(f"data{i}", POISON) for i in range(capacity)]
+    check = [p.atomic(f"check{i}", POISON) for i in range(capacity)]
+    published = [p.atomic(f"pub{i}", 0) for i in range(capacity)]
+    tail = p.atomic("tail", 0)
+    head = p.atomic("head", 0)
+
+    def producer(item: int):
+        slot = yield tail.fetch_add(1, RLX)
+        yield data[slot].store(item, RLX)
+        yield check[slot].store(item + 1, RLX)  # payload checksum word
+        for _ in range(inserted_writes):
+            yield data[slot].store(item, RLX)  # benign duplicate (Fig. 6)
+        # Relaxed publication is the seeded bug (correct: release).
+        yield published[slot].store(1, publish_order)
+
+    def consumer():
+        got = []
+        for _ in range(MAX_POLL):
+            t = yield tail.load(RLX)  # communication sink #1
+            claimed = yield head.fetch_add(0, RLX)  # RMW-read of head
+            if claimed >= t:
+                continue  # queue looks empty from here
+            flag = 0
+            for _ in range(MAX_POLL):
+                flag = yield published[claimed].load(poll_order)  # sink 2
+                if flag == 1:
+                    break
+            if flag != 1:
+                continue  # never saw the publication
+            slot = yield head.fetch_add(1, RLX)
+            if slot >= t:
+                continue  # raced with another consumer
+            item = yield data[slot].load(RLX)
+            checksum = yield check[slot].load(RLX)
+            require(not (item == POISON and checksum == POISON),
+                    "mpmcqueue: consumed a slot whose payload and checksum "
+                    "are both unpublished (poison)")
+            got.append(item)
+        return got
+
+    for i in range(producers):
+        p.add_thread(producer, 500 + i, name=f"producer{i}")
+    p.add_thread(consumer)
+    return p

@@ -1,0 +1,105 @@
+"""Michael-Scott queue with a seeded publication-order bug.
+
+Paper Table 1: LOC 232, k ≈ 49, k_com ≈ 31, bug depth d = 0.
+
+A linked queue over a preallocated node pool.  All structural pointer
+updates (tail advance, next linking, head advance) go through CAS/RMW, as
+in the original algorithm.  The seeded bug moves the *value* store after
+the node is published (linked into the queue) and leaves it ``relaxed``:
+a dequeuer that traverses to the node through RMWs can read the value cell
+from its stale thread-local view and observe the pool's poison value.
+
+The bug has depth 0: structural RMWs always observe the mo-maximal state
+(atomicity), so a d = 0 PCTWM execution still dequeues real nodes, but the
+relaxed value load reads the thread-local view — poison — on every run.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, ACQ_REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+#: Value marking a node whose payload write has not reached the reader.
+POISON = -1
+
+#: Null "pointer" for next fields.
+NULL = 0
+
+
+def msqueue(inserted_writes: int = 0, items_per_producer: int = 2,
+            fixed: bool = False) -> Program:
+    """Build the msqueue benchmark with two producers and one consumer.
+
+    ``fixed=True`` builds the correct queue: the payload is written
+    *before* the node is linked, the linking CAS releases, and the
+    consumer's pointer loads acquire — the poison assertion can then
+    never fire (soundness check).
+    """
+    link_order = ACQ_REL if fixed else RLX
+    read_fail_order = ACQ if fixed else RLX
+    p = Program("msqueue" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    pool_size = 1 + 2 * items_per_producer  # dummy node + payload nodes
+    value = [p.atomic(f"node{i}_value", POISON) for i in range(pool_size)]
+    nexts = [p.atomic(f"node{i}_next", NULL) for i in range(pool_size)]
+    head = p.atomic("head", 0)   # node indices; node 0 is the dummy
+    tail = p.atomic("tail", 0)
+
+    def enqueue(node_idx, item):
+        """One enqueue; returns when the node is linked and tail advanced."""
+        yield nexts[node_idx].store(NULL, RLX)
+        if fixed:
+            # Correct order: initialize the payload before publication.
+            yield value[node_idx].store(item, RLX)
+            for _ in range(inserted_writes):
+                yield value[node_idx].store(item, RLX)
+        while True:
+            _ok, t = yield tail.cas(-1, -1, RLX)  # RMW-read of tail
+            ok, observed_next = yield nexts[t].cas(NULL, node_idx,
+                                                   link_order)
+            if ok:
+                if not fixed:
+                    # Node is published... but the value is written only
+                    # now (the seeded bug: payload after publication).
+                    yield value[node_idx].store(item, RLX)
+                    for _ in range(inserted_writes):
+                        yield value[node_idx].store(item, RLX)  # (Fig. 6)
+                yield tail.cas(t, node_idx, RLX)
+                return
+            # Help advance the lagging tail, as in the original algorithm.
+            yield tail.cas(t, observed_next, RLX)
+
+    def producer(node_indices, base):
+        for j, idx in enumerate(node_indices):
+            yield from enqueue(idx, base + j)
+
+    def consumer(expect: int):
+        got = []
+        attempts = 0
+        while len(got) < expect and attempts < 40:
+            attempts += 1
+            _, h = yield head.cas(-1, -1, RLX)  # RMW-read of head
+            _, t = yield tail.cas(-1, -1, RLX)
+            _, nxt = yield nexts[h].cas(-1, -1, RLX,
+                                        failure_order=read_fail_order)
+            if nxt == NULL:
+                continue  # queue empty (or tail lagging)
+            if h == t:
+                yield tail.cas(t, nxt, RLX)  # help
+                continue
+            ok, _ = yield head.cas(h, nxt, RLX)
+            if not ok:
+                continue
+            item = yield value[nxt].load(RLX)
+            require(item != POISON,
+                    "msqueue: dequeued an unpublished (poison) value")
+            got.append(item)
+        return got
+
+    half = items_per_producer
+    p.add_thread(producer, list(range(1, 1 + half)), 100, name="producer0")
+    p.add_thread(producer, list(range(1 + half, 1 + 2 * half)), 200,
+                 name="producer1")
+    p.add_thread(consumer, 2 * half, name="consumer")
+    return p

@@ -1,0 +1,103 @@
+"""Multi-round reader-writer lock benchmark with seeded relaxed publication.
+
+Paper Table 1: LOC 98, k ≈ 84, k_com ≈ 74, bug depth d = 2.
+
+A heavier rwlock workload than :mod:`repro.workloads.linuxrwlocks`: the
+writer performs two update rounds under the write lock, raising a per-round
+ready flag after each.  Readers enter the read lock, poll *both* round
+flags (two plain-load gate windows — the two required communication
+relations), and then check the six-word payload.  All publication is
+``relaxed`` (the seeded bug), so a reader can observe both round flags
+while its entire payload view is still initial — breaking the lock's
+atomic-update contract.
+
+Depth 2: one communication per round flag.  The wide six-word payload makes
+the staleness free for PCTWM's local views but expensive for uniform-rf
+testers (each word must independently sample the stale value).
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+WRITER = -1000
+
+#: Lock retry bound.
+MAX_TRIES = 4
+
+#: Per-flag poll bound; below the executor's default spin threshold (8).
+MAX_POLL = 5
+
+FIELD_COUNT = 6
+
+
+def rwlock(inserted_writes: int = 0, readers: int = 2,
+           fixed: bool = False) -> Program:
+    """Build the rwlock benchmark: one two-round writer, N readers.
+
+    ``fixed=True`` raises the round flags with release and polls them
+    with acquire, so the payload is always fresh under the read lock
+    (soundness check).
+    """
+    flag_order = REL if fixed else RLX
+    poll_order = ACQ if fixed else RLX
+    p = Program("rwlock" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    lock = p.atomic("lock", 0)
+    fields = [p.atomic(f"field{i}", 0) for i in range(FIELD_COUNT)]
+    round1_done = p.atomic("round1_done", 0)
+    round2_done = p.atomic("round2_done", 0)
+
+    def writer():
+        done = 0
+        for r, flag in ((1, round1_done), (2, round2_done)):
+            for _ in range(MAX_TRIES):
+                ok, _ = yield lock.cas(0, WRITER, RLX)
+                if ok:
+                    break
+            else:
+                return done
+            for i, field in enumerate(fields):
+                yield field.store(r * 100 + i, RLX)
+            for _ in range(inserted_writes):
+                yield fields[0].store(r * 100, RLX)  # benign (Fig. 6)
+            yield flag.store(1, flag_order)   # relaxed = seeded bug
+            yield lock.store(0, RLX)   # seeded: unlock without release
+            done = r
+        return done
+
+    def reader(idx: int):
+        for _ in range(MAX_TRIES):
+            ok, state = yield lock.cas(0, 1, RLX)
+            if ok:
+                break
+            if state > 0:
+                ok2, _ = yield lock.cas(state, state + 1, RLX)
+                if ok2:
+                    break
+        else:
+            return None  # never acquired the read lock
+        flags = []
+        for flag in (round1_done, round2_done):
+            seen = 0
+            for _ in range(MAX_POLL):
+                seen = yield flag.load(poll_order)  # gate window
+                if seen == 1:
+                    break
+            flags.append(seen)
+        observed = []
+        if flags == [1, 1]:
+            for field in fields:
+                observed.append((yield field.load(RLX)))
+            require(any(v != 0 for v in observed),
+                    "rwlock: both round flags visible but the whole "
+                    "payload is stale under the read lock")
+        yield lock.fetch_sub(1, RLX)
+        return (flags, observed)
+
+    p.add_thread(writer)
+    for i in range(readers):
+        p.add_thread(reader, i, name=f"reader{i}")
+    return p

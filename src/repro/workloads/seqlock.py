@@ -1,0 +1,87 @@
+"""Seqlock with all-relaxed accesses (the paper's hardest benchmark).
+
+Paper Table 1: LOC 50, k ≈ 20, k_com ≈ 18, bug depth d = 3.
+
+The writer runs two rounds: bump the sequence to odd, write both data
+words, bump to even.  The reader retries until it sees an even non-zero
+sequence, reads the pair, and re-checks the sequence.  Everything is
+``relaxed`` (the seeded bug — a correct seqlock uses acquire loads of the
+sequence and release stores), so a reader can satisfy the sequence check
+while assembling a *torn* pair across rounds.
+
+Exposing the torn pair needs three communications: observe an even
+sequence, observe one data word from a newer round, and observe the other
+data word from an older round (reading both words from the same stale
+local view yields the consistent initial pair, which the seeded assertion
+does not flag).  Section 6.2 of the paper singles this benchmark out: its
+wait loop makes bounded algorithms rely on the livelock heuristic, so PCT
+and PCTWM trail plain random testing here — the loop bound is deliberately
+*above* the executor's spin threshold to reproduce that effect.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.api import fence
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+#: Above the default spin threshold (8): the livelock heuristic engages.
+MAX_ATTEMPTS = 20
+
+
+def seqlock(inserted_writes: int = 0, rounds: int = 2,
+            fixed: bool = False) -> Program:
+    """Build the seqlock benchmark: one two-round writer, one reader.
+
+    ``fixed=True`` builds the correct C11 seqlock (Boehm's construction):
+    the writer separates the odd bump from the data writes with a release
+    fence and publishes the even bump with release; the reader loads the
+    first sequence with acquire and re-checks it after an acquire fence.
+    If a data read then observes a later round, the fence forces the
+    second sequence read to observe that round's odd bump, failing the
+    ``s1 == s2`` check and retrying — torn reads are impossible.
+    """
+    p = Program("seqlock" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    seq = p.atomic("seq", 0)
+    data1 = p.atomic("data1", 0)
+    data2 = p.atomic("data2", 0)
+
+    def writer():
+        s = 0
+        for r in range(1, rounds + 1):
+            s += 1
+            yield seq.store(s, RLX)     # odd: write in progress
+            if fixed:
+                yield fence(REL)        # order the bump before the data
+            yield data1.store(r, RLX)
+            for _ in range(inserted_writes):
+                yield data1.store(r, RLX)  # benign duplicate (Fig. 6)
+            yield data2.store(r, RLX)
+            s += 1
+            # Relaxed final bump is the seeded bug (correct: release).
+            yield seq.store(s, REL if fixed else RLX)
+        return s
+
+    def reader():
+        for _ in range(MAX_ATTEMPTS):
+            s1 = yield seq.load(ACQ if fixed else RLX)
+            if s1 == 0 or s1 % 2 == 1:
+                continue  # nothing written yet, or writer mid-round
+            d1 = yield data1.load(RLX)
+            d2 = yield data2.load(RLX)
+            if fixed:
+                yield fence(ACQ)        # order the data before the re-check
+            s2 = yield seq.load(RLX)
+            if s1 != s2:
+                continue  # writer interfered; retry
+            require(not (d1 != d2 and d1 > 0 and d2 > 0),
+                    f"seqlock: torn read across rounds "
+                    f"(seq={s1}, data1={d1}, data2={d2})")
+            return (s1, d1, d2)
+        return None
+
+    p.add_thread(writer)
+    p.add_thread(reader)
+    return p

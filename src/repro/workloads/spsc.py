@@ -1,0 +1,77 @@
+"""Lamport single-producer single-consumer ring buffer (extension).
+
+The textbook SPSC queue: the producer owns ``tail``, the consumer owns
+``head``, and correctness rests entirely on the release/acquire pairing of
+the index publications — there is no CAS anywhere, which makes this the
+cleanest showcase of pure load/store weak-memory bugs in the suite (no
+forced-fresh RMW reads at all).
+
+The seeded bug relaxes the index publications: the consumer can observe
+an advanced ``tail`` without the slot payload (depth 1), and the producer
+can observe an advanced ``head`` and overwrite a slot the consumer has
+not finished reading.  ``fixed=True`` restores release/acquire and the
+assertion can never fire.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+POISON = -1
+
+#: Poll bound; below the executor's default spin threshold (8).
+MAX_POLL = 6
+
+
+def spsc(capacity: int = 4, items: int = 3, fixed: bool = False) -> Program:
+    """Build the SPSC ring benchmark."""
+    if capacity < 2 or items < 1:
+        raise ValueError("need capacity >= 2 and items >= 1")
+    publish = REL if fixed else RLX
+    observe = ACQ if fixed else RLX
+    p = Program("spsc" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    slots = [p.atomic(f"slot{i}", POISON) for i in range(capacity)]
+    head = p.atomic("head", 0)
+    tail = p.atomic("tail", 0)
+
+    def producer():
+        produced = 0
+        local_tail = 0
+        for n in range(items):
+            # Wait for space: head must be within capacity-1 of tail.
+            for _ in range(MAX_POLL):
+                h = yield head.load(observe)
+                if local_tail - h < capacity - 1:
+                    break
+            else:
+                return produced  # consumer stalled; give up
+            yield slots[local_tail % capacity].store(100 + n, RLX)
+            local_tail += 1
+            yield tail.store(local_tail, publish)  # seeded when relaxed
+            produced += 1
+        return produced
+
+    def consumer():
+        got = []
+        local_head = 0
+        for _n in range(items):
+            for _ in range(MAX_POLL):
+                t = yield tail.load(observe)  # the communication sink
+                if t > local_head:
+                    break
+            else:
+                return got  # producer stalled; give up
+            value = yield slots[local_head % capacity].load(RLX)
+            require(value != POISON,
+                    "spsc: consumed a slot before its payload arrived")
+            got.append(value)
+            local_head += 1
+            yield head.store(local_head, publish)
+        return got
+
+    p.add_thread(producer)
+    p.add_thread(consumer)
+    return p

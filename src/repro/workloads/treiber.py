@@ -1,0 +1,80 @@
+"""Treiber lock-free stack (extension workload, not in Table 1).
+
+A classic CAS-based stack over a preallocated node pool.  Structure
+updates (top pointer, next links) go through CAS; the seeded bug writes
+the node *payload* after linking it, with relaxed ordering — a popper can
+observe the node through the CAS chain and read the payload from its
+stale thread-local view (the same publication-bug family as msqueue, on a
+different structure).
+
+``fixed=True`` initializes the payload before the push CAS and makes the
+push release / the pop's top-read acquire.
+
+Effective bug depth 0 in this substrate (structural CAS reads are forced
+fresh), like msqueue.
+"""
+
+from __future__ import annotations
+
+from ..memory.events import ACQ, ACQ_REL, RLX
+from ..runtime.errors import require
+from ..runtime.program import Program
+
+POISON = -1
+NULL = 0
+
+
+def treiber(pushes_per_thread: int = 2, pushers: int = 2,
+            fixed: bool = False) -> Program:
+    """Build the Treiber stack benchmark: N pushers, one popper."""
+    link_order = ACQ_REL if fixed else RLX
+    read_order = ACQ if fixed else RLX
+    p = Program("treiber" + ("-fixed" if fixed else ""))
+    p.races_are_bugs = False
+    pool = 1 + pushers * pushes_per_thread
+    value = [p.atomic(f"node{i}_value", POISON) for i in range(pool)]
+    nexts = [p.atomic(f"node{i}_next", NULL) for i in range(pool)]
+    top = p.atomic("top", NULL)  # node index; 0 = empty
+
+    def push(node, item):
+        if fixed:
+            yield value[node].store(item, RLX)
+        while True:
+            _ok, current = yield top.cas(-1, -1, RLX)  # RMW-read of top
+            yield nexts[node].store(current, RLX)
+            ok, _ = yield top.cas(current, node, link_order)
+            if ok:
+                if not fixed:
+                    # Seeded bug: payload written after publication.
+                    yield value[node].store(item, RLX)
+                return
+
+    def pusher(nodes, base):
+        for j, node in enumerate(nodes):
+            yield from push(node, base + j)
+
+    def popper(expect):
+        got = []
+        attempts = 0
+        while len(got) < expect and attempts < 40:
+            attempts += 1
+            _ok, current = yield top.cas(-1, -1, RLX,
+                                         failure_order=read_order)
+            if current == NULL:
+                continue
+            _ok, nxt = yield nexts[current].cas(-2, -2, RLX)
+            ok, _ = yield top.cas(current, nxt, RLX)
+            if not ok:
+                continue
+            item = yield value[current].load(RLX)
+            require(item != POISON,
+                    "treiber: popped an unpublished (poison) payload")
+            got.append(item)
+        return got
+
+    per = pushes_per_thread
+    for i in range(pushers):
+        nodes = list(range(1 + i * per, 1 + (i + 1) * per))
+        p.add_thread(pusher, nodes, 100 * (i + 1), name=f"pusher{i}")
+    p.add_thread(popper, pushers * per, name="popper")
+    return p

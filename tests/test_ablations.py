@@ -1,0 +1,89 @@
+"""Tests for the ablation schedulers: each removed design choice must
+visibly change behaviour in the direction DESIGN.md predicts."""
+
+from repro.core import (
+    PCTWMEagerViews,
+    PCTWMFullBagJoin,
+    PCTWMNoDelay,
+    PCTWMScheduler,
+    PCTWMUnboundedHistory,
+)
+from repro.litmus import mp2, p1, store_buffering
+from repro.memory.events import RLX
+from tests.helpers import hit_count
+
+
+class TestEagerViews:
+    """Without stale local views, pure-staleness bugs vanish."""
+
+    def test_sb_never_hits(self):
+        assert hit_count(store_buffering,
+                         lambda s: PCTWMEagerViews(0, 4, 1, seed=s),
+                         100) == 0
+
+    def test_baseline_always_hits(self):
+        assert hit_count(store_buffering,
+                         lambda s: PCTWMScheduler(0, 4, 1, seed=s),
+                         100) == 100
+
+
+class TestFullBagJoin:
+    """Over-propagation delivers too much: MP2's torn view disappears."""
+
+    def test_mp2_never_hits(self):
+        assert hit_count(mp2,
+                         lambda s: PCTWMFullBagJoin(2, 3, 1, seed=s),
+                         400) == 0
+
+    def test_baseline_hits(self):
+        assert hit_count(mp2,
+                         lambda s: PCTWMScheduler(2, 3, 1, seed=s),
+                         400) > 0
+
+
+class TestNoDelay:
+    """Without late-as-possible sinks, the sink often runs before the
+    write it needs to observe exists — P1's hit rate collapses."""
+
+    def test_p1_rate_collapses(self):
+        trials = 300
+        baseline = hit_count(
+            lambda: p1(k=5, order=RLX),
+            lambda s: PCTWMScheduler(1, 1, 1, seed=s), trials)
+        ablated = hit_count(
+            lambda: p1(k=5, order=RLX),
+            lambda s: PCTWMNoDelay(1, 1, 1, seed=s), trials)
+        assert baseline == trials
+        assert ablated < baseline
+
+    def test_still_finds_d0_bugs(self):
+        """Delaying is irrelevant at d = 0; the ablation is unchanged."""
+        assert hit_count(store_buffering,
+                         lambda s: PCTWMNoDelay(0, 4, 1, seed=s),
+                         50) == 50
+
+
+class TestUnboundedHistory:
+    """h = ∞ dilutes the sink's read over every visible write."""
+
+    def test_p1_rate_drops_with_more_writes(self):
+        trials = 300
+        bounded = hit_count(
+            lambda: p1(k=8, order=RLX),
+            lambda s: PCTWMScheduler(1, 1, 1, seed=s), trials)
+        unbounded = hit_count(
+            lambda: p1(k=8, order=RLX),
+            lambda s: PCTWMUnboundedHistory(1, 1, seed=s), trials)
+        assert bounded == trials
+        # The unbounded read picks uniformly among 9 visible writes.
+        assert unbounded < trials // 2
+
+    def test_names_distinct_for_reporting(self):
+        names = {
+            PCTWMScheduler(1, 2).name,
+            PCTWMNoDelay(1, 2).name,
+            PCTWMFullBagJoin(1, 2).name,
+            PCTWMEagerViews(1, 2).name,
+            PCTWMUnboundedHistory(1, 2).name,
+        }
+        assert len(names) == 5

@@ -1,0 +1,88 @@
+"""Tests for execution analysis: traces, DOT dumps, audits."""
+
+import pytest
+
+from repro.analysis import (
+    audit_graph,
+    audit_run,
+    count_external_reads,
+    format_event,
+    format_trace,
+    to_dot,
+)
+from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.litmus import mp1, mp2, store_buffering
+from repro.runtime import run_once
+
+
+class TestFormatting:
+    def test_format_event_kinds(self):
+        result = run_once(mp1(), C11TesterScheduler(seed=0))
+        rendered = [format_event(e) for e in result.graph.events]
+        assert any(r.startswith("W(") for r in rendered)
+        assert any(r.startswith("R(") for r in rendered)
+        assert any(r.startswith("F(") for r in rendered)
+
+    def test_trace_shows_rf_provenance(self):
+        result = run_once(store_buffering(), C11TesterScheduler(seed=0))
+        text = format_trace(result.graph)
+        assert "rf <-" in text
+        assert "init" in text
+
+    def test_trace_hides_init_by_default(self):
+        result = run_once(store_buffering(), C11TesterScheduler(seed=0))
+        assert "tinit" not in format_trace(result.graph)
+        with_init = format_trace(result.graph, include_init=True)
+        assert len(with_init.splitlines()) \
+            > len(format_trace(result.graph).splitlines())
+
+    def test_dot_output_wellformed(self):
+        result = run_once(mp2(), C11TesterScheduler(seed=0))
+        dot = to_dot(result.graph)
+        assert dot.startswith("digraph execution {")
+        assert dot.rstrip().endswith("}")
+        assert 'label="rf"' in dot
+        assert 'label="mo"' in dot
+
+
+class TestAudit:
+    def test_generated_runs_are_consistent(self):
+        for seed in range(10):
+            result = run_once(mp2(), C11TesterScheduler(seed=seed))
+            report = audit_run(result)
+            assert report.consistent, report.violations
+
+    def test_audit_counts_communication(self):
+        # MP2's buggy execution has exactly 2 com sinks (e2 and e4).
+        for seed in range(400):
+            result = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=seed))
+            if result.bug_found:
+                report = audit_run(result)
+                assert report.communication_edges >= 2
+                return
+        pytest.fail("no buggy MP2 execution found")
+
+    def test_audit_requires_graph(self):
+        result = run_once(mp2(), C11TesterScheduler(seed=0),
+                          keep_graph=False)
+        with pytest.raises(ValueError):
+            audit_run(result)
+
+    def test_external_reads_zero_at_d0(self):
+        result = run_once(store_buffering(), PCTWMScheduler(0, 4, 1, seed=0))
+        assert count_external_reads(result.graph) == 0
+
+    def test_external_reads_counts_cross_thread_rf(self):
+        result = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=6))
+        graph = result.graph
+        manual = sum(
+            1 for e in graph.events
+            if e.reads_from is not None and not e.reads_from.is_init
+            and e.reads_from.tid != e.tid
+        )
+        assert count_external_reads(graph) == manual
+
+    def test_audit_graph_event_count(self):
+        result = run_once(store_buffering(), C11TesterScheduler(seed=1))
+        report = audit_graph(result.graph)
+        assert report.events == result.graph.size

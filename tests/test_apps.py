@@ -1,0 +1,96 @@
+"""Tests for the three application models (Table 4)."""
+
+import pytest
+
+from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.core.depth import estimate_parameters
+from repro.runtime import run_once
+from repro.workloads.apps import APPLICATIONS, iris, mabain, silo, \
+    silo_operations
+
+
+@pytest.fixture(params=sorted(APPLICATIONS))
+def factory(request):
+    return APPLICATIONS[request.param]
+
+
+class TestAppsRun:
+    def test_completes_under_c11tester(self, factory):
+        result = run_once(factory(), C11TesterScheduler(seed=0),
+                          max_steps=100000)
+        assert not result.limit_exceeded
+
+    def test_completes_under_pctwm(self, factory):
+        est = estimate_parameters(factory(), runs=2, seed=0)
+        result = run_once(factory(), PCTWMScheduler(2, est.k_com, 2, seed=0),
+                          max_steps=100000)
+        assert not result.limit_exceeded
+
+    def test_cores_parameter_recorded(self, factory):
+        assert "cores=4" in factory(cores=4).name
+
+
+class TestRaceDetection:
+    """The paper: 'both C11Tester and PCTWM detect data races in all of
+    these applications'."""
+
+    @pytest.mark.parametrize("make", [
+        lambda s: C11TesterScheduler(seed=s),
+        lambda s: PCTWMScheduler(2, 60, 2, seed=s),
+    ])
+    def test_races_found_every_run(self, factory, make):
+        for seed in range(10):
+            result = run_once(factory(), make(seed), max_steps=100000)
+            assert result.races, f"no race at seed {seed}"
+            assert result.bug_kind == "race"
+
+
+class TestIris:
+    def test_flusher_drains_messages(self):
+        result = run_once(iris(producers=2, messages=4),
+                          C11TesterScheduler(seed=1), max_steps=100000)
+        drained, flushed_bytes = result.thread_results["flusher"]
+        assert 0 <= drained <= 8
+        assert flushed_bytes >= 0
+
+    def test_scales_with_messages(self):
+        small = run_once(iris(messages=2), C11TesterScheduler(seed=0),
+                         max_steps=100000)
+        large = run_once(iris(messages=8), C11TesterScheduler(seed=0),
+                         max_steps=100000)
+        assert large.k > small.k
+
+
+class TestMabain:
+    def test_writers_insert(self):
+        result = run_once(mabain(), C11TesterScheduler(seed=2),
+                          max_steps=100000)
+        inserted = sum(
+            v for name, v in result.thread_results.items()
+            if name.startswith("writer")
+        )
+        assert inserted >= 1
+
+    def test_reader_lookup_returns_counts(self):
+        result = run_once(mabain(), C11TesterScheduler(seed=3),
+                          max_steps=100000)
+        found, total = result.thread_results["reader0"]
+        assert found >= 0 and total >= 0
+
+
+class TestSilo:
+    def test_transactions_commit_or_abort(self):
+        result = run_once(silo(), C11TesterScheduler(seed=4),
+                          max_steps=100000)
+        for name, (committed, aborted) in result.thread_results.items():
+            assert committed + aborted == 5, name
+
+    def test_silo_operations_counts_commits(self):
+        result = run_once(silo(), C11TesterScheduler(seed=5),
+                          max_steps=100000)
+        ops = silo_operations(result.thread_results)
+        expected = sum(c for c, _a in result.thread_results.values())
+        assert ops == expected
+
+    def test_silo_operations_handles_garbage(self):
+        assert silo_operations({"w": None, "x": 3, "y": (2, 1)}) == 2

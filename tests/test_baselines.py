@@ -1,0 +1,70 @@
+"""Tests for the C11Tester and naive random baselines."""
+
+from repro.core import C11TesterScheduler, NaiveRandomScheduler
+from repro.litmus import corr, load_buffering, mp2, p1, store_buffering
+from repro.memory.events import RLX
+from tests.helpers import hit_count
+
+
+class TestNaiveRandom:
+    """Section 2.2's naive algorithm: uniform interleavings, SC reads."""
+
+    def test_never_finds_weak_outcomes(self):
+        assert hit_count(store_buffering,
+                         lambda s: NaiveRandomScheduler(seed=s), 300) == 0
+
+    def test_finds_interleaving_bugs_rarely(self):
+        """P1 under SC: naive hits with probability about 1/2^k."""
+        hits = hit_count(lambda: p1(k=2),
+                         lambda s: NaiveRandomScheduler(seed=s), 600)
+        # ~1/8 for k=2 (three scheduling points must favor the writer).
+        assert 20 <= hits <= 160
+
+    def test_deeper_interleaving_bugs_get_harder(self):
+        shallow = hit_count(lambda: p1(k=1),
+                            lambda s: NaiveRandomScheduler(seed=s), 400)
+        deep = hit_count(lambda: p1(k=6),
+                         lambda s: NaiveRandomScheduler(seed=s), 400)
+        assert shallow > deep
+
+    def test_reads_always_latest_visible(self):
+        from repro.runtime import run_once
+        result = run_once(p1(k=3, order=RLX), NaiveRandomScheduler(seed=4))
+        for event in result.graph.events:
+            if event.reads_from is None or event.is_rmw:
+                continue
+            loc_writes = result.graph.writes_by_loc[event.loc]
+            later = [w for w in loc_writes
+                     if w.mo_index > event.reads_from.mo_index
+                     and w.uid < event.uid]
+            # Any mo-later write that already existed must have been
+            # invisible (which for naive means hb-hidden) — there is none
+            # in this unsynchronized program.
+            assert not later or all(w.tid == event.tid for w in later)
+
+
+class TestC11Tester:
+    def test_finds_weak_sb_outcome(self):
+        hits = hit_count(store_buffering,
+                         lambda s: C11TesterScheduler(seed=s), 300)
+        assert hits > 100  # uniform over two independent 50% reads
+
+    def test_finds_mp2(self):
+        assert hit_count(mp2, lambda s: C11TesterScheduler(seed=s),
+                         400) > 0
+
+    def test_never_violates_coherence(self):
+        assert hit_count(corr, lambda s: C11TesterScheduler(seed=s),
+                         400) == 0
+
+    def test_never_out_of_thin_air(self):
+        assert hit_count(load_buffering,
+                         lambda s: C11TesterScheduler(seed=s), 400) == 0
+
+    def test_explores_more_than_naive(self):
+        """C11Tester samples weak behaviours naive cannot reach."""
+        weak = hit_count(store_buffering,
+                         lambda s: C11TesterScheduler(seed=s), 200)
+        sc_only = hit_count(store_buffering,
+                            lambda s: NaiveRandomScheduler(seed=s), 200)
+        assert weak > sc_only == 0

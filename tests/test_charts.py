@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart renderers."""
+
+from repro.harness.charts import bar_chart, line_chart, line_charts
+from repro.harness.figures import Figure5Bar, Figure6Series
+
+
+def make_bar():
+    return Figure5Bar("dekker", c11tester=50.0, pct=75.0, pctwm=100.0)
+
+
+def make_series():
+    s = Figure6Series("dekker")
+    s.inserted = [0, 2, 4]
+    s.c11tester = [50.0, 20.0, 10.0]
+    s.pct = [70.0, 30.0, 15.0]
+    s.pctwm = [100.0, 100.0, 100.0]
+    return s
+
+
+class TestBarChart:
+    def test_contains_benchmark_and_values(self):
+        text = bar_chart([make_bar()])
+        assert "dekker" in text
+        assert "100.0" in text and "50.0" in text
+
+    def test_bar_lengths_scale(self):
+        text = bar_chart([make_bar()], width=10)
+        lines = text.splitlines()
+        c11_line = next(line for line in lines if "#" in line and "|" in line)
+        wm_line = next(line for line in lines if "*" in line and "|" in line)
+        assert c11_line.count("#") < wm_line.count("*")
+
+    def test_multiple_groups(self):
+        bars = [make_bar(),
+                Figure5Bar("seqlock", c11tester=25.0, pct=20.0, pctwm=10.0)]
+        text = bar_chart(bars)
+        assert "seqlock" in text and "dekker" in text
+
+
+class TestLineChart:
+    def test_grid_shape(self):
+        text = line_chart(make_series(), height=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("dekker")
+        assert "100%" in lines[1]
+        assert "0%" in lines[-4]
+        assert "inserted writes" in lines[-1]
+
+    def test_flat_pctwm_on_top_row(self):
+        text = line_chart(make_series(), height=10)
+        top_row = text.splitlines()[1]
+        assert top_row.count("*") == 3  # flat at 100% across 3 points
+
+    def test_empty_series(self):
+        assert "empty" in line_chart(Figure6Series("x"))
+
+    def test_overlap_marker(self):
+        s = make_series()
+        s.pct = list(s.c11tester)  # perfectly overlapping series
+        text = line_chart(s)
+        assert "o" in text
+
+    def test_line_charts_concatenates(self):
+        text = line_charts({"a": make_series(), "b": make_series()})
+        assert text.count("hit rate vs inserted") == 2

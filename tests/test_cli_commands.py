@@ -1,0 +1,39 @@
+"""CLI coverage for the remaining subcommands."""
+
+from repro.harness.cli import main
+
+
+class TestCliCommands:
+    def test_table3_command(self, capsys):
+        assert main(["table3", "--trials", "4",
+                     "--benchmarks", "dekker"]) == 0
+        assert "h:1" in capsys.readouterr().out
+
+    def test_table4_command(self, capsys):
+        assert main(["table4", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "silo" in out and "iris" in out
+
+    def test_figure6_command(self, capsys):
+        assert main(["figure6", "--trials", "4",
+                     "--benchmarks", "dekker"]) == 0
+        out = capsys.readouterr().out
+        assert "inserting relaxed writes" in out
+        assert "inserted writes" in out  # the ASCII chart
+
+    def test_litmus_command(self, capsys):
+        assert main(["litmus", "--trials", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "SB" in out and "pctwm" in out
+
+    def test_all_command_small(self, capsys):
+        assert main(["all", "--trials", "2", "--runs", "2"]) == 0
+        out = capsys.readouterr().out
+        for artifact in ("Table 1", "Table 2", "Table 3", "Table 4",
+                         "Figure 5", "Figure 6"):
+            assert artifact in out
+
+    def test_depth_command_reports_calibration(self, capsys):
+        assert main(["depth", "dekker", "--trials", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "calibrated" in out

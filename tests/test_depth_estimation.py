@@ -1,0 +1,47 @@
+"""Tests for parameter estimation and empirical bug-depth search."""
+
+import pytest
+
+from repro.core.depth import empirical_bug_depth, estimate_parameters
+from repro.litmus import mp1, mp2, store_buffering
+from repro.memory.events import RLX
+from repro.litmus import p1
+
+
+class TestEstimateParameters:
+    def test_counts_match_program_shape(self):
+        est = estimate_parameters(store_buffering(), runs=3, seed=0)
+        # SB: 2 stores + 2 loads = 4 events; the 2 loads are comm events.
+        assert est.k == 4
+        assert est.k_com == 2
+
+    def test_p1_counts(self):
+        est = estimate_parameters(p1(k=5, order=RLX), runs=3, seed=0)
+        assert est.k == 6       # 5 stores + 1 load
+        assert est.k_com == 1   # only the load
+
+    def test_requires_at_least_one_run(self):
+        with pytest.raises(ValueError):
+            estimate_parameters(store_buffering(), runs=0)
+
+    def test_estimates_are_positive(self):
+        est = estimate_parameters(mp2(), runs=3, seed=1)
+        assert est.k >= 1 and est.k_com >= 1
+
+
+class TestEmpiricalBugDepth:
+    def test_sb_has_depth_zero(self):
+        assert empirical_bug_depth(store_buffering(), max_depth=2,
+                                   trials=20, seed=0) == 0
+
+    def test_mp2_has_depth_two(self):
+        assert empirical_bug_depth(mp2(), max_depth=3,
+                                   trials=120, seed=0, k_com=3) == 2
+
+    def test_p1_has_depth_one(self):
+        assert empirical_bug_depth(p1(k=3, order=RLX), max_depth=2,
+                                   trials=40, seed=0, k_com=1) == 1
+
+    def test_bug_free_program_returns_none(self):
+        assert empirical_bug_depth(mp1(), max_depth=2,
+                                   trials=40, seed=0) is None

@@ -1,0 +1,99 @@
+"""Differential testing: random samplers vs the exhaustive explorer.
+
+For randomized small programs, every behaviour any randomized scheduler
+produces must belong to the exhaustively enumerated set — the samplers
+sample *from* the space, never outside it.  This cross-checks the
+engine's visible-write logic, the schedulers' choices, and the explorer
+itself against each other.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    POSScheduler,
+    PPCTScheduler,
+)
+from repro.harness.coverage import execution_signature
+from repro.memory.events import ACQ, REL, RLX
+from repro.modelcheck import explore
+from repro.runtime import Program, run_once
+
+LOCS = ("X", "Y")
+
+# Straight-line programs only (no RMW retries): keeps the exhaustive
+# space small and the signature comparison exact.
+op_spec = st.one_of(
+    st.tuples(st.just("store"), st.sampled_from(LOCS),
+              st.integers(1, 2), st.sampled_from((RLX, REL))),
+    st.tuples(st.just("load"), st.sampled_from(LOCS),
+              st.sampled_from((RLX, ACQ))),
+)
+
+program_spec = st.lists(
+    st.lists(op_spec, min_size=1, max_size=3), min_size=2, max_size=2,
+)
+
+SAMPLERS = (
+    lambda seed: NaiveRandomScheduler(seed=seed),
+    lambda seed: C11TesterScheduler(seed=seed),
+    lambda seed: PCTScheduler(2, 8, seed=seed),
+    lambda seed: PCTWMScheduler(1, 4, 2, seed=seed),
+    lambda seed: POSScheduler(seed=seed),
+    lambda seed: PPCTScheduler(2, 8, seed=seed),
+)
+
+
+def build(spec) -> Program:
+    p = Program("diff")
+    handles = {loc: p.atomic(loc, 0) for loc in LOCS}
+
+    def make_body(ops):
+        def body():
+            for op in ops:
+                if op[0] == "store":
+                    yield handles[op[1]].store(op[2], op[3])
+                else:
+                    yield handles[op[1]].load(op[2])
+
+        return body
+
+    for ops in spec:
+        p.add_thread(make_body(ops))
+    return p
+
+
+@settings(max_examples=25, deadline=None)
+@given(program_spec, st.integers(0, 200))
+def test_sampled_behaviours_within_exhaustive_set(spec, seed):
+    exhaustive = explore(lambda: build(spec), max_executions=5000)
+    assert not exhaustive.truncated
+    for make in SAMPLERS:
+        result = run_once(build(spec), make(seed), max_steps=500)
+        signature = execution_signature(result.graph)
+        assert signature in exhaustive.signatures, (
+            f"{make(seed).name} produced a behaviour outside the "
+            f"exhaustive set"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(program_spec)
+def test_unrestricted_samplers_cover_the_space_eventually(spec):
+    """C11Tester over many seeds reaches every exhaustively reachable
+    behaviour of these tiny programs."""
+    exhaustive = explore(lambda: build(spec), max_executions=5000)
+    if len(exhaustive.signatures) > 12:
+        return  # keep runtime bounded; large spaces need too many seeds
+    sampled = set()
+    for seed in range(600):
+        result = run_once(build(spec), C11TesterScheduler(seed=seed),
+                          max_steps=500)
+        sampled.add(execution_signature(result.graph))
+        if sampled == exhaustive.signatures:
+            return
+    assert sampled == exhaustive.signatures

@@ -1,0 +1,162 @@
+"""Property-based tests: random programs, every scheduler, C11 invariants.
+
+Generates small random concurrent programs over two locations and checks
+that every scheduler produces executions satisfying the consistency axioms
+of Section 4, plus engine-level invariants (coherent per-thread reads,
+atomic RMWs, deterministic replay by seed).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+)
+from repro.memory.axioms import check_consistency
+from repro.memory.events import ACQ, ACQ_REL, REL, RLX, SC as SEQ
+from repro.runtime import Program, fence, run_once
+
+LOCS = ("X", "Y")
+ORDERS = (RLX, ACQ, REL, ACQ_REL, SEQ)
+
+# An op spec is a tuple interpreted by `interpret`.
+op_spec = st.one_of(
+    st.tuples(st.just("store"), st.sampled_from(LOCS),
+              st.integers(0, 3), st.sampled_from(ORDERS)),
+    st.tuples(st.just("load"), st.sampled_from(LOCS),
+              st.sampled_from(ORDERS)),
+    st.tuples(st.just("faa"), st.sampled_from(LOCS),
+              st.integers(1, 2), st.sampled_from((RLX, ACQ_REL, SEQ))),
+    st.tuples(st.just("cas"), st.sampled_from(LOCS),
+              st.integers(0, 2), st.integers(0, 3),
+              st.sampled_from((RLX, ACQ_REL))),
+    st.tuples(st.just("fence"), st.sampled_from((ACQ, REL, SEQ))),
+)
+
+thread_spec = st.lists(op_spec, min_size=1, max_size=6)
+program_spec = st.lists(thread_spec, min_size=2, max_size=3)
+
+SCHEDULER_FACTORIES = (
+    lambda seed: NaiveRandomScheduler(seed=seed),
+    lambda seed: C11TesterScheduler(seed=seed),
+    lambda seed: PCTScheduler(2, 12, seed=seed),
+    lambda seed: PCTWMScheduler(2, 8, 2, seed=seed),
+)
+
+
+def build_program(spec) -> Program:
+    p = Program("random")
+    handles = {loc: p.atomic(loc, 0) for loc in LOCS}
+
+    def make_body(ops):
+        def body():
+            observed = []
+            for op in ops:
+                kind = op[0]
+                if kind == "store":
+                    _, loc, value, order = op
+                    yield handles[loc].store(value, order)
+                elif kind == "load":
+                    _, loc, order = op
+                    observed.append((loc, (yield handles[loc].load(order))))
+                elif kind == "faa":
+                    _, loc, delta, order = op
+                    observed.append(
+                        (loc, (yield handles[loc].fetch_add(delta, order)))
+                    )
+                elif kind == "cas":
+                    _, loc, expected, desired, order = op
+                    _ok, old = yield handles[loc].cas(expected, desired,
+                                                      order)
+                    observed.append((loc, old))
+                else:
+                    yield fence(op[1])
+            return observed
+
+        return body
+
+    for ops in spec:
+        p.add_thread(make_body(ops))
+    return p
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_spec, st.integers(0, 3), st.integers(0, 1000))
+def test_every_execution_is_consistent(spec, scheduler_index, seed):
+    scheduler = SCHEDULER_FACTORIES[scheduler_index](seed)
+    result = run_once(build_program(spec), scheduler, max_steps=2000)
+    assert not result.limit_exceeded
+    violations = check_consistency(result.graph)
+    assert not violations, violations
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 3), st.integers(0, 1000))
+def test_per_thread_reads_are_mo_monotone(spec, scheduler_index, seed):
+    """sc-per-location: a thread's same-location reads never go backwards."""
+    scheduler = SCHEDULER_FACTORIES[scheduler_index](seed)
+    result = run_once(build_program(spec), scheduler, max_steps=2000)
+    last_seen = {}
+    for event in result.graph.events:
+        if event.reads_from is None:
+            continue
+        key = (event.tid, event.loc)
+        mo_index = event.reads_from.mo_index
+        if key in last_seen:
+            assert mo_index >= last_seen[key]
+        last_seen[key] = mo_index
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 3), st.integers(0, 1000))
+def test_rmw_atomicity_operational(spec, scheduler_index, seed):
+    """Every RMW reads the write immediately mo-before it."""
+    scheduler = SCHEDULER_FACTORIES[scheduler_index](seed)
+    result = run_once(build_program(spec), scheduler, max_steps=2000)
+    for event in result.graph.events:
+        if event.is_rmw:
+            assert event.reads_from.mo_index == event.mo_index - 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 3), st.integers(0, 1000))
+def test_atomic_programs_never_race(spec, scheduler_index, seed):
+    scheduler = SCHEDULER_FACTORIES[scheduler_index](seed)
+    result = run_once(build_program(spec), scheduler, max_steps=2000)
+    assert not result.races
+
+
+@settings(max_examples=20, deadline=None)
+@given(program_spec, st.integers(0, 3), st.integers(0, 1000))
+def test_replay_determinism(spec, scheduler_index, seed):
+    """Same program + same scheduler seed => identical event streams."""
+    make = SCHEDULER_FACTORIES[scheduler_index]
+    a = run_once(build_program(spec), make(seed), max_steps=2000)
+    b = run_once(build_program(spec), make(seed), max_steps=2000)
+    trace_a = [(e.tid, e.label) for e in a.graph.events]
+    trace_b = [(e.tid, e.label) for e in b.graph.events]
+    assert trace_a == trace_b
+
+
+@settings(max_examples=30, deadline=None)
+@given(program_spec, st.integers(0, 1000))
+def test_naive_scheduler_reads_are_sc(spec, seed):
+    """Naive reads always observe the mo-maximal visible write, so every
+    plain load's source has no mo-later write that existed at read time
+    and was visible."""
+    result = run_once(build_program(spec), NaiveRandomScheduler(seed=seed),
+                      max_steps=2000)
+    for event in result.graph.events:
+        if event.reads_from is None or event.is_rmw:
+            continue
+        source = event.reads_from
+        newer_existing = [
+            w for w in result.graph.writes_by_loc[event.loc]
+            if w.mo_index > source.mo_index and w.uid < event.uid
+        ]
+        # Anything newer must have been coherence-hidden... which cannot
+        # happen for the mo-maximal choice: there must be none at all.
+        assert not newer_existing

@@ -1,0 +1,188 @@
+"""Unit tests for the execution graph and its derived relations."""
+
+import pytest
+
+from repro.memory.events import ACQ, REL, RLX, SC as SEQ, INIT_TID
+from repro.memory.execution import ExecutionGraph
+
+
+def graph_with_init(*locs):
+    g = ExecutionGraph()
+    for loc in locs:
+        g.add_init_write(loc, 0)
+    return g
+
+
+class TestConstruction:
+    def test_init_write_is_mo_origin(self):
+        g = graph_with_init("X")
+        init = g.writes_by_loc["X"][0]
+        assert init.tid == INIT_TID
+        assert init.mo_index == 0
+        assert init.label.wval == 0
+
+    def test_writes_append_in_mo(self):
+        g = graph_with_init("X")
+        w1 = g.add_write(0, "X", 1, RLX)
+        w2 = g.add_write(1, "X", 2, RLX)
+        assert [w.mo_index for w in g.writes_by_loc["X"]] == [0, 1, 2]
+        assert g.mo_max("X") is w2
+        assert w1.mo_index < w2.mo_index
+
+    def test_mo_is_per_location(self):
+        g = graph_with_init("X", "Y")
+        wx = g.add_write(0, "X", 1, RLX)
+        wy = g.add_write(0, "Y", 1, RLX)
+        assert wx.mo_index == 1 and wy.mo_index == 1
+
+    def test_read_records_rf_and_value(self):
+        g = graph_with_init("X")
+        w = g.add_write(0, "X", 7, RLX)
+        r = g.add_read(1, "X", w, RLX)
+        assert r.reads_from is w
+        assert r.label.rval == 7
+
+    def test_read_rejects_wrong_location_source(self):
+        g = graph_with_init("X", "Y")
+        w = g.add_write(0, "X", 1, RLX)
+        with pytest.raises(ValueError):
+            g.add_read(1, "Y", w, RLX)
+
+    def test_rmw_reads_and_writes(self):
+        g = graph_with_init("X")
+        u = g.add_rmw(0, "X", g.mo_max("X"), 5, RLX)
+        assert u.is_read and u.is_write and u.is_rmw
+        assert u.label.rval == 0 and u.label.wval == 5
+        assert g.mo_max("X") is u
+
+    def test_po_index_per_thread(self):
+        g = graph_with_init("X")
+        a = g.add_write(0, "X", 1, RLX)
+        b = g.add_write(1, "X", 2, RLX)
+        c = g.add_write(0, "X", 3, RLX)
+        assert (a.po_index, b.po_index, c.po_index) == (0, 0, 1)
+
+    def test_mo_max_unknown_location(self):
+        g = graph_with_init("X")
+        with pytest.raises(KeyError):
+            g.mo_max("Z")
+
+    def test_sc_order_appends(self):
+        g = graph_with_init("X")
+        a = g.add_write(0, "X", 1, SEQ)
+        f = g.add_fence(1, SEQ)
+        r = g.add_read(1, "X", a, SEQ)
+        assert [e.sc_index for e in (a, f, r)] == [0, 1, 2]
+        assert g.last_sc() is r
+        assert g.last_sc(before=r) is f
+        assert g.last_sc(before=a) is None
+
+
+class TestReleaseSource:
+    def test_release_write_is_its_own_source(self):
+        g = graph_with_init("X")
+        w = g.add_write(0, "X", 1, REL)
+        assert g.release_source(w) is w
+
+    def test_relaxed_write_without_fence_has_no_source(self):
+        g = graph_with_init("X")
+        w = g.add_write(0, "X", 1, RLX)
+        assert g.release_source(w) is None
+
+    def test_release_fence_before_relaxed_write(self):
+        g = graph_with_init("X")
+        f = g.add_fence(0, REL)
+        w = g.add_write(0, "X", 1, RLX)
+        assert g.release_source(w) is f
+
+    def test_fence_in_other_thread_does_not_count(self):
+        g = graph_with_init("X")
+        g.add_fence(1, REL)
+        w = g.add_write(0, "X", 1, RLX)
+        assert g.release_source(w) is None
+
+    def test_rmw_chain_reaches_release_write(self):
+        # w(rel) <-rf- u1(rlx) <-rf- u2(rlx): release sequence via rf+.
+        g = graph_with_init("X")
+        w = g.add_write(0, "X", 1, REL)
+        u1 = g.add_rmw(1, "X", w, 2, RLX)
+        u2 = g.add_rmw(2, "X", u1, 3, RLX)
+        assert g.release_source(u2) is w
+
+    def test_rmw_chain_without_release_is_none(self):
+        g = graph_with_init("X")
+        w = g.add_write(0, "X", 1, RLX)
+        u = g.add_rmw(1, "X", w, 2, RLX)
+        assert g.release_source(u) is None
+
+    def test_init_write_has_no_source(self):
+        g = graph_with_init("X")
+        init = g.writes_by_loc["X"][0]
+        assert g.release_source(init) is None
+
+
+class TestDerivedRelations:
+    def build_mp1(self):
+        """The paper's MP1 execution (Figure 1)."""
+        g = graph_with_init("X", "Y")
+        e1 = g.add_write(0, "X", 1, RLX)
+        e2 = g.add_fence(0, REL)
+        e3 = g.add_write(0, "Y", 1, RLX)
+        e4 = g.add_read(1, "Y", e3, RLX)
+        e5 = g.add_fence(1, ACQ)
+        e6 = g.add_read(1, "X", e1, RLX)
+        return g, (e1, e2, e3, e4, e5, e6)
+
+    def test_po_within_threads_only(self):
+        g, (e1, e2, e3, e4, e5, e6) = self.build_mp1()
+        po = g.po()
+        assert po(e1, e3) and po(e4, e6)
+        assert not po(e3, e4)
+        assert not po(e4, e1)
+
+    def test_rf_edges(self):
+        g, (e1, _e2, e3, e4, _e5, e6) = self.build_mp1()
+        rf = g.rf()
+        assert rf(e3, e4) and rf(e1, e6)
+
+    def test_fr_relates_read_to_later_writes(self):
+        g = graph_with_init("X")
+        w1 = g.add_write(0, "X", 1, RLX)
+        r = g.add_read(1, "X", w1, RLX)
+        w2 = g.add_write(0, "X", 2, RLX)
+        fr = g.fr()
+        assert fr(r, w2)
+        assert not fr(r, w1)
+
+    def test_sw_fence_to_fence(self):
+        # Frel; po; W --rf--> R; po; Facq forms sw(Frel, Facq).
+        g, (e1, e2, e3, e4, e5, e6) = self.build_mp1()
+        sw = g.sw()
+        assert sw(e2, e5)
+        assert not sw(e3, e4)  # relaxed rf alone does not synchronize
+
+    def test_sw_release_write_to_acquire_read(self):
+        g = graph_with_init("X")
+        w = g.add_write(0, "X", 1, REL)
+        r = g.add_read(1, "X", w, ACQ)
+        assert g.sw()(w, r)
+
+    def test_hb_through_sw(self):
+        g, (e1, e2, e3, e4, e5, e6) = self.build_mp1()
+        hb = g.hb()
+        assert hb(e1, e6)  # e1 -po- e2 -sw- e5 -po- e6
+
+    def test_com_excludes_po_and_init(self):
+        g, (e1, _e2, e3, e4, _e5, e6) = self.build_mp1()
+        com = g.com()
+        assert com(e3, e4) and com(e1, e6)
+        assert all(a.tid != b.tid for a, b in com.edges())
+        assert all(not a.is_init and not b.is_init for a, b in com.edges())
+
+    def test_thread_ids_exclude_init(self):
+        g, _ = self.build_mp1()
+        assert set(g.thread_ids()) == {0, 1}
+
+    def test_size_counts_all_events(self):
+        g, _ = self.build_mp1()
+        assert g.size == 2 + 6  # 2 init writes + 6 program events

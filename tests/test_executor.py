@@ -1,0 +1,412 @@
+"""Unit and scenario tests for the execution engine."""
+
+import pytest
+
+from repro.core import C11TesterScheduler, NaiveRandomScheduler
+from repro.memory.events import ACQ, ACQ_REL, NA, REL, RLX, SC as SEQ
+from repro.runtime import (
+    Program,
+    ReproError,
+    Scheduler,
+    fence,
+    join,
+    require,
+    run_once,
+    sched_yield,
+)
+from tests.helpers import ScriptedScheduler
+
+
+class TestBasicExecution:
+    def test_single_thread_store_load(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.store(5, RLX)
+            return (yield x.load(RLX))
+
+        p.add_thread(t)
+        result = run_once(p, NaiveRandomScheduler(seed=0))
+        assert result.thread_results["t"] == 5
+        assert not result.bug_found
+
+    def test_thread_reads_own_latest_write(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.store(1, RLX)
+            yield x.store(2, RLX)
+            return (yield x.load(RLX))
+
+        p.add_thread(t)
+        result = run_once(p, C11TesterScheduler(seed=3))
+        assert result.thread_results["t"] == 2  # own writes are coherent
+
+    def test_initial_value_readable(self):
+        p = Program("p")
+        x = p.atomic("X", 41)
+
+        def t():
+            return (yield x.load(RLX))
+
+        p.add_thread(t)
+        assert run_once(p, NaiveRandomScheduler(seed=0)) \
+            .thread_results["t"] == 41
+
+    def test_k_and_kcom_counted(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.store(1, RLX)   # k only
+            yield x.load(RLX)       # k and k_com
+            yield fence(ACQ)        # k and k_com
+            yield fence(REL)        # k only
+
+        p.add_thread(t)
+        result = run_once(p, NaiveRandomScheduler(seed=0))
+        assert result.k == 4
+        assert result.k_com == 2
+
+    def test_yield_op_produces_no_event(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield sched_yield()
+            yield x.load(RLX)
+
+        p.add_thread(t)
+        result = run_once(p, NaiveRandomScheduler(seed=0))
+        assert result.k == 1
+
+
+class TestRmwAndCas:
+    def test_fetch_add_returns_old_value(self):
+        p = Program("p")
+        x = p.atomic("X", 10)
+
+        def t():
+            old = yield x.fetch_add(5, RLX)
+            new = yield x.load(RLX)
+            return (old, new)
+
+        p.add_thread(t)
+        assert run_once(p, NaiveRandomScheduler(seed=0)) \
+            .thread_results["t"] == (10, 15)
+
+    def test_concurrent_increments_never_lost(self):
+        """Atomicity: two RMWs cannot read the same value."""
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.fetch_add(1, RLX)
+
+        p.add_thread(t, name="a")
+        p.add_thread(t, name="b")
+        for seed in range(30):
+            result = run_once(p, C11TesterScheduler(seed=seed))
+            final = result.graph.mo_max("X").label.wval
+            assert final == 2
+
+    def test_cas_success(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            ok, old = yield x.cas(0, 9, RLX)
+            return (ok, old, (yield x.load(RLX)))
+
+        p.add_thread(t)
+        assert run_once(p, NaiveRandomScheduler(seed=0)) \
+            .thread_results["t"] == (True, 0, 9)
+
+    def test_cas_failure_leaves_value(self):
+        p = Program("p")
+        x = p.atomic("X", 3)
+
+        def t():
+            ok, old = yield x.cas(0, 9, RLX)
+            return (ok, old, (yield x.load(RLX)))
+
+        p.add_thread(t)
+        assert run_once(p, NaiveRandomScheduler(seed=0)) \
+            .thread_results["t"] == (False, 3, 3)
+
+    def test_exchange(self):
+        p = Program("p")
+        x = p.atomic("X", 1)
+
+        def t():
+            old = yield x.exchange(2, ACQ_REL)
+            return old
+
+        p.add_thread(t)
+        assert run_once(p, NaiveRandomScheduler(seed=0)) \
+            .thread_results["t"] == 1
+
+
+class TestJoinAndDeadlock:
+    def test_join_returns_target_result(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def worker():
+            yield x.store(1, RLX)
+            return "worker-result"
+
+        def waiter():
+            got = yield join("worker")
+            return got
+
+        p.add_thread(worker)
+        p.add_thread(waiter)
+        result = run_once(p, C11TesterScheduler(seed=0))
+        assert result.thread_results["waiter"] == "worker-result"
+
+    def test_join_establishes_happens_before(self):
+        """After join, the worker's relaxed write must be visible."""
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def worker():
+            yield x.store(7, RLX)
+
+        def waiter():
+            yield join("worker")
+            return (yield x.load(RLX))
+
+        p.add_thread(worker)
+        p.add_thread(waiter)
+        for seed in range(25):
+            result = run_once(p, C11TesterScheduler(seed=seed))
+            assert result.thread_results["waiter"] == 7
+
+    def test_join_cycle_is_deadlock(self):
+        p = Program("p")
+        p.atomic("X", 0)
+
+        def a():
+            yield join("b")
+
+        def b():
+            yield join("a")
+
+        p.add_thread(a)
+        p.add_thread(b)
+        result = run_once(p, C11TesterScheduler(seed=0))
+        assert result.bug_found and result.bug_kind == "deadlock"
+
+    def test_join_unknown_thread_raises(self):
+        p = Program("p")
+        p.atomic("X", 0)
+
+        def a():
+            yield join("ghost")
+
+        p.add_thread(a)
+        with pytest.raises(Exception):
+            run_once(p, C11TesterScheduler(seed=0))
+
+
+class TestBugDetection:
+    def test_assertion_in_thread(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            value = yield x.load(RLX)
+            require(value == 1, "expected 1")
+
+        p.add_thread(t)
+        result = run_once(p, NaiveRandomScheduler(seed=0))
+        assert result.bug_found
+        assert result.bug_kind == "assertion"
+        assert "expected 1" in result.bug_message
+
+    def test_final_check_failure(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            return (yield x.load(RLX))
+
+        p.add_thread(t)
+        p.add_final_check(lambda r: require(r["t"] == 99, "nope"))
+        result = run_once(p, NaiveRandomScheduler(seed=0))
+        assert result.bug_found and result.bug_kind == "assertion"
+
+    def test_race_reported_as_bug(self):
+        p = Program("p")
+        d = p.non_atomic("D", 0)
+
+        def a():
+            yield d.store(1)
+
+        def b():
+            yield d.store(2)
+
+        p.add_thread(a)
+        p.add_thread(b)
+        result = run_once(p, C11TesterScheduler(seed=0))
+        assert result.bug_found and result.bug_kind == "race"
+        assert result.races
+
+    def test_race_suppressed_when_configured(self):
+        p = Program("p")
+        d = p.non_atomic("D", 0)
+        p.races_are_bugs = False
+
+        def a():
+            yield d.store(1)
+
+        def b():
+            yield d.store(2)
+
+        p.add_thread(a)
+        p.add_thread(b)
+        result = run_once(p, C11TesterScheduler(seed=0))
+        assert not result.bug_found
+        assert result.races  # still recorded, just not a failure
+
+    def test_synchronized_na_accesses_do_not_race(self):
+        p = Program("p")
+        d = p.non_atomic("D", 0)
+        flag = p.atomic("F", 0)
+
+        def producer():
+            yield d.store(1)
+            yield flag.store(1, REL)
+
+        def consumer():
+            for _ in range(30):
+                f = yield flag.load(ACQ)
+                if f == 1:
+                    return (yield d.load())
+            return None
+
+        p.add_thread(producer)
+        p.add_thread(consumer)
+        for seed in range(25):
+            result = run_once(p, C11TesterScheduler(seed=seed))
+            assert not result.races, f"false race at seed {seed}"
+
+
+class TestLimitsAndContracts:
+    def test_step_limit(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def spinner():
+            while True:
+                yield x.load(RLX)
+
+        p.add_thread(spinner)
+        result = run_once(p, NaiveRandomScheduler(seed=0), max_steps=50)
+        assert result.limit_exceeded and not result.bug_found
+
+    def test_scheduler_choosing_disabled_thread_raises(self):
+        class BadScheduler(Scheduler):
+            name = "bad"
+
+            def choose_thread(self, state):
+                return 99
+
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.load(RLX)
+
+        p.add_thread(t)
+        with pytest.raises(ReproError):
+            run_once(p, BadScheduler())
+
+    def test_scheduler_choosing_invisible_write_raises(self):
+        class BadReader(Scheduler):
+            name = "badreader"
+
+            def choose_read_from(self, state, ctx):
+                from repro.memory.events import Event, EventKind, Label
+                rogue = Event(uid=12345, tid=9,
+                              label=Label(EventKind.WRITE, RLX, ctx.loc,
+                                          wval=0))
+                return rogue
+
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.load(RLX)
+
+        p.add_thread(t)
+        with pytest.raises(ReproError):
+            run_once(p, BadReader())
+
+    def test_undeclared_location_raises(self):
+        p = Program("p")
+        p.atomic("X", 0)
+        ghost = __import__("repro.runtime.api", fromlist=["Atomic"]) \
+            .Atomic("GHOST")
+
+        def t():
+            yield ghost.load(RLX)
+
+        p.add_thread(t)
+        with pytest.raises(Exception):
+            run_once(p, NaiveRandomScheduler(seed=0))
+
+    def test_keep_graph_false(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.load(RLX)
+
+        p.add_thread(t)
+        result = run_once(p, NaiveRandomScheduler(seed=0), keep_graph=False)
+        assert result.graph is None
+
+
+class TestScriptedSchedules:
+    def test_interleaving_control(self):
+        """The scripted scheduler produces the exact interleaving asked."""
+        p = Program("p")
+        x = p.atomic("X", 0)
+        order = []
+
+        def a():
+            order.append("a1")
+            yield x.store(1, RLX)
+            order.append("a2")
+            yield x.store(2, RLX)
+
+        def b():
+            order.append("b1")
+            yield x.store(3, RLX)
+
+        p.add_thread(a)
+        p.add_thread(b)
+        run_once(p, ScriptedScheduler([0, 1, 0]))
+        # Generators run eagerly to the first yield on prime: the markers
+        # record op *preparation* order; the mo order records execution.
+
+    def test_stale_read_through_read_picks(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def writer():
+            yield x.store(1, RLX)
+            yield x.store(2, RLX)
+
+        def reader():
+            return (yield x.load(RLX))
+
+        p.add_thread(writer)
+        p.add_thread(reader)
+        # Run writer fully, then reader picks one-older-than-latest.
+        result = run_once(p, ScriptedScheduler([0, 0, 1], read_picks=[1]))
+        assert result.thread_results["reader"] == 1

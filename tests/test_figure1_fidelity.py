@@ -1,0 +1,106 @@
+"""Byte-level fidelity test for the paper's Figure 1 (MP1 walkthrough).
+
+Figure 1 annotates the MP1 execution `a = 1, b = 1` with the thread view
+after every event and the bags communicated along rf/sw edges:
+
+    e1: W(X,1)rlx   -> T1 view {(X,e1),(Y,iy)}
+    e2: Frel        -> T1 view unchanged; e2.bag = {(X,e1),(Y,iy)}
+    e3: W(Y,1)rlx   -> T1 view {(X,e1),(Y,e3)}
+    e4: R(Y,1)rlx   -> T2 view {(X,ix),(Y,e3)}  (relaxed: only Y joins)
+    e5: Facq        -> sw with e2; T2 view {(X,e1),(Y,e3)}
+    e6: R(X,1)      -> reads 1 (from the view), whether local or global
+
+This test drives PCTWM into exactly that execution (d=1 selecting e4 as
+the communication sink, T1 at higher priority) and asserts every view/bag
+against the figure.
+"""
+
+from repro.core import PCTWMScheduler
+from repro.litmus import mp1
+from repro.runtime import Executor
+
+
+class _PinnedPCTWM(PCTWMScheduler):
+    """PCTWM with deterministic priorities/selection for the walkthrough:
+    T1 (writer, tid 0) runs first; the single change point selects the
+    first communication event encountered — e4, the reader's Y load."""
+
+    def on_run_start(self, state) -> None:
+        super().on_run_start(state)
+        # Writer above reader; change point pinned at comm event #1.
+        self._priorities = {0: 3, 1: 2}
+        self._slot_by_count = {1: 0}
+
+
+def run_figure1():
+    program = mp1()
+    scheduler = _PinnedPCTWM(depth=1, k_com=1, history=1, seed=0)
+    executor = Executor(program, scheduler)
+    result = executor.run()
+    return result, scheduler
+
+
+def label_views(graph, scheduler):
+    """Map event uid -> {loc: source-uid} from the recorded bags."""
+    out = {}
+    for event in graph.events:
+        bag = scheduler._bags.get(event.uid)
+        if bag is None:
+            continue
+        out[event.uid] = {
+            loc: bag.get(loc).uid for loc in ("X", "Y")
+        }
+    return out
+
+
+class TestFigure1:
+    def test_execution_matches_figure(self):
+        result, scheduler = run_figure1()
+        graph = result.graph
+        events = [e for e in graph.events if not e.is_init]
+        # Execution order: e1, e2, e3 (T1), then e4, e5, e6 (T2).
+        kinds = [(e.tid, e.kind.value, e.loc) for e in events]
+        assert kinds == [
+            (0, "W", "X"), (0, "F", None), (0, "W", "Y"),
+            (1, "R", "Y"), (1, "F", None), (1, "R", "X"),
+        ]
+        e1, e2, e3, e4, e5, e6 = events
+
+        # rf edges of the figure: e4 reads e3; e6 reads e1.
+        assert e4.reads_from is e3
+        assert e6.reads_from is e1
+        assert result.thread_results["reader"] == (1, 1)
+        assert not result.bug_found
+
+        init_x = graph.writes_by_loc["X"][0]
+        views = label_views(graph, scheduler)
+
+        # e1's bag: {(X, e1), (Y, iy)}.
+        assert views[e1.uid]["X"] == e1.uid
+        assert views[e1.uid]["Y"] == graph.writes_by_loc["Y"][0].uid
+        # e2 (Frel): unchanged view snapshot.
+        assert views[e2.uid] == views[e1.uid]
+        # e3: {(X, e1), (Y, e3)}.
+        assert views[e3.uid] == {"X": e1.uid, "Y": e3.uid}
+        # e4 (relaxed read of Y): only Y joins -> {(X, ix), (Y, e3)}.
+        assert views[e4.uid] == {"X": init_x.uid, "Y": e3.uid}
+        # e5 (Facq): sw with e2 delivers e2's bag -> {(X, e1), (Y, e3)}.
+        assert views[e5.uid] == {"X": e1.uid, "Y": e3.uid}
+        # e6 reads X = 1 from the updated view.
+        assert e6.label.rval == 1
+
+    def test_sw_edge_is_fence_to_fence(self):
+        result, _scheduler = run_figure1()
+        sw = result.graph.sw()
+        events = [e for e in result.graph.events if not e.is_init]
+        e2, e5 = events[1], events[4]
+        assert sw(e2, e5), "Figure 1's sw(e2, e5) edge missing"
+
+    def test_outcome_a1_b0_impossible_here(self):
+        """The figure's point: once a = 1, the fences force b = 1."""
+        for seed in range(50):
+            scheduler = _PinnedPCTWM(depth=1, k_com=1, history=1,
+                                     seed=seed)
+            result = Executor(mp1(), scheduler).run()
+            a, b = result.thread_results["reader"]
+            assert (a, b) != (1, 0)

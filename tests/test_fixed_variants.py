@@ -1,0 +1,107 @@
+"""Soundness tests: the *fixed* benchmark variants must never flag a bug.
+
+Every workload factory accepts ``fixed=True``, building the correctly
+synchronized version of the same algorithm (release/acquire publication,
+seq_cst Dekker flags, Boehm's seqlock fences, atomic app cells).  A tool
+that reports a bug on these would be unsound; these tests exercise the
+full fence / release-sequence / SC machinery of the memory model in the
+process.
+"""
+
+import pytest
+
+from repro.core import C11TesterScheduler, NaiveRandomScheduler, \
+    PCTScheduler, PCTWMScheduler
+from repro.core.depth import estimate_parameters
+from repro.runtime import run_once
+from repro.workloads import BENCHMARKS, BENCHMARK_ORDER
+from repro.workloads.apps import APPLICATIONS
+
+TRIALS = 60
+
+
+@pytest.fixture(params=BENCHMARK_ORDER)
+def info(request):
+    return BENCHMARKS[request.param]
+
+
+class TestFixedBenchmarksAreClean:
+    def test_under_c11tester(self, info):
+        for seed in range(TRIALS):
+            result = run_once(info.factory(fixed=True),
+                              C11TesterScheduler(seed=seed),
+                              keep_graph=False)
+            assert not result.bug_found, \
+                f"{info.name}-fixed flagged: {result.bug_message}"
+
+    def test_under_pctwm_depth_sweep(self, info):
+        est = estimate_parameters(info.factory(fixed=True), runs=2)
+        for depth in (0, 1, 2, 3):
+            for seed in range(TRIALS // 3):
+                result = run_once(
+                    info.factory(fixed=True),
+                    PCTWMScheduler(depth, est.k_com, 2,
+                                   seed=seed * 13 + depth),
+                    keep_graph=False,
+                )
+                assert not result.bug_found, \
+                    f"{info.name}-fixed flagged at d={depth}"
+
+    def test_under_pct(self, info):
+        est = estimate_parameters(info.factory(fixed=True), runs=2)
+        for seed in range(TRIALS // 2):
+            result = run_once(info.factory(fixed=True),
+                              PCTScheduler(3, est.k, seed=seed),
+                              keep_graph=False)
+            assert not result.bug_found
+
+    def test_under_naive(self, info):
+        for seed in range(TRIALS // 2):
+            result = run_once(info.factory(fixed=True),
+                              NaiveRandomScheduler(seed=seed),
+                              keep_graph=False)
+            assert not result.bug_found
+
+    def test_fixed_programs_are_named(self, info):
+        assert info.factory(fixed=True).name.endswith("-fixed")
+
+
+class TestBuggyCounterparts:
+    """The same factories with ``fixed=False`` must remain detectable —
+    guards against the fix accidentally weakening the buggy variant."""
+
+    @pytest.mark.parametrize("name", ["dekker", "msqueue"])
+    def test_depth_zero_bugs_unaffected(self, name):
+        info = BENCHMARKS[name]
+        for seed in range(20):
+            result = run_once(info.factory(fixed=False),
+                              PCTWMScheduler(0, info.paper_k_com, 1,
+                                             seed=seed),
+                              keep_graph=False)
+            assert result.bug_found
+
+
+class TestFixedApplications:
+    @pytest.fixture(params=sorted(APPLICATIONS))
+    def factory(self, request):
+        return APPLICATIONS[request.param]
+
+    def test_no_race_under_c11tester(self, factory):
+        for seed in range(15):
+            result = run_once(factory(fixed=True),
+                              C11TesterScheduler(seed=seed),
+                              keep_graph=False, max_steps=100000)
+            assert not result.races
+
+    def test_no_race_under_pctwm(self, factory):
+        est = estimate_parameters(factory(fixed=True), runs=2)
+        for seed in range(15):
+            result = run_once(factory(fixed=True),
+                              PCTWMScheduler(2, est.k_com, 2, seed=seed),
+                              keep_graph=False, max_steps=100000)
+            assert not result.races
+
+    def test_buggy_counterpart_still_races(self, factory):
+        result = run_once(factory(fixed=False), C11TesterScheduler(seed=0),
+                          keep_graph=False, max_steps=100000)
+        assert result.races

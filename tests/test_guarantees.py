@@ -1,0 +1,94 @@
+"""Tests for the theoretical bounds (Sections 2.2 and 5.4) and that the
+empirical hit rates respect them."""
+
+import pytest
+
+from repro.core import PCTWMScheduler
+from repro.core.guarantees import (
+    naive_detection_probability,
+    pct_lower_bound,
+    pct_sample_space,
+    pctwm_loose_bound,
+    pctwm_lower_bound,
+    pctwm_sample_space,
+)
+from repro.harness.stats import wilson_interval
+from repro.litmus import mp2, p1
+from repro.memory.events import RLX
+from tests.helpers import hit_count
+
+
+class TestFormulas:
+    def test_pct_sample_space(self):
+        assert pct_sample_space(t=2, k=10, d=1) == 2
+        assert pct_sample_space(t=2, k=10, d=3) == 200
+
+    def test_pct_lower_bound(self):
+        assert pct_lower_bound(2, 10, 1) == pytest.approx(0.5)
+        assert pct_lower_bound(3, 5, 2) == pytest.approx(1 / 15)
+
+    def test_pctwm_sample_space_exact(self):
+        # C(k_com, d) * d! * h^d
+        assert pctwm_sample_space(k_com=3, d=2, h=1) == 6
+        assert pctwm_sample_space(k_com=3, d=2, h=2) == 24
+        assert pctwm_sample_space(k_com=5, d=0, h=4) == 1
+
+    def test_pctwm_lower_bound(self):
+        assert pctwm_lower_bound(3, 2, 1) == pytest.approx(1 / 6)
+        assert pctwm_lower_bound(10, 0, 1) == pytest.approx(1.0)
+
+    def test_loose_bound_is_looser(self):
+        for k_com, d, h in ((3, 2, 1), (10, 3, 2), (5, 1, 4)):
+            assert pctwm_loose_bound(k_com, d, h) \
+                <= pctwm_lower_bound(k_com, d, h) + 1e-12
+
+    def test_naive_probability(self):
+        assert naive_detection_probability(2, 3) == pytest.approx(1 / 8)
+        assert naive_detection_probability(2, 0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pct_sample_space(0, 5, 1)
+        with pytest.raises(ValueError):
+            pctwm_sample_space(5, -1, 1)
+        with pytest.raises(ValueError):
+            pctwm_sample_space(2, 5, 1)  # d > k_com
+        with pytest.raises(ValueError):
+            naive_detection_probability(0, 1)
+
+
+class TestEmpiricalRatesRespectBounds:
+    """The guarantee: a target execution is sampled with probability at
+    least the bound — so over many trials the hit rate's confidence
+    interval must not fall below it."""
+
+    def test_p1_d1_h1(self):
+        trials = 300
+        hits = hit_count(lambda: p1(k=5, order=RLX),
+                         lambda s: PCTWMScheduler(1, 1, 1, seed=s), trials)
+        low, _high = wilson_interval(hits, trials)
+        assert low >= pctwm_lower_bound(k_com=1, d=1, h=1) - 0.05
+
+    def test_p1_d1_h2(self):
+        trials = 400
+        hits = hit_count(lambda: p1(k=5, order=RLX),
+                         lambda s: PCTWMScheduler(1, 1, 2, seed=s), trials)
+        _low, high = wilson_interval(hits, trials)
+        bound = pctwm_lower_bound(k_com=1, d=1, h=2)  # 1/2
+        assert high >= bound  # hit rate is consistent with >= 1/2
+
+    def test_mp2_d2_h1(self):
+        trials = 600
+        hits = hit_count(mp2,
+                         lambda s: PCTWMScheduler(2, 3, 1, seed=s), trials)
+        _low, high = wilson_interval(hits, trials)
+        # One of the P(3,2)*1 = 6 configurations triggers the bug.
+        assert high >= pctwm_lower_bound(k_com=3, d=2, h=1)
+
+    def test_bound_shrinks_with_depth(self):
+        bounds = [pctwm_lower_bound(10, d, 2) for d in range(4)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_bound_shrinks_with_history(self):
+        bounds = [pctwm_lower_bound(10, 2, h) for h in (1, 2, 3, 4)]
+        assert bounds == sorted(bounds, reverse=True)

@@ -1,0 +1,88 @@
+"""Cross-validation: the executor's vector clocks vs the axiomatic hb.
+
+The engine decides happens-before with vector clocks (fast path) while the
+audit layer materializes ``hb = (po ∪ sw)+`` from the graph (Section 4).
+For programs without thread joins/spawns (whose edges the graph relations
+deliberately omit), the two must agree exactly — on every event pair, for
+every scheduler, on randomized programs.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.memory.events import ACQ, ACQ_REL, REL, RLX, SC as SEQ, \
+    happens_before
+from repro.runtime import Program, fence, run_once
+
+LOCS = ("X", "Y")
+ORDERS = (RLX, ACQ, REL, ACQ_REL, SEQ)
+
+op_spec = st.one_of(
+    st.tuples(st.just("store"), st.sampled_from(LOCS),
+              st.integers(0, 3), st.sampled_from(ORDERS)),
+    st.tuples(st.just("load"), st.sampled_from(LOCS),
+              st.sampled_from(ORDERS)),
+    st.tuples(st.just("faa"), st.sampled_from(LOCS),
+              st.sampled_from((RLX, ACQ, REL, ACQ_REL))),
+    st.tuples(st.just("fence"), st.sampled_from((ACQ, REL))),
+)
+
+program_spec = st.lists(st.lists(op_spec, min_size=1, max_size=5),
+                        min_size=2, max_size=3)
+
+
+def build(spec) -> Program:
+    p = Program("hbx")
+    handles = {loc: p.atomic(loc, 0) for loc in LOCS}
+
+    def make_body(ops):
+        def body():
+            for op in ops:
+                if op[0] == "store":
+                    _, loc, value, order = op
+                    yield handles[loc].store(value, order)
+                elif op[0] == "load":
+                    _, loc, order = op
+                    yield handles[loc].load(order)
+                elif op[0] == "faa":
+                    _, loc, order = op
+                    yield handles[loc].fetch_add(1, order)
+                else:
+                    yield fence(op[1])
+
+        return body
+
+    for ops in spec:
+        p.add_thread(make_body(ops))
+    return p
+
+
+@settings(max_examples=50, deadline=None)
+@given(program_spec, st.integers(0, 1), st.integers(0, 500))
+def test_clock_hb_equals_graph_hb(spec, which, seed):
+    scheduler = (C11TesterScheduler(seed=seed) if which == 0
+                 else PCTWMScheduler(2, 8, 2, seed=seed))
+    result = run_once(build(spec), scheduler, max_steps=2000)
+    graph = result.graph
+    hb = graph.hb()
+    events = [e for e in graph.events if not e.is_init]
+    for a in events:
+        for b in events:
+            if a is b:
+                continue
+            assert happens_before(a, b) == hb(a, b), (
+                f"clock/graph hb disagree on {a!r} -> {b!r}\n"
+                f"clock says {happens_before(a, b)}"
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(program_spec, st.integers(0, 500))
+def test_sw_edges_have_clock_evidence(spec, seed):
+    result = run_once(build(spec), C11TesterScheduler(seed=seed),
+                      max_steps=2000)
+    for a, b in result.graph.sw().edges():
+        if a.is_init:
+            continue
+        assert happens_before(a, b), f"sw edge {a!r} -> {b!r} not in clocks"

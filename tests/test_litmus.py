@@ -1,0 +1,112 @@
+"""Litmus-suite semantics: which outcomes each scheduler can produce."""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+)
+from repro.litmus import (
+    ALL_LITMUS,
+    corr,
+    iriw,
+    load_buffering,
+    message_passing,
+    mp1,
+    mp2,
+    store_buffering,
+    two_plus_two_w,
+)
+from repro.memory.events import ACQ, REL, SC as SEQ
+from repro.runtime import run_once
+from tests.helpers import hit_count
+
+ALL_SCHEDULERS = [
+    lambda s: NaiveRandomScheduler(seed=s),
+    lambda s: C11TesterScheduler(seed=s),
+    lambda s: PCTScheduler(2, 10, seed=s),
+    lambda s: PCTWMScheduler(2, 8, 2, seed=s),
+]
+
+
+class TestGallerySanity:
+    @pytest.mark.parametrize("name", sorted(ALL_LITMUS))
+    def test_every_litmus_runs_under_every_scheduler(self, name):
+        factory = ALL_LITMUS[name]
+        for make in ALL_SCHEDULERS:
+            result = run_once(factory(), make(0))
+            assert result.steps > 0
+            assert not result.limit_exceeded
+
+
+class TestWeakOutcomes:
+    def test_sb_found_by_weak_schedulers_only(self):
+        assert hit_count(store_buffering,
+                         lambda s: PCTWMScheduler(0, 4, 1, seed=s),
+                         50) == 50
+        assert hit_count(store_buffering,
+                         lambda s: C11TesterScheduler(seed=s), 100) > 0
+        assert hit_count(store_buffering,
+                         lambda s: NaiveRandomScheduler(seed=s), 100) == 0
+
+    def test_mp_relaxed_is_buggy(self):
+        assert hit_count(message_passing,
+                         lambda s: PCTWMScheduler(1, 3, 1, seed=s),
+                         200) > 0
+
+    def test_mp_release_acquire_is_safe(self):
+        safe = lambda: message_passing(flag_store_order=REL,
+                                       flag_load_order=ACQ)
+        for make in ALL_SCHEDULERS:
+            assert hit_count(safe, make, 150) == 0
+
+    def test_iriw_relaxed_can_disagree(self):
+        hits = sum(
+            hit_count(iriw, make, 300) for make in (
+                lambda s: C11TesterScheduler(seed=s),
+                lambda s: PCTWMScheduler(2, 6, 1, seed=s),
+            )
+        )
+        assert hits > 0
+
+    def test_iriw_sc_never_disagrees(self):
+        sc_iriw = lambda: iriw(order=SEQ)
+        for make in ALL_SCHEDULERS:
+            assert hit_count(sc_iriw, make, 200) == 0
+
+
+class TestForbiddenOutcomes:
+    """Outcomes the memory model must never produce, any scheduler."""
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_no_coherence_violation(self, make):
+        assert hit_count(corr, make, 200) == 0
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_no_out_of_thin_air(self, make):
+        assert hit_count(load_buffering, make, 200) == 0
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_mp1_fences_protect(self, make):
+        assert hit_count(mp1, make, 200) == 0
+
+
+class TestTwoPlusTwoW:
+    def test_final_values_are_last_writes(self):
+        for make in ALL_SCHEDULERS:
+            result = run_once(two_plus_two_w(), make(7))
+            for loc in ("X", "Y"):
+                final = result.graph.mo_max(loc).label.wval
+                assert final in (1, 2)
+
+
+class TestMp2Structure:
+    def test_bug_depth_two_manifests_only_with_both_relations(self):
+        assert hit_count(mp2, lambda s: PCTWMScheduler(0, 3, 1, seed=s),
+                         100) == 0
+        assert hit_count(mp2, lambda s: PCTWMScheduler(1, 3, 1, seed=s),
+                         100) == 0
+        assert hit_count(mp2, lambda s: PCTWMScheduler(2, 3, 1, seed=s),
+                         400) > 0

@@ -1,0 +1,111 @@
+"""Tests for the extended litmus gallery."""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    POSScheduler,
+)
+from repro.litmus import EXTENDED_LITMUS, coww, cowr, isa2, r_shape, wrc
+from repro.memory.events import ACQ, REL
+from repro.runtime import run_once
+from tests.helpers import hit_count
+
+ALL_SCHEDULERS = [
+    lambda s: NaiveRandomScheduler(seed=s),
+    lambda s: C11TesterScheduler(seed=s),
+    lambda s: PCTScheduler(2, 10, seed=s),
+    lambda s: PCTWMScheduler(2, 8, 2, seed=s),
+    lambda s: POSScheduler(seed=s),
+]
+
+
+class TestGalleryRuns:
+    @pytest.mark.parametrize("name", sorted(EXTENDED_LITMUS))
+    def test_runs_under_every_scheduler(self, name):
+        factory = EXTENDED_LITMUS[name]
+        for make in ALL_SCHEDULERS:
+            result = run_once(factory(), make(3))
+            assert not result.limit_exceeded
+
+
+class TestCoherenceShapes:
+    """CoWW / CoWR are forbidden under every scheduler."""
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_coww_never_fires(self, make):
+        assert hit_count(coww, make, 150) == 0
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_cowr_never_fires(self, make):
+        assert hit_count(cowr, make, 150) == 0
+
+
+class TestCausalityShapes:
+    def test_wrc_relaxed_is_weak(self):
+        """Relaxed WRC: T3 can see Y=1, X=0 (a depth-2 outcome)."""
+        hits = hit_count(wrc,
+                         lambda s: PCTWMScheduler(2, 4, 1, seed=s), 400)
+        hits += hit_count(wrc, lambda s: C11TesterScheduler(seed=s), 400)
+        assert hits > 0
+
+    def test_wrc_fully_synchronized_is_causal(self):
+        """With release on both writes and acquire on both observations,
+        hb chains from T1's write to T3's read: forbidden everywhere."""
+        strong = lambda: wrc(flag_order=REL, observe_order=ACQ,
+                             data_order=REL)
+        for make in ALL_SCHEDULERS:
+            assert hit_count(strong, make, 150) == 0
+
+    def test_wrc_partial_sync_still_weak_axiomatically(self):
+        """rel/acq on Y alone does NOT forbid the outcome in C11 (rf on a
+        relaxed write gives no hb) — the visibility-based schedulers can
+        produce it..."""
+        partial = lambda: wrc(flag_order=REL, observe_order=ACQ)
+        hits = hit_count(partial, lambda s: C11TesterScheduler(seed=s),
+                         600)
+        assert hits > 0
+
+    def test_wrc_partial_sync_invisible_to_views_at_h1(self):
+        """...but PCTWM's bags are causally cumulative (Algorithm 2 line
+        16 carries the source's entry), so at h=1 — where readLocal uses
+        the joined view and readGlobal takes the mo-maximal write — the
+        view-based scheduler never samples it.  At h >= 2 a selected sink
+        may still pick the stale write from its history window, which is
+        exactly the axiomatically-legal behaviour."""
+        partial = lambda: wrc(flag_order=REL, observe_order=ACQ)
+        for d in (1, 2, 3):
+            assert hit_count(
+                partial, lambda s: PCTWMScheduler(d, 4, 1, seed=s), 150,
+            ) == 0
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_isa2_chain_never_fails(self, make):
+        assert hit_count(isa2, make, 150) == 0
+
+
+class TestObservationalShapes:
+    def test_r_shape_final_state_valid(self):
+        for make in ALL_SCHEDULERS:
+            result = run_once(r_shape(), make(5))
+            final_y = result.graph.mo_max("Y").label.wval
+            assert final_y in (1, 2)
+
+
+class TestCoRR2:
+    """Cross-reader coherence: both readers must agree on mo."""
+
+    @pytest.mark.parametrize("make", ALL_SCHEDULERS)
+    def test_never_disagree(self, make):
+        from repro.litmus import corr2
+        assert hit_count(corr2, make, 200) == 0
+
+    def test_exhaustively_safe(self):
+        from repro.litmus import corr2
+        from repro.modelcheck import explore
+        report = explore(corr2, max_executions=30000)
+        assert not report.truncated
+        assert report.buggy == 0

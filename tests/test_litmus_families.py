@@ -1,0 +1,102 @@
+"""Tests for the parameterized litmus families."""
+
+import pytest
+
+from repro.core import C11TesterScheduler, NaiveRandomScheduler, \
+    PCTWMScheduler
+from repro.litmus.families import (
+    coherence_chain,
+    mp_chain,
+    sb_family,
+    staleness_gauge,
+)
+from repro.runtime import run_once
+from tests.helpers import hit_count
+
+
+class TestSbFamily:
+    @pytest.mark.parametrize("n", [2, 3, 5])
+    def test_depth_zero_for_any_ring_size(self, n):
+        hits = hit_count(lambda: sb_family(n),
+                         lambda s: PCTWMScheduler(0, 2 * n, 1, seed=s), 40)
+        assert hits == 40
+
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_sc_forbids_it(self, n):
+        assert hit_count(lambda: sb_family(n),
+                         lambda s: NaiveRandomScheduler(seed=s), 100) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sb_family(1)
+
+
+class TestMpChain:
+    def test_zero_hops_is_plain_mp(self):
+        hits = hit_count(lambda: mp_chain(0),
+                         lambda s: PCTWMScheduler(1, 3, 1, seed=s), 200)
+        assert hits > 0
+
+    def test_longer_chains_need_more_depth(self):
+        """With hops=1 the bug needs 2 communications: invisible at d=1."""
+        assert hit_count(lambda: mp_chain(1),
+                         lambda s: PCTWMScheduler(1, 5, 1, seed=s),
+                         150) == 0
+        assert hit_count(lambda: mp_chain(1),
+                         lambda s: PCTWMScheduler(2, 5, 1, seed=s),
+                         400) > 0
+
+    def test_chain_runs_under_random(self):
+        result = run_once(mp_chain(2), C11TesterScheduler(seed=0))
+        assert not result.limit_exceeded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mp_chain(-1)
+
+
+class TestCoherenceChain:
+    @pytest.mark.parametrize("writes", [1, 4, 10])
+    def test_never_violated(self, writes):
+        for make in (lambda s: C11TesterScheduler(seed=s),
+                      lambda s: PCTWMScheduler(2, 4, 3, seed=s)):
+            assert hit_count(lambda: coherence_chain(writes), make,
+                             100) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            coherence_chain(0)
+
+
+class TestStalenessGauge:
+    def test_target_initial_value_is_depth_zero(self):
+        hits = hit_count(lambda: staleness_gauge(5, target=0),
+                         lambda s: PCTWMScheduler(0, 1, 1, seed=s), 50)
+        assert hits == 50
+
+    def test_target_latest_needs_one_com_h1(self):
+        hits = hit_count(lambda: staleness_gauge(5, target=5),
+                         lambda s: PCTWMScheduler(1, 1, 1, seed=s), 50)
+        assert hits == 50
+
+    def test_target_middle_needs_matching_history(self):
+        """Hitting mo position w-1 requires h >= 2 (and gets ~1/h)."""
+        h1 = hit_count(lambda: staleness_gauge(5, target=4),
+                       lambda s: PCTWMScheduler(1, 1, 1, seed=s), 200)
+        h2 = hit_count(lambda: staleness_gauge(5, target=4),
+                       lambda s: PCTWMScheduler(1, 1, 2, seed=s), 200)
+        assert h1 == 0
+        assert 50 <= h2 <= 150  # ~50%
+
+    def test_uniform_rf_dilutes_with_writes(self):
+        few = hit_count(lambda: staleness_gauge(2, target=0),
+                        lambda s: C11TesterScheduler(seed=s), 300)
+        many = hit_count(lambda: staleness_gauge(12, target=0),
+                         lambda s: C11TesterScheduler(seed=s), 300)
+        assert few > many  # the Figure 6 mechanism in isolation
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            staleness_gauge(0)
+        with pytest.raises(ValueError):
+            staleness_gauge(3, target=9)

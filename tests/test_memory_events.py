@@ -1,0 +1,165 @@
+"""Unit tests for events, memory orders, and vector clocks."""
+
+import pytest
+
+from repro.memory.events import (
+    ACQ,
+    ACQ_REL,
+    Event,
+    EventKind,
+    INIT_TID,
+    Label,
+    MemoryOrder,
+    NA,
+    REL,
+    RLX,
+    SC,
+    clock_join,
+    clock_leq,
+    happens_before,
+)
+
+
+class TestMemoryOrder:
+    def test_acquire_family(self):
+        assert ACQ.is_acquire
+        assert ACQ_REL.is_acquire
+        assert SC.is_acquire
+        assert not REL.is_acquire
+        assert not RLX.is_acquire
+        assert not NA.is_acquire
+
+    def test_release_family(self):
+        assert REL.is_release
+        assert ACQ_REL.is_release
+        assert SC.is_release
+        assert not ACQ.is_release
+        assert not RLX.is_release
+        assert not NA.is_release
+
+    def test_seq_cst(self):
+        assert SC.is_seq_cst
+        assert not any(
+            o.is_seq_cst for o in (NA, RLX, ACQ, REL, ACQ_REL)
+        )
+
+    def test_atomicity_flag(self):
+        assert not NA.is_atomic
+        assert all(o.is_atomic for o in (RLX, ACQ, REL, ACQ_REL, SC))
+
+    def test_strength_ordering(self):
+        assert NA < RLX < ACQ < REL < ACQ_REL < SC
+
+
+def make_event(uid=0, tid=0, kind=EventKind.WRITE, order=RLX, loc="X",
+               rval=None, wval=None, clock=()):
+    e = Event(uid=uid, tid=tid,
+              label=Label(kind, order, loc, rval=rval, wval=wval))
+    e.clock = clock
+    return e
+
+
+class TestEventPredicates:
+    def test_read_includes_rmw(self):
+        assert make_event(kind=EventKind.READ).is_read
+        assert make_event(kind=EventKind.RMW).is_read
+        assert not make_event(kind=EventKind.WRITE).is_read
+        assert not make_event(kind=EventKind.FENCE, loc=None).is_read
+
+    def test_write_includes_rmw(self):
+        assert make_event(kind=EventKind.WRITE).is_write
+        assert make_event(kind=EventKind.RMW).is_write
+        assert not make_event(kind=EventKind.READ).is_write
+
+    def test_fence_kinds(self):
+        acq_fence = make_event(kind=EventKind.FENCE, order=ACQ, loc=None)
+        rel_fence = make_event(kind=EventKind.FENCE, order=REL, loc=None)
+        sc_fence = make_event(kind=EventKind.FENCE, order=SC, loc=None)
+        assert acq_fence.is_acquire_fence and not acq_fence.is_release_fence
+        assert rel_fence.is_release_fence and not rel_fence.is_acquire_fence
+        assert sc_fence.is_acquire_fence and sc_fence.is_release_fence
+
+    def test_init_flag(self):
+        assert make_event(tid=INIT_TID).is_init
+        assert not make_event(tid=0).is_init
+
+    def test_sc_flag(self):
+        assert make_event(order=SC).is_sc
+        assert not make_event(order=RLX).is_sc
+
+    def test_identity_not_structural(self):
+        a = make_event(uid=1)
+        b = make_event(uid=1)
+        assert a != b  # dataclass with eq=False: identity semantics
+
+
+class TestClocks:
+    def test_leq_reflexive(self):
+        assert clock_leq((1, 2, 3), (1, 2, 3))
+
+    def test_leq_pointwise(self):
+        assert clock_leq((1, 2), (1, 3))
+        assert not clock_leq((2, 2), (1, 3))
+
+    def test_leq_ragged_lengths(self):
+        assert clock_leq((1,), (1, 5))
+        assert clock_leq((1, 0, 0), (1, 0))
+        assert not clock_leq((1, 0, 1), (1, 0))
+
+    def test_join_pointwise_max(self):
+        assert clock_join((1, 5), (3, 2)) == (3, 5)
+
+    def test_join_ragged(self):
+        assert clock_join((1,), (0, 4)) == (1, 4)
+        assert clock_join((0, 4), (1,)) == (1, 4)
+
+    def test_join_commutative(self):
+        a, b = (2, 0, 7), (1, 9)
+        assert clock_join(a, b) == clock_join(b, a)
+
+
+class TestHappensBefore:
+    def test_init_before_everything(self):
+        init = make_event(uid=0, tid=INIT_TID)
+        later = make_event(uid=5, tid=0, clock=(1,))
+        assert happens_before(init, later)
+        assert not happens_before(later, init)
+
+    def test_init_order_among_inits(self):
+        i1 = make_event(uid=0, tid=INIT_TID)
+        i2 = make_event(uid=1, tid=INIT_TID)
+        assert happens_before(i1, i2)
+        assert not happens_before(i2, i1)
+
+    def test_same_thread_program_order(self):
+        a = make_event(uid=1, tid=0, clock=(1, 0))
+        b = make_event(uid=2, tid=0, clock=(2, 0))
+        assert happens_before(a, b)
+        assert not happens_before(b, a)
+
+    def test_unsynchronized_cross_thread(self):
+        a = make_event(uid=1, tid=0, clock=(1, 0))
+        b = make_event(uid=2, tid=1, clock=(0, 1))
+        assert not happens_before(a, b)
+        assert not happens_before(b, a)
+
+    def test_synchronized_cross_thread(self):
+        a = make_event(uid=1, tid=0, clock=(1, 0))
+        b = make_event(uid=2, tid=1, clock=(1, 1))  # joined a's clock
+        assert happens_before(a, b)
+        assert not happens_before(b, a)
+
+    def test_irreflexive(self):
+        a = make_event(uid=1, tid=0, clock=(1,))
+        assert not happens_before(a, a)
+
+
+class TestLabel:
+    def test_fence_label_fields(self):
+        lab = Label(EventKind.FENCE, ACQ)
+        assert lab.loc is None and lab.rval is None and lab.wval is None
+
+    def test_label_is_frozen(self):
+        lab = Label(EventKind.WRITE, RLX, "X", wval=1)
+        with pytest.raises(AttributeError):
+            lab.wval = 2

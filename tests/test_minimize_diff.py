@@ -1,0 +1,105 @@
+"""Tests for configuration minimization and execution diffing."""
+
+import pytest
+
+from repro import PCTWMScheduler, run_once
+from repro.analysis import diff_executions
+from repro.litmus import mp1, mp2, p1, store_buffering
+from repro.memory.events import RLX
+from repro.replay import minimize_configuration
+from repro.workloads import BENCHMARKS
+
+
+class TestMinimizeConfiguration:
+    def test_finds_mp2_true_depth(self):
+        cfg = minimize_configuration(mp2, depth=4, history=4, k_com=3,
+                                     trials=200)
+        assert cfg is not None
+        assert cfg.depth == 2       # Definition 4's value for MP2
+        assert cfg.history == 1
+        assert cfg.hit_rate > 0
+
+    def test_finds_sb_depth_zero(self):
+        cfg = minimize_configuration(store_buffering, depth=3, history=3,
+                                     k_com=4, trials=60)
+        assert cfg is not None
+        assert cfg.depth == 0
+        assert cfg.hit_rate == 1.0  # the d=0 execution always hits
+
+    def test_history_shrinks_independently(self):
+        """P1 at h>=1 d=1 reproduces down to h=1 (the mo-max value)."""
+        cfg = minimize_configuration(lambda: p1(5, order=RLX),
+                                     depth=3, history=4, k_com=1,
+                                     trials=60)
+        assert cfg is not None
+        assert (cfg.depth, cfg.history) == (1, 1)
+
+    def test_bug_free_program_returns_none(self):
+        assert minimize_configuration(mp1, depth=2, history=2,
+                                      trials=40) is None
+
+    def test_witness_seed_reproduces(self):
+        cfg = minimize_configuration(BENCHMARKS["barrier"].build,
+                                     depth=2, history=2, trials=80)
+        assert cfg is not None
+        result = run_once(
+            BENCHMARKS["barrier"].build(),
+            PCTWMScheduler(cfg.depth, cfg.k_com, cfg.history,
+                           seed=cfg.witness_seed),
+        )
+        assert result.bug_found
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            minimize_configuration(mp2, depth=-1)
+        with pytest.raises(ValueError):
+            minimize_configuration(mp2, history=0)
+
+
+class TestDiffExecutions:
+    def test_identical_runs(self):
+        a = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=5))
+        b = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=5))
+        diff = diff_executions(a.graph, b.graph)
+        assert diff.identical
+        assert "identical" in diff.render()
+
+    def test_detects_schedule_divergence(self):
+        a = run_once(store_buffering(), PCTWMScheduler(0, 4, 1, seed=0))
+        b = None
+        for seed in range(1, 30):
+            candidate = run_once(store_buffering(),
+                                 PCTWMScheduler(0, 4, 1, seed=seed))
+            first_a = next(e for e in a.graph.events if not e.is_init)
+            first_b = next(
+                e for e in candidate.graph.events if not e.is_init
+            )
+            if first_a.tid != first_b.tid:
+                b = candidate
+                break
+        assert b is not None
+        diff = diff_executions(a.graph, b.graph)
+        assert diff.first_divergence == 0
+        assert "A ran" in diff.divergence
+
+    def test_detects_rf_divergence(self):
+        """Same schedule, different rf: only rf_differences populated."""
+        from tests.helpers import ScriptedScheduler
+        from repro.litmus import p1
+
+        # Writer fully, then the reader: identical schedules, but run A's
+        # read takes the latest write while run B's takes one older.
+        schedule = [0, 0, 0, 1]
+        a = run_once(p1(3, order=RLX),
+                     ScriptedScheduler(list(schedule), read_picks=[0]))
+        b = run_once(p1(3, order=RLX),
+                     ScriptedScheduler(list(schedule), read_picks=[1]))
+        diff = diff_executions(a.graph, b.graph)
+        assert diff.rf_differences
+        assert "rf differs" in diff.render()
+
+    def test_length_mismatch_reported(self):
+        long_run = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=6))
+        short_run = run_once(mp2(), PCTWMScheduler(0, 3, 1, seed=0))
+        diff = diff_executions(long_run.graph, short_run.graph)
+        assert not diff.identical

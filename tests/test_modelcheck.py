@@ -1,0 +1,87 @@
+"""Tests for the exhaustive explorer (ground truth for tiny programs)."""
+
+import pytest
+
+from repro.core import C11TesterScheduler
+from repro.harness.coverage import execution_signature
+from repro.litmus import (
+    corr,
+    load_buffering,
+    mp1,
+    mp2,
+    store_buffering,
+)
+from repro.memory.events import RLX
+from repro.modelcheck import explore
+from repro.runtime import Program, run_once
+
+
+class TestExhaustiveGroundTruth:
+    def test_sb_execution_space(self):
+        """SB: each read independently sees init or the other write —
+        exactly 4 distinct rf behaviours; the all-zero one is the bug."""
+        report = explore(store_buffering)
+        assert not report.truncated
+        assert len(report.signatures) == 4
+        assert report.bug_reachable
+        assert len(report.buggy_signatures) == 1
+
+    def test_mp1_is_safe_everywhere(self):
+        """Exhaustive proof (relative to the engine): MP1's fences
+        protect the data on every reachable execution."""
+        report = explore(mp1)
+        assert not report.truncated
+        assert report.buggy == 0
+
+    def test_mp2_bug_is_reachable_but_rare(self):
+        report = explore(mp2)
+        assert not report.truncated
+        assert report.buggy >= 1
+        assert report.bug_fraction < 0.5
+        assert report.witness is not None
+        assert report.witness.bug_found
+
+    def test_coherence_shapes_have_no_bugs(self):
+        for factory in (corr, load_buffering):
+            report = explore(factory)
+            assert not report.truncated
+            assert report.buggy == 0
+
+    def test_budget_truncation(self):
+        report = explore(mp2, max_executions=3)
+        assert report.truncated
+        assert report.executions == 3
+
+
+class TestExplorerCoversRandomSampling:
+    """Everything a random campaign observes must be in the exhaustive
+    set — the explorer enumerates a superset of sampled behaviours."""
+
+    def test_c11tester_samples_subset_of_exhaustive(self):
+        exhaustive = explore(store_buffering).signatures
+        for seed in range(100):
+            result = run_once(store_buffering(),
+                              C11TesterScheduler(seed=seed))
+            assert execution_signature(result.graph) in exhaustive
+
+    def test_single_thread_single_execution(self):
+        p = Program("solo")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.store(1, RLX)
+            return (yield x.load(RLX))
+
+        p.add_thread(t)
+        report = explore(lambda: p)
+        assert report.executions == 1
+        assert len(report.signatures) == 1
+
+
+class TestExplorerAgainstCampaignRates:
+    def test_sb_bug_fraction_matches_uniform_read_sampling(self):
+        """C11Tester flips two independent fair coins on SB, so its hit
+        rate is ~25% — and the exhaustive bug *behaviour* count is 1 of 4."""
+        report = explore(store_buffering)
+        assert len(report.buggy_signatures) / len(report.signatures) \
+            == pytest.approx(0.25)

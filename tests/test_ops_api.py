@@ -1,0 +1,112 @@
+"""Unit tests for the operation DSL handles and descriptors."""
+
+from repro.memory.events import ACQ, ACQ_REL, NA, REL, RLX, SC as SEQ
+from repro.runtime.api import Atomic, NonAtomic, fence, join, sched_yield
+from repro.runtime.ops import (
+    CasOp,
+    FenceOp,
+    JoinOp,
+    LoadOp,
+    RmwOp,
+    StoreOp,
+    YieldOp,
+    is_communication_op,
+)
+
+
+class TestAtomicHandle:
+    def setup_method(self):
+        self.x = Atomic("X")
+
+    def test_load(self):
+        op = self.x.load(ACQ)
+        assert isinstance(op, LoadOp)
+        assert op.loc == "X" and op.order is ACQ
+
+    def test_store(self):
+        op = self.x.store(7, REL)
+        assert isinstance(op, StoreOp)
+        assert op.value == 7 and op.order is REL
+
+    def test_default_order_is_seq_cst(self):
+        assert self.x.load().order is SEQ
+        assert self.x.store(1).order is SEQ
+
+    def test_custom_default_order(self):
+        y = Atomic("Y", default_order=RLX)
+        assert y.load().order is RLX
+
+    def test_fetch_add_update_function(self):
+        op = self.x.fetch_add(3, RLX)
+        assert isinstance(op, RmwOp)
+        assert op.update(10) == 13
+
+    def test_fetch_sub(self):
+        assert self.x.fetch_sub(2).update(10) == 8
+
+    def test_exchange_ignores_old(self):
+        assert self.x.exchange(99).update(5) == 99
+
+    def test_rmw_custom_function(self):
+        op = self.x.rmw(lambda v: v * 2, ACQ_REL)
+        assert op.update(21) == 42 and op.order is ACQ_REL
+
+    def test_cas_orders(self):
+        op = self.x.cas(0, 1, ACQ_REL, failure_order=ACQ)
+        assert isinstance(op, CasOp)
+        assert (op.expected, op.desired) == (0, 1)
+        assert op.success_order is ACQ_REL and op.failure_order is ACQ
+
+    def test_ops_are_single_use_instances(self):
+        assert self.x.load(RLX) is not self.x.load(RLX)
+
+
+class TestNonAtomicHandle:
+    def test_na_orders(self):
+        d = NonAtomic("D")
+        assert d.load().order is NA
+        assert d.store(1).order is NA
+
+
+class TestFreeFunctions:
+    def test_fence(self):
+        assert isinstance(fence(ACQ), FenceOp)
+        assert fence().order is SEQ
+
+    def test_join(self):
+        op = join("worker")
+        assert isinstance(op, JoinOp) and op.thread_name == "worker"
+
+    def test_sched_yield(self):
+        assert isinstance(sched_yield(), YieldOp)
+
+
+class TestCommunicationPredicate:
+    """isCommunicationEvent on pending ops: SC ∪ R ∪ F⊒acq."""
+
+    def test_all_reads_are_communication(self):
+        for order in (NA, RLX, ACQ, SEQ):
+            assert is_communication_op(LoadOp("X", order))
+
+    def test_rmw_and_cas_are_communication(self):
+        assert is_communication_op(RmwOp("X", lambda v: v, RLX))
+        assert is_communication_op(CasOp("X", 0, 1, RLX, RLX))
+
+    def test_sc_store_is_communication(self):
+        assert is_communication_op(StoreOp("X", 1, SEQ))
+
+    def test_relaxed_and_release_stores_are_not(self):
+        assert not is_communication_op(StoreOp("X", 1, RLX))
+        assert not is_communication_op(StoreOp("X", 1, REL))
+
+    def test_acquire_fences_are_communication(self):
+        assert is_communication_op(FenceOp(ACQ))
+        assert is_communication_op(FenceOp(ACQ_REL))
+        assert is_communication_op(FenceOp(SEQ))
+
+    def test_release_fence_is_not(self):
+        assert not is_communication_op(FenceOp(REL))
+
+    def test_scheduling_ops_are_not(self):
+        assert not is_communication_op(JoinOp("t"))
+        assert not is_communication_op(YieldOp())

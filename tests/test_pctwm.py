@@ -1,0 +1,214 @@
+"""Tests for the PCTWM algorithm (Algorithms 1 and 2 of the paper).
+
+Covers the paper's worked examples directly: the MP1 view-propagation
+guarantee of Figure 1, the MP2 executions of Figures 2-4, and the d = 0 /
+d = 1 behaviours described in Section 3.3.
+"""
+
+import pytest
+
+from repro.core import PCTWMScheduler
+from repro.litmus import mp1, mp2, p1, store_buffering
+from repro.memory.events import RLX
+from repro.runtime import Program, run_once
+from tests.helpers import hit_count
+
+
+class TestParameters:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PCTWMScheduler(depth=-1, k_com=5)
+        with pytest.raises(ValueError):
+            PCTWMScheduler(depth=1, k_com=0)
+        with pytest.raises(ValueError):
+            PCTWMScheduler(depth=1, k_com=5, history=0)
+
+    def test_change_points_are_distinct(self):
+        sched = PCTWMScheduler(depth=3, k_com=10, seed=5)
+        prog = store_buffering()
+        run_once(prog, sched)
+        points = list(sched._slot_by_count.keys())
+        assert len(points) == 3
+        assert len(set(points)) == 3
+        assert all(1 <= pt <= 10 for pt in points)
+
+    def test_slots_preserve_tuple_order(self):
+        """d_1 gets slot d-1 (highest low slot), d_d gets slot 0."""
+        sched = PCTWMScheduler(depth=3, k_com=10, seed=5)
+        run_once(store_buffering(), sched)
+        slots = list(sched._slot_by_count.values())
+        assert sorted(slots, reverse=True) == [2, 1, 0]
+
+    def test_depth_larger_than_kcom_still_works(self):
+        sched = PCTWMScheduler(depth=5, k_com=2, seed=0)
+        result = run_once(store_buffering(), sched)
+        assert result.steps > 0
+
+
+class TestDepthZero:
+    """Section 3.3: the d = 0 execution allows no communication at all."""
+
+    def test_sb_always_hits(self):
+        assert hit_count(store_buffering,
+                         lambda s: PCTWMScheduler(0, 4, 1, seed=s), 100) \
+            == 100
+
+    def test_d0_is_deterministic_up_to_priorities(self):
+        """d = 0 runs threads serially; every read is thread-local."""
+        for seed in range(20):
+            result = run_once(store_buffering(),
+                              PCTWMScheduler(0, 4, 1, seed=seed))
+            assert result.thread_results == {"left": 0, "right": 0}
+
+    def test_d0_p1_reads_initial_value(self):
+        """Figure-2 analogue: the P1 reader sees only the initial value.
+
+        Uses relaxed accesses so that the writer's stores are not SC
+        communication events and the read is the only sink, matching the
+        paper's Section 3.3 walkthrough.
+        """
+        for seed in range(20):
+            result = run_once(p1(k=5, order=RLX),
+                              PCTWMScheduler(0, 1, 1, seed=seed))
+            assert result.thread_results["reader"] == 0
+            assert not result.bug_found
+
+    def test_d0_mp2_no_communication(self):
+        """Figure 2: every read returns the thread-local (initial) view."""
+        from repro.analysis import count_external_reads
+        for seed in range(20):
+            result = run_once(mp2(), PCTWMScheduler(0, 3, 1, seed=seed))
+            assert count_external_reads(result.graph) == 0
+            assert not result.bug_found
+
+
+class TestDepthOne:
+    def test_p1_with_h1_reads_last_write(self):
+        """d=1, h=1: the single sink reads the mo-latest write (X = k)."""
+        assert hit_count(lambda: p1(k=5, order=RLX),
+                         lambda s: PCTWMScheduler(1, 1, 1, seed=s), 60) == 60
+
+    def test_p1_with_h2_is_about_half(self):
+        """Section 3.3: with h=2 the sink picks X=k-1 or X=k uniformly."""
+        hits = hit_count(lambda: p1(k=5, order=RLX),
+                         lambda s: PCTWMScheduler(1, 1, 2, seed=s), 400)
+        assert 150 <= hits <= 250  # ~50%
+
+    def test_external_reads_bounded_by_d(self):
+        from repro.analysis import count_external_reads
+        for seed in range(30):
+            result = run_once(mp2(), PCTWMScheduler(1, 3, 1, seed=seed))
+            assert count_external_reads(result.graph) <= 1
+
+
+class TestDepthTwo:
+    def test_mp2_hits_at_rate_of_ordered_pairs(self):
+        """Figure 4: the bug needs the ordered sink tuple [e2, e4] out of
+        P(3, 2) = 6 ordered pairs -> about 1/6 of runs."""
+        trials = 600
+        hits = hit_count(mp2, lambda s: PCTWMScheduler(2, 3, 1, seed=s),
+                         trials)
+        expected = trials / 6
+        assert expected * 0.55 <= hits <= expected * 1.6
+
+    def test_mp2_never_hits_below_depth(self):
+        assert hit_count(mp2, lambda s: PCTWMScheduler(1, 3, 1, seed=s),
+                         200) == 0
+
+
+class TestViewPropagation:
+    """Algorithm 2 semantics, including the paper's Figure 1 example."""
+
+    def test_mp1_fence_guarantee(self):
+        """Figure 1: if the reader sees the flag (a=1), the acquire fence
+        must deliver the data (b=1) — (1, 0) is impossible."""
+        for seed in range(300):
+            result = run_once(mp1(), PCTWMScheduler(2, 6, 2, seed=seed))
+            assert not result.bug_found, f"MP1 violated at seed {seed}"
+            a, b = result.thread_results["reader"]
+            assert (a, b) != (1, 0)
+
+    def test_relaxed_rf_propagates_only_its_location(self):
+        """Figure 4's key point: a relaxed communication updates the view
+        only for the location read, so T3 can see Y=1 but X=0."""
+        hits = hit_count(mp2, lambda s: PCTWMScheduler(2, 3, 1, seed=s),
+                         400)
+        assert hits > 0
+
+    def test_release_acquire_rf_propagates_whole_view(self):
+        """If MP2's flag used rel/acq, seeing Y=1 would imply X=1."""
+        p = Program("MP2-sync")
+        x = p.atomic("X", 0)
+        y = p.atomic("Y", 0)
+
+        def t1():
+            yield x.store(1, RLX)
+
+        def t2():
+            a = yield x.load(RLX)
+            if a == 1:
+                from repro.memory.events import REL
+                yield y.store(1, REL)
+
+        def t3():
+            from repro.memory.events import ACQ
+            from repro.runtime.errors import require
+            b = yield y.load(ACQ)
+            if b == 1:
+                c = yield x.load(RLX)
+                require(c == 1, "sync must deliver X")
+
+        p.add_thread(t1)
+        p.add_thread(t2)
+        p.add_thread(t3)
+        for seed in range(300):
+            result = run_once(p, PCTWMScheduler(2, 3, 1, seed=seed))
+            assert not result.bug_found, f"rel/acq violated at seed {seed}"
+
+    def test_sc_reads_observe_sc_writes(self):
+        """SC events absorb their SC-predecessor's bag (lines 6-8), so a
+        d=0 run with SC accesses still sees prior SC writes."""
+        p = Program("sc-chain")
+        x = p.atomic("X", 0)
+        from repro.memory.events import SC as SEQ
+
+        def writer():
+            yield x.store(1, SEQ)
+
+        def reader():
+            return (yield x.load(SEQ))
+
+        p.add_thread(writer)
+        p.add_thread(reader)
+        saw_one = 0
+        for seed in range(40):
+            result = run_once(p, PCTWMScheduler(0, 4, 1, seed=seed))
+            value = result.thread_results["reader"]
+            # When the writer runs first (half the priority assignments),
+            # the SC read must observe the SC write through the SC chain.
+            if value == 1:
+                saw_one += 1
+        assert saw_one > 0
+
+    def test_sb_with_sc_accesses_never_weak(self):
+        """SB with all-SC accesses: the weak outcome must never appear."""
+        from repro.memory.events import SC as SEQ
+        assert hit_count(lambda: store_buffering(order=SEQ),
+                         lambda s: PCTWMScheduler(1, 4, 2, seed=s),
+                         200) == 0
+
+
+class TestReproducibility:
+    def test_same_seed_same_outcome(self):
+        for seed in (0, 7, 123):
+            first = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=seed))
+            second = run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=seed))
+            assert first.bug_found == second.bug_found
+            assert first.thread_results == second.thread_results
+
+    def test_different_seeds_vary(self):
+        outcomes = {
+            run_once(mp2(), PCTWMScheduler(2, 3, 1, seed=s)).bug_found
+            for s in range(60)
+        }
+        assert outcomes == {True, False}

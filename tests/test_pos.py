@@ -1,0 +1,38 @@
+"""Tests for the POS extension baseline."""
+
+from repro.core import POSScheduler
+from repro.litmus import corr, load_buffering, mp2, store_buffering
+from repro.runtime import run_once
+from tests.helpers import hit_count
+
+
+class TestPOS:
+    def test_finds_weak_sb(self):
+        assert hit_count(store_buffering,
+                         lambda s: POSScheduler(seed=s), 200) > 0
+
+    def test_finds_mp2(self):
+        assert hit_count(mp2, lambda s: POSScheduler(seed=s), 400) > 0
+
+    def test_respects_coherence(self):
+        assert hit_count(corr, lambda s: POSScheduler(seed=s), 200) == 0
+
+    def test_no_out_of_thin_air(self):
+        assert hit_count(load_buffering,
+                         lambda s: POSScheduler(seed=s), 200) == 0
+
+    def test_reproducible(self):
+        a = run_once(mp2(), POSScheduler(seed=9))
+        b = run_once(mp2(), POSScheduler(seed=9))
+        assert a.thread_results == b.thread_results
+
+    def test_priorities_cleaned_up(self):
+        sched = POSScheduler(seed=0)
+        run_once(mp2(), sched)
+        assert not sched._priorities  # all executed ops released
+
+    def test_runs_benchmarks(self):
+        from repro.workloads import BENCHMARKS
+        for name in ("dekker", "msqueue", "seqlock"):
+            result = run_once(BENCHMARKS[name].build(), POSScheduler(seed=1))
+            assert not result.limit_exceeded

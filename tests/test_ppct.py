@@ -1,0 +1,48 @@
+"""Tests for the PPCT extension baseline."""
+
+import pytest
+
+from repro.core import PPCTScheduler
+from repro.litmus import corr, load_buffering, mp2, store_buffering
+from repro.runtime import run_once
+from repro.workloads import BENCHMARKS
+from tests.helpers import hit_count
+
+
+class TestPPCT:
+    def test_finds_weak_sb(self):
+        assert hit_count(store_buffering,
+                         lambda s: PPCTScheduler(1, 5, seed=s), 200) > 0
+
+    def test_finds_mp2(self):
+        assert hit_count(mp2, lambda s: PPCTScheduler(2, 6, seed=s),
+                         400) > 0
+
+    def test_respects_coherence_and_oota(self):
+        assert hit_count(corr, lambda s: PPCTScheduler(2, 8, seed=s),
+                         200) == 0
+        assert hit_count(load_buffering,
+                         lambda s: PPCTScheduler(2, 8, seed=s), 200) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPCTScheduler(-1, 5)
+        with pytest.raises(ValueError):
+            PPCTScheduler(1, 0)
+
+    def test_reproducible(self):
+        a = run_once(mp2(), PPCTScheduler(2, 6, seed=4))
+        b = run_once(mp2(), PPCTScheduler(2, 6, seed=4))
+        assert a.thread_results == b.thread_results
+
+    def test_runs_all_benchmarks(self):
+        for name, info in BENCHMARKS.items():
+            result = run_once(info.build(), PPCTScheduler(2, 30, seed=1))
+            assert not result.limit_exceeded, name
+
+    def test_demotion_points_count(self):
+        sched = PPCTScheduler(depth=4, k_events=20, seed=2)
+        run_once(store_buffering(), sched)
+        # d-1 = 3 change points were sampled (consumed or not).
+        total = len(sched._changes) + len(sched._lowered)
+        assert total <= 3

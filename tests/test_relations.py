@@ -1,0 +1,168 @@
+"""Unit and property tests for the binary-relation algebra (Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.relations import Relation, identity, imm, maximal
+
+
+def rel(*edges):
+    return Relation(edges)
+
+
+class TestBasics:
+    def test_contains_and_call(self):
+        r = rel((1, 2), (2, 3))
+        assert (1, 2) in r
+        assert r(2, 3)
+        assert (3, 1) not in r
+
+    def test_len_counts_edges(self):
+        assert len(rel((1, 2), (1, 3), (2, 3))) == 3
+        assert len(rel()) == 0
+
+    def test_add_idempotent(self):
+        r = rel((1, 2))
+        r.add(1, 2)
+        assert len(r) == 1
+
+    def test_nodes(self):
+        assert rel((1, 2), (3, 4)).nodes() == {1, 2, 3, 4}
+
+    def test_equality(self):
+        assert rel((1, 2), (2, 3)) == rel((2, 3), (1, 2))
+        assert rel((1, 2)) != rel((2, 1))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(rel((1, 2)))
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert rel((1, 2)) | rel((2, 3)) == rel((1, 2), (2, 3))
+
+    def test_minus(self):
+        assert rel((1, 2), (2, 3)).minus(rel((1, 2))) == rel((2, 3))
+
+    def test_compose(self):
+        assert rel((1, 2)).compose(rel((2, 3))) == rel((1, 3))
+
+    def test_compose_empty_when_disjoint(self):
+        assert rel((1, 2)).compose(rel((5, 6))).empty()
+
+    def test_inverse(self):
+        assert rel((1, 2), (3, 4)).inverse() == rel((2, 1), (4, 3))
+
+    def test_reflexive(self):
+        r = rel((1, 2)).reflexive([1, 2, 3])
+        assert (1, 1) in r and (3, 3) in r and (1, 2) in r
+
+    def test_transitive_chain(self):
+        r = rel((1, 2), (2, 3), (3, 4)).transitive()
+        assert (1, 4) in r and (1, 3) in r and (2, 4) in r
+        assert (4, 1) not in r
+
+    def test_transitive_cycle(self):
+        r = rel((1, 2), (2, 1)).transitive()
+        assert (1, 1) in r and (2, 2) in r
+
+    def test_reflexive_transitive(self):
+        r = rel((1, 2)).reflexive_transitive([1, 2, 3])
+        assert (3, 3) in r and (1, 2) in r and (1, 1) in r
+
+    def test_restrict(self):
+        r = rel((1, 2), (2, 3), (3, 4)).restrict({1, 2}, {2, 3})
+        assert r == rel((1, 2), (2, 3))
+
+
+class TestPredicates:
+    def test_irreflexive(self):
+        assert rel((1, 2)).is_irreflexive()
+        assert not rel((1, 1)).is_irreflexive()
+
+    def test_acyclic(self):
+        assert rel((1, 2), (2, 3)).is_acyclic()
+        assert not rel((1, 2), (2, 1)).is_acyclic()
+        assert not rel((1, 1)).is_acyclic()
+
+    def test_total_over(self):
+        assert rel((1, 2), (2, 3), (1, 3)).is_total_over([1, 2, 3])
+        assert not rel((1, 2)).is_total_over([1, 2, 3])
+        assert rel().is_total_over([])
+        assert rel().is_total_over([7])
+
+
+class TestDerivedOperators:
+    def test_imm_drops_transitive_edges(self):
+        total = rel((1, 2), (2, 3), (1, 3))
+        assert imm(total) == rel((1, 2), (2, 3))
+
+    def test_imm_of_chain_is_chain(self):
+        chain = rel((1, 2), (2, 3))
+        assert imm(chain) == chain
+
+    def test_identity(self):
+        assert identity([1, 2]) == rel((1, 1), (2, 2))
+
+    def test_maximal(self):
+        mo = rel((1, 2), (2, 3), (1, 3))
+        assert maximal({1, 2, 3}, mo) == {3}
+        assert maximal({1, 2}, mo) == {2}
+        assert maximal(set(), mo) == set()
+
+    def test_maximal_of_unrelated(self):
+        assert maximal({1, 2}, rel()) == {1, 2}
+
+
+# -- property-based laws --------------------------------------------------------
+
+edge = st.tuples(st.integers(0, 7), st.integers(0, 7))
+edges = st.lists(edge, max_size=20)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges, edges)
+def test_union_commutative(e1, e2):
+    assert Relation(e1) | Relation(e2) == Relation(e2) | Relation(e1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges)
+def test_transitive_is_idempotent(e):
+    t = Relation(e).transitive()
+    assert t.transitive() == t
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges)
+def test_transitive_contains_original(e):
+    r = Relation(e)
+    t = r.transitive()
+    assert all(edge in t for edge in r.edges())
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges)
+def test_inverse_involution(e):
+    r = Relation(e)
+    assert r.inverse().inverse() == r
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges)
+def test_imm_subset_and_same_closure(e):
+    r = Relation(e).transitive()
+    m = imm(r)
+    assert all(edge in r for edge in m.edges())
+    if r.is_acyclic():
+        # For acyclic relations imm preserves the transitive closure.
+        assert m.transitive() == r
+
+
+@settings(max_examples=60, deadline=None)
+@given(edges, edges, edges)
+def test_compose_distributes_over_union(e1, e2, e3):
+    a, b, c = Relation(e1), Relation(e2), Relation(e3)
+    assert a.compose(b | c) == a.compose(b) | a.compose(c)

@@ -1,0 +1,29 @@
+"""Tests for the markdown report generator."""
+
+from repro.harness.report import generate_report, write_report
+
+
+class TestReport:
+    def test_generate_contains_every_artifact(self):
+        text = generate_report(trials=4, runs=2)
+        for heading in ("Table 1", "Table 2", "Table 3", "Table 4",
+                        "Figure 5", "Figure 6"):
+            assert heading in text
+        assert "dekker" in text
+        assert "| benchmark |" in text  # markdown tables
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        returned = write_report(str(path), trials=3, runs=2)
+        assert returned == str(path)
+        content = path.read_text()
+        assert content.startswith("# PCTWM reproduction")
+        assert content.endswith("\n")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.harness.cli import main
+        out = tmp_path / "r.md"
+        assert main(["report", "--trials", "3", "--runs", "2",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Tests for dynamic thread creation (SpawnOp)."""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    POSScheduler,
+)
+from repro.memory.axioms import is_consistent
+from repro.memory.events import RLX
+from repro.runtime import Program, join, require, run_once, spawn
+
+SCHEDULERS = [
+    lambda s: NaiveRandomScheduler(seed=s),
+    lambda s: C11TesterScheduler(seed=s),
+    lambda s: PCTScheduler(2, 30, seed=s),
+    lambda s: PCTWMScheduler(2, 15, 2, seed=s),
+    lambda s: POSScheduler(seed=s),
+]
+
+
+def fork_join_program():
+    p = Program("fork-join")
+    x = p.atomic("X", 0)
+
+    def child(n):
+        yield x.fetch_add(n, RLX)
+        return n
+
+    def root():
+        names = []
+        for i in (1, 2, 3):
+            names.append((yield spawn(child, i)))
+        total = 0
+        for name in names:
+            total += yield join(name)
+        final = yield x.fetch_add(0, RLX)  # RMW-read
+        require(final == 6, f"increments lost: {final}")
+        return (total, final)
+
+    p.add_thread(root)
+    return p
+
+
+class TestSpawnBasics:
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_fork_join_under_every_scheduler(self, make):
+        for seed in range(20):
+            result = run_once(fork_join_program(), make(seed))
+            assert not result.bug_found, (seed, result.bug_message)
+            assert result.thread_results["root"] == (6, 6)
+
+    def test_spawn_result_is_joinable_name(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def child():
+            yield x.store(1, RLX)
+            return "done"
+
+        def root():
+            name = yield spawn(child)
+            got = yield join(name)
+            return (name, got)
+
+        p.add_thread(root)
+        result = run_once(p, C11TesterScheduler(seed=0))
+        name, got = result.thread_results["root"]
+        assert name == "child"
+        assert got == "done"
+
+    def test_duplicate_names_uniquified(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def child():
+            yield x.fetch_add(1, RLX)
+
+        def root():
+            first = yield spawn(child, name="kid")
+            second = yield spawn(child, name="kid")
+            yield join(first)
+            yield join(second)
+            return (first, second)
+
+        p.add_thread(root)
+        result = run_once(p, C11TesterScheduler(seed=0))
+        first, second = result.thread_results["root"]
+        assert first != second
+
+    def test_spawn_establishes_happens_before(self):
+        """The parent's pre-spawn relaxed write is visible to the child."""
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def child():
+            value = yield x.load(RLX)
+            require(value == 9, f"child missed parent's write: {value}")
+            return value
+
+        def root():
+            yield x.store(9, RLX)
+            name = yield spawn(child)
+            return (yield join(name))
+
+        p.add_thread(root)
+        for make in SCHEDULERS:
+            for seed in range(15):
+                result = run_once(p, make(seed))
+                assert not result.bug_found, (make, seed,
+                                              result.bug_message)
+
+    def test_nested_spawn(self):
+        p = Program("p")
+        x = p.atomic("X", 0)
+
+        def grandchild():
+            yield x.fetch_add(1, RLX)
+            return "gc"
+
+        def child():
+            name = yield spawn(grandchild)
+            yield join(name)
+            yield x.fetch_add(1, RLX)
+            return "c"
+
+        def root():
+            name = yield spawn(child)
+            yield join(name)
+            final = yield x.fetch_add(0, RLX)
+            require(final == 2, f"nested increments lost: {final}")
+
+        p.add_thread(root)
+        for seed in range(20):
+            result = run_once(p, PCTWMScheduler(1, 10, 1, seed=seed))
+            assert not result.bug_found
+
+    def test_spawned_executions_stay_consistent(self):
+        for seed in range(15):
+            result = run_once(fork_join_program(),
+                              C11TesterScheduler(seed=seed))
+            assert is_consistent(result.graph)
+
+    def test_races_detected_in_spawned_threads(self):
+        p = Program("p")
+        d = p.non_atomic("D", 0)
+
+        def child(v):
+            yield d.store(v)
+
+        def root():
+            a = yield spawn(child, 1)
+            b = yield spawn(child, 2)
+            yield join(a)
+            yield join(b)
+
+        p.add_thread(root)
+        raced = sum(
+            bool(run_once(p, C11TesterScheduler(seed=s)).races)
+            for s in range(20)
+        )
+        assert raced > 0

@@ -1,0 +1,83 @@
+"""Tests for the spin_until DSL helper."""
+
+import pytest
+
+from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.memory.events import ACQ, REL, RLX
+from repro.runtime import Program, run_once, spin_until
+
+
+def make_program(max_spins=60, wait_order=ACQ, set_order=REL):
+    p = Program("spin-until")
+    flag = p.atomic("FLAG", 0)
+    data = p.atomic("DATA", 0)
+
+    def setter():
+        yield data.store(5, RLX)
+        yield flag.store(1, set_order)
+
+    def waiter():
+        got = yield from spin_until(flag, lambda v: v == 1, wait_order,
+                                    max_spins=max_spins)
+        if got is None:
+            return None
+        return (yield data.load(RLX))
+
+    p.add_thread(setter)
+    p.add_thread(waiter)
+    return p
+
+
+class TestSpinUntil:
+    def test_returns_satisfying_value(self):
+        for seed in range(20):
+            result = run_once(make_program(), C11TesterScheduler(seed=seed))
+            assert result.thread_results["waiter"] == 5
+
+    def test_acquire_spin_synchronizes(self):
+        """rel/acq through spin_until delivers the data everywhere."""
+        for seed in range(30):
+            result = run_once(make_program(),
+                              PCTWMScheduler(1, 5, 1, seed=seed),
+                              spin_threshold=5)
+            value = result.thread_results["waiter"]
+            assert value in (5, None)
+            if value is not None:
+                assert value == 5
+
+    def test_starvation_returns_none(self):
+        """A tiny bound with d=0 (no communication) starves out."""
+        program = make_program(max_spins=3, wait_order=RLX, set_order=RLX)
+        result = run_once(program, PCTWMScheduler(0, 5, 1, seed=0),
+                          spin_threshold=50)
+        assert result.thread_results["waiter"] is None
+
+    def test_invalid_bound(self):
+        p = Program("bad")
+        flag = p.atomic("F", 0)
+
+        def t():
+            yield from spin_until(flag, bool, RLX, max_spins=0)
+
+        p.add_thread(t)
+        with pytest.raises(Exception):
+            run_once(p, C11TesterScheduler(seed=0))
+
+    def test_predicate_flexibility(self):
+        p = Program("pred")
+        counter = p.atomic("C", 0)
+
+        def bumper():
+            for _ in range(5):
+                yield counter.fetch_add(1, RLX)
+
+        def watcher():
+            got = yield from spin_until(counter, lambda v: v >= 3, RLX,
+                                        max_spins=100)
+            return got
+
+        p.add_thread(bumper)
+        p.add_thread(watcher)
+        result = run_once(p, C11TesterScheduler(seed=2), spin_threshold=4)
+        value = result.thread_results["watcher"]
+        assert value is None or value >= 3

@@ -1,0 +1,76 @@
+"""Tests for the Lamport SPSC ring benchmark (pure load/store bug)."""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTWMScheduler,
+)
+from repro.memory.axioms import is_consistent
+from repro.runtime import run_once
+from repro.workloads import spsc
+from tests.helpers import hit_count
+
+
+class TestSpscBuggy:
+    def test_depth_one(self):
+        """The bug needs exactly one communication (the tail read)."""
+        assert hit_count(spsc,
+                         lambda s: PCTWMScheduler(0, 8, 1, seed=s),
+                         100) == 0
+        assert hit_count(spsc,
+                         lambda s: PCTWMScheduler(1, 8, 1, seed=s),
+                         200) > 0
+
+    def test_naive_sc_never_finds_it(self):
+        """Pure load/store weak bug: invisible to SC interleavings."""
+        assert hit_count(spsc,
+                         lambda s: NaiveRandomScheduler(seed=s), 200) == 0
+
+    def test_c11tester_finds_it(self):
+        assert hit_count(spsc,
+                         lambda s: C11TesterScheduler(seed=s), 200) > 0
+
+    def test_executions_consistent(self):
+        for seed in range(5):
+            result = run_once(spsc(), C11TesterScheduler(seed=seed))
+            assert is_consistent(result.graph)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spsc(capacity=1)
+        with pytest.raises(ValueError):
+            spsc(items=0)
+
+
+class TestSpscFixed:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3])
+    def test_never_flags_under_pctwm(self, depth):
+        assert hit_count(lambda: spsc(fixed=True),
+                         lambda s: PCTWMScheduler(depth, 8, 2, seed=s),
+                         60) == 0
+
+    def test_never_flags_under_random(self):
+        assert hit_count(lambda: spsc(fixed=True),
+                         lambda s: C11TesterScheduler(seed=s), 150) == 0
+
+    def test_fifo_when_complete(self):
+        """Whenever the consumer drains everything, order is FIFO."""
+        for seed in range(40):
+            result = run_once(spsc(fixed=True),
+                              C11TesterScheduler(seed=seed))
+            got = result.thread_results["consumer"]
+            if len(got) == 3:
+                assert got == [100, 101, 102]
+                return
+        pytest.fail("consumer never drained the ring in 40 runs")
+
+    def test_wraparound(self):
+        """More items than capacity forces index wraparound."""
+        for seed in range(40):
+            result = run_once(spsc(capacity=2, items=4, fixed=True),
+                              C11TesterScheduler(seed=seed))
+            assert not result.bug_found
+            got = result.thread_results["consumer"]
+            assert got == [100 + i for i in range(len(got))]

@@ -1,0 +1,196 @@
+"""Edge-case tests for synchronization machinery in the executor.
+
+Covers paths not exercised by the main suites: acquire-failure CAS sync,
+release sequences through chains of RMWs, fence-release to fence-acquire
+chains with interleaved relaxed accesses, and SC read floors end to end.
+"""
+
+from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.memory.events import ACQ, ACQ_REL, REL, RLX, SC as SEQ
+from repro.runtime import Program, fence, require, run_once
+
+
+def never_fails(build, make_scheduler, trials=60, **kwargs):
+    for seed in range(trials):
+        result = run_once(build(), make_scheduler(seed), **kwargs)
+        assert not result.bug_found, (seed, result.bug_message)
+
+
+SCHEDS = [
+    lambda s: C11TesterScheduler(seed=s),
+    lambda s: PCTWMScheduler(2, 10, 2, seed=s),
+]
+
+
+class TestAcquireFailureCas:
+    def build(self):
+        p = Program("acq-fail-cas")
+        data = p.atomic("DATA", 0)
+        flag = p.atomic("FLAG", 0)
+
+        def producer():
+            yield data.store(1, RLX)
+            yield flag.store(7, REL)
+
+        def consumer():
+            for _ in range(20):
+                # The CAS always fails (expected never matches) but its
+                # failure order is acquire: observing the release store
+                # must synchronize.
+                ok, seen = yield flag.cas(-1, -1, RLX, failure_order=ACQ)
+                assert not ok
+                if seen == 7:
+                    value = yield data.load(RLX)
+                    require(value == 1, "acquire-failure CAS did not sync")
+                    return value
+            return None
+
+        p.add_thread(producer)
+        p.add_thread(consumer)
+        return p
+
+    def test_never_fails(self):
+        for make in SCHEDS:
+            never_fails(self.build, make, spin_threshold=5)
+
+
+class TestReleaseSequenceThroughRmwChain:
+    def build(self, chain_length=3):
+        p = Program("rmw-chain")
+        data = p.atomic("DATA", 0)
+        counter = p.atomic("CTR", 0)
+
+        def releaser():
+            yield data.store(9, RLX)
+            yield counter.store(100, REL)  # head of the release sequence
+
+        def bumper(n):
+            def body():
+                for _ in range(n):
+                    yield counter.fetch_add(1, RLX)  # rf+ chain links
+
+            return body
+
+        def observer():
+            for _ in range(25):
+                seen = yield counter.load(ACQ)
+                if seen >= 100:
+                    # A value >= 100 proves the rf chain passes through
+                    # the release head (bumpers alone stay below 100), so
+                    # rf+ must synchronize.
+                    value = yield data.load(RLX)
+                    require(value == 9,
+                            "release sequence broken through RMW chain")
+                    return value
+            return None
+
+        p.add_thread(releaser)
+        p.add_thread(bumper(chain_length), name="bumper")
+        p.add_thread(observer)
+        return p
+
+    def test_never_fails(self):
+        for make in SCHEDS:
+            never_fails(self.build, make, spin_threshold=5)
+
+    def test_chain_without_release_head_does_not_sync(self):
+        """Same shape, relaxed head: the observer may legally see stale
+        data — and PCTWM at d >= 1 actually produces it."""
+        p = Program("rmw-chain-norel")
+        data = p.atomic("DATA", 0)
+        counter = p.atomic("CTR", 0)
+
+        def releaser():
+            yield data.store(9, RLX)
+            yield counter.store(1, RLX)  # no release
+
+        def observer():
+            for _ in range(10):
+                seen = yield counter.load(ACQ)
+                if seen >= 1:
+                    return (yield data.load(RLX))
+            return None
+
+        p.add_thread(releaser)
+        p.add_thread(observer)
+        stale = 0
+        for seed in range(200):
+            result = run_once(p, PCTWMScheduler(1, 5, 1, seed=seed))
+            if result.thread_results["observer"] == 0:
+                stale += 1
+        assert stale > 0
+
+
+class TestFenceChains:
+    def build(self):
+        """Frel ; po ; W --rf--> R ; po ; Facq with unrelated accesses
+        interleaved in both threads."""
+        p = Program("fence-chain")
+        data = p.atomic("DATA", 0)
+        noise = p.atomic("NOISE", 0)
+        flag = p.atomic("FLAG", 0)
+
+        def producer():
+            yield data.store(3, RLX)
+            yield fence(REL)
+            yield noise.store(1, RLX)   # interleaved unrelated store
+            yield flag.store(1, RLX)    # the fence protects this one too
+
+        def consumer():
+            for _ in range(20):
+                seen = yield flag.load(RLX)
+                if seen == 1:
+                    break
+            else:
+                return None
+            yield noise.load(RLX)       # unrelated relaxed read
+            yield fence(ACQ)
+            value = yield data.load(RLX)
+            require(value == 3, "fence chain failed to deliver DATA")
+            return value
+
+        p.add_thread(producer)
+        p.add_thread(consumer)
+        return p
+
+    def test_never_fails(self):
+        for make in SCHEDS:
+            never_fails(self.build, make, spin_threshold=5)
+
+
+class TestScReadFloors:
+    def test_sc_read_cannot_skip_sc_write(self):
+        """After an SC write is globally ordered, SC reads at that
+        location must not observe anything mo-older."""
+        p = Program("sc-floor")
+        x = p.atomic("X", 0)
+
+        def writer():
+            yield x.store(1, RLX)
+            yield x.store(2, SEQ)   # the floor
+            yield x.store(3, RLX)
+
+        def reader():
+            first = yield x.load(SEQ)
+            second = yield x.load(SEQ)
+            require(second >= first, "SC reads went backwards")
+            return (first, second)
+
+        p.add_thread(writer)
+        p.add_thread(reader)
+        for seed in range(80):
+            result = run_once(p, C11TesterScheduler(seed=seed))
+            assert not result.bug_found
+            first, _second = result.thread_results["reader"]
+            # If the SC write is already globally ordered before the
+            # read, values 0 and 1 are forbidden.
+            sc_write = next(
+                e for e in result.graph.events
+                if e.is_write and e.is_sc
+            )
+            sc_read = next(
+                e for e in result.graph.events
+                if e.is_read and e.tid == 1
+            )
+            if sc_write.sc_index < sc_read.sc_index:
+                assert first >= 2

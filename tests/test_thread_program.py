@@ -1,0 +1,194 @@
+"""Unit tests for ThreadState and Program."""
+
+import pytest
+
+from repro.memory.events import RLX
+from repro.runtime.api import Atomic
+from repro.runtime.errors import ProgramDefinitionError, ReproError
+from repro.runtime.program import Program
+from repro.runtime.thread import ThreadState
+
+
+def make_thread(body, tid=0, name="t"):
+    state = ThreadState(tid, name, body())
+    state.prime()
+    return state
+
+
+class TestThreadState:
+    def test_prime_exposes_first_op(self):
+        x = Atomic("X")
+
+        def body():
+            yield x.store(1, RLX)
+            yield x.load(RLX)
+
+        t = make_thread(body)
+        assert t.pending is not None and not t.finished
+
+    def test_advance_delivers_result(self):
+        x = Atomic("X")
+        seen = []
+
+        def body():
+            value = yield x.load(RLX)
+            seen.append(value)
+
+        t = make_thread(body)
+        t.advance(42)
+        assert seen == [42]
+        assert t.finished
+
+    def test_return_value_captured(self):
+        x = Atomic("X")
+
+        def body():
+            yield x.load(RLX)
+            return "done"
+
+        t = make_thread(body)
+        t.advance(0)
+        assert t.finished and t.result == "done"
+
+    def test_empty_body_finishes_immediately(self):
+        def body():
+            return 5
+            yield  # pragma: no cover - makes it a generator
+
+        t = make_thread(body)
+        assert t.finished and t.result == 5
+
+    def test_yielding_non_op_raises(self):
+        def body():
+            yield "not an op"
+
+        state = ThreadState(0, "bad", body())
+        with pytest.raises(ReproError, match="yielded"):
+            state.prime()
+
+    def test_advance_after_finish_raises(self):
+        def body():
+            return None
+            yield  # pragma: no cover
+
+        t = make_thread(body)
+        with pytest.raises(ReproError):
+            t.advance(None)
+
+    def test_site_key_distinguishes_program_points(self):
+        x = Atomic("X")
+
+        def body():
+            yield x.load(RLX)   # site A
+            yield x.load(RLX)   # site B
+
+        t = make_thread(body)
+        site_a = t.site_key
+        t.advance(0)
+        site_b = t.site_key
+        assert site_a != site_b
+
+    def test_site_key_stable_across_loop_iterations(self):
+        x = Atomic("X")
+
+        def body():
+            for _ in range(3):
+                yield x.load(RLX)
+
+        t = make_thread(body)
+        first = t.site_key
+        t.advance(0)
+        assert t.site_key == first
+
+    def test_events_executed_counter(self):
+        x = Atomic("X")
+
+        def body():
+            yield x.load(RLX)
+            yield x.load(RLX)
+
+        t = make_thread(body)
+        t.advance(0)
+        t.advance(0)
+        assert t.events_executed == 2
+
+
+class TestProgram:
+    def test_atomic_registers_location(self):
+        p = Program("p")
+        p.atomic("X", 42)
+        assert p.locations == {"X": 42}
+
+    def test_duplicate_location_rejected(self):
+        p = Program("p")
+        p.atomic("X")
+        with pytest.raises(ProgramDefinitionError):
+            p.non_atomic("X")
+
+    def test_thread_decorator_and_names(self):
+        p = Program("p")
+        x = p.atomic("X")
+
+        @p.thread
+        def worker():
+            yield x.load(RLX)
+
+        assert p.thread_names == ["worker"]
+
+    def test_duplicate_thread_names_uniquified(self):
+        p = Program("p")
+        x = p.atomic("X")
+
+        def worker():
+            yield x.load(RLX)
+
+        p.add_thread(worker)
+        p.add_thread(worker)
+        names = p.thread_names
+        assert len(set(names)) == 2
+
+    def test_add_thread_with_args(self):
+        p = Program("p")
+        x = p.atomic("X")
+        got = []
+
+        def worker(value, flag=False):
+            got.append((value, flag))
+            yield x.load(RLX)
+
+        p.add_thread(worker, 7, flag=True)
+        p.instantiate()
+        assert got == [(7, True)]
+
+    def test_instantiate_requires_threads(self):
+        with pytest.raises(ProgramDefinitionError):
+            Program("empty").instantiate()
+
+    def test_instantiate_rejects_non_generator(self):
+        p = Program("p")
+        p.atomic("X")
+        p.add_thread(lambda: 42, name="notgen")
+        with pytest.raises(ProgramDefinitionError):
+            p.instantiate()
+
+    def test_instantiate_returns_fresh_states(self):
+        p = Program("p")
+        x = p.atomic("X")
+
+        def worker():
+            yield x.load(RLX)
+
+        p.add_thread(worker)
+        first = p.instantiate()
+        second = p.instantiate()
+        assert first[0] is not second[0]
+        assert first[0].tid == second[0].tid == 0
+
+    def test_final_checks_accumulate(self):
+        p = Program("p")
+        p.add_final_check(lambda r: None)
+        p.add_final_check(lambda r: None)
+        assert len(p.final_checks) == 2
+
+    def test_races_are_bugs_default(self):
+        assert Program("p").races_are_bugs

@@ -1,0 +1,64 @@
+"""Tests for the Treiber stack extension workload."""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    POSScheduler,
+)
+from repro.memory.axioms import is_consistent
+from repro.runtime import run_once
+from repro.workloads import treiber
+from tests.helpers import hit_count
+
+SCHEDULERS = [
+    lambda s: NaiveRandomScheduler(seed=s),
+    lambda s: C11TesterScheduler(seed=s),
+    lambda s: PCTScheduler(2, 40, seed=s),
+    lambda s: PCTWMScheduler(1, 20, 1, seed=s),
+    lambda s: POSScheduler(seed=s),
+]
+
+
+class TestTreiberBuggy:
+    def test_depth_zero_hits_always(self):
+        assert hit_count(treiber,
+                         lambda s: PCTWMScheduler(0, 20, 1, seed=s),
+                         50) == 50
+
+    def test_random_testing_hits_often(self):
+        hits = hit_count(treiber, lambda s: C11TesterScheduler(seed=s),
+                         150)
+        assert hits > 75
+
+    def test_executions_consistent(self):
+        for seed in range(5):
+            result = run_once(treiber(), C11TesterScheduler(seed=seed))
+            assert is_consistent(result.graph)
+
+    def test_lifo_structure_when_not_buggy(self):
+        """Popped items (when real) come from the node pool's values."""
+        result = run_once(treiber(fixed=True), C11TesterScheduler(seed=3))
+        got = result.thread_results["popper"]
+        assert all(v in (100, 101, 200, 201) for v in got)
+        assert len(set(got)) == len(got)  # no double pops
+
+
+class TestTreiberFixed:
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_never_flags(self, make):
+        for seed in range(30):
+            result = run_once(treiber(fixed=True), make(seed),
+                              keep_graph=False)
+            assert not result.bug_found, seed
+            assert not result.limit_exceeded
+
+    def test_scales(self):
+        big = run_once(treiber(pushes_per_thread=3, pushers=3),
+                       C11TesterScheduler(seed=0))
+        small = run_once(treiber(pushes_per_thread=1, pushers=2),
+                         C11TesterScheduler(seed=0))
+        assert big.k > small.k

@@ -1,0 +1,182 @@
+"""Tests for the x86-TSO engine and its testing algorithms.
+
+The key claims: TSO allows exactly the store→load reordering (SB weak
+outcome reachable; MP, LB, IRIW, coherence shapes all forbidden), and the
+PCTWM-style delayed-write scheduler gives the Section 5.4-style guarantee
+instantiated for TSO: with both SB stores selected (d = 2 of k_writes = 2)
+the weak outcome is hit on every run.
+"""
+
+import pytest
+
+from repro.litmus import (
+    corr,
+    iriw,
+    load_buffering,
+    message_passing,
+    mp2,
+    p1,
+    store_buffering,
+)
+from repro.memory.events import RLX
+from repro.runtime import Program, require
+from repro.tso import (
+    TsoDelayedWriteScheduler,
+    TsoEagerScheduler,
+    TsoNaiveScheduler,
+    TsoPCTScheduler,
+    run_tso,
+)
+
+
+def rate(factory, make, trials=200):
+    hits = sum(
+        run_tso(factory(), make(seed), keep_graph=False).bug_found
+        for seed in range(trials)
+    )
+    return hits
+
+
+class TestTsoSemantics:
+    def test_sb_weak_outcome_reachable(self):
+        assert rate(store_buffering,
+                    lambda s: TsoNaiveScheduler(seed=s)) > 0
+
+    def test_eager_flushing_is_sequentially_consistent(self):
+        assert rate(store_buffering,
+                    lambda s: TsoEagerScheduler(seed=s)) == 0
+
+    @pytest.mark.parametrize("factory", [
+        message_passing, load_buffering, iriw, corr, mp2,
+    ])
+    def test_non_tso_shapes_forbidden(self, factory):
+        """TSO preserves W->W, R->R and is multi-copy atomic: only the
+        SB shape is weak.  (MP2's bug needs R->R/W->W reordering.)"""
+        assert rate(factory, lambda s: TsoNaiveScheduler(seed=s)) == 0
+        assert rate(factory,
+                    lambda s: TsoDelayedWriteScheduler(2, 4, seed=s)) == 0
+
+    def test_store_forwarding(self):
+        """A thread always sees its own buffered store."""
+        p = Program("forwarding")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.store(7, RLX)
+            value = yield x.load(RLX)
+            require(value == 7, f"lost own buffered store: {value}")
+            return value
+
+        p.add_thread(t)
+
+        def other():
+            yield x.load(RLX)
+
+        p.add_thread(other)
+        for seed in range(50):
+            result = run_tso(p, TsoNaiveScheduler(seed=seed))
+            assert not result.bug_found
+
+    def test_fence_drains_buffer(self):
+        """SB with fences between store and load is safe on TSO."""
+        from repro.runtime import fence
+        from repro.memory.events import SC as SEQ
+
+        def fenced_sb():
+            p = Program("SB+mfence")
+            x = p.atomic("X", 0)
+            y = p.atomic("Y", 0)
+
+            def left():
+                yield x.store(1, RLX)
+                yield fence(SEQ)
+                return (yield y.load(RLX))
+
+            def right():
+                yield y.store(1, RLX)
+                yield fence(SEQ)
+                return (yield x.load(RLX))
+
+            p.add_thread(left)
+            p.add_thread(right)
+            p.add_final_check(
+                lambda r: require(r["left"] == 1 or r["right"] == 1,
+                                  "fenced SB must not both read 0")
+            )
+            return p
+
+        assert rate(fenced_sb, lambda s: TsoNaiveScheduler(seed=s),
+                    300) == 0
+        assert rate(fenced_sb,
+                    lambda s: TsoDelayedWriteScheduler(2, 2, seed=s),
+                    300) == 0
+
+    def test_rmw_drains_and_is_atomic(self):
+        p = Program("tso-rmw")
+        x = p.atomic("X", 0)
+
+        def t():
+            yield x.fetch_add(1, RLX)
+
+        p.add_thread(t, name="a")
+        p.add_thread(t, name="b")
+        for seed in range(40):
+            result = run_tso(p, TsoNaiveScheduler(seed=seed))
+            final = result.graph.mo_max("X").label.wval
+            assert final == 2
+
+    def test_run_completes_with_drained_buffers(self):
+        result = run_tso(store_buffering(), TsoNaiveScheduler(seed=1))
+        assert result.steps > 0
+        # All writes committed: every store has an mo position.
+        for event in result.graph.events:
+            if event.is_write and not event.is_init:
+                assert event.mo_index >= 0
+
+
+class TestDelayedWriteGuarantee:
+    """The Section 5.4 analogue for TSO."""
+
+    def test_sb_deterministic_at_full_depth(self):
+        """k_writes = 2, d = 2: both stores always selected, both delayed
+        past both loads — the weak outcome on every single run."""
+        assert rate(store_buffering,
+                    lambda s: TsoDelayedWriteScheduler(2, 2, seed=s),
+                    100) == 100
+
+    def test_sb_half_at_depth_one(self):
+        """d = 1 of k_writes = 2: the bug needs the *first-running*
+        thread's store delayed — about half the configurations."""
+        hits = rate(store_buffering,
+                    lambda s: TsoDelayedWriteScheduler(1, 2, seed=s), 400)
+        assert 120 <= hits <= 280
+
+    def test_sb_zero_at_depth_zero(self):
+        assert rate(store_buffering,
+                    lambda s: TsoDelayedWriteScheduler(0, 2, seed=s),
+                    100) == 0
+
+    def test_classic_pct_misses_tso_bugs(self):
+        """PCT schedules SC-like executions: it cannot reach the SB weak
+        outcome no matter the depth — the paper's Section 3 point, shown
+        on a second memory model."""
+        for depth in (1, 2, 3):
+            assert rate(store_buffering,
+                        lambda s: TsoPCTScheduler(depth, 6, seed=s),
+                        150) == 0
+
+    def test_p1_under_tso_needs_sc_scheduling(self):
+        """P1's bug is an interleaving bug: reachable on TSO by the
+        delayed-write scheduler only via schedule order (reads see
+        committed mo-max), and by PCT via its priorities."""
+        hits = rate(lambda: p1(3, order=RLX),
+                    lambda s: TsoPCTScheduler(1, 8, seed=s), 300)
+        assert hits > 0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TsoDelayedWriteScheduler(-1, 2)
+        with pytest.raises(ValueError):
+            TsoDelayedWriteScheduler(1, 0)
+        with pytest.raises(ValueError):
+            TsoPCTScheduler(-1, 5)

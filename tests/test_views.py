@@ -1,0 +1,101 @@
+"""Unit tests for thread views and bags (Definition 1)."""
+
+import pytest
+
+from repro.core.views import View
+from repro.memory.events import EventKind, Label, RLX, Event
+
+
+def write(uid, mo_index, loc="X", value=None):
+    e = Event(uid=uid, tid=0,
+              label=Label(EventKind.WRITE, RLX, loc, wval=value))
+    e.mo_index = mo_index
+    return e
+
+
+@pytest.fixture
+def init_writes():
+    return {"X": write(0, 0, "X", 0), "Y": write(1, 0, "Y", 0)}
+
+
+class TestView:
+    def test_defaults_to_init(self, init_writes):
+        view = View(init_writes)
+        assert view.get("X") is init_writes["X"]
+
+    def test_set_overwrites(self, init_writes):
+        view = View(init_writes)
+        w = write(5, 3)
+        view.set("X", w)
+        assert view.get("X") is w
+
+    def test_join_loc_keeps_mo_later(self, init_writes):
+        view = View(init_writes)
+        older, newer = write(5, 1), write(6, 2)
+        view.join_loc("X", newer)
+        view.join_loc("X", older)
+        assert view.get("X") is newer
+
+    def test_join_loc_none_is_noop(self, init_writes):
+        view = View(init_writes)
+        view.join_loc("X", None)
+        assert view.get("X") is init_writes["X"]
+
+    def test_join_pointwise(self, init_writes):
+        a = View(init_writes)
+        b = View(init_writes)
+        wx_old, wx_new = write(5, 1, "X"), write(6, 2, "X")
+        wy = write(7, 1, "Y")
+        a.set("X", wx_new)
+        b.set("X", wx_old)
+        b.set("Y", wy)
+        a.join(b)
+        assert a.get("X") is wx_new  # kept the mo-later entry
+        assert a.get("Y") is wy      # gained the missing entry
+
+    def test_join_none_is_noop(self, init_writes):
+        view = View(init_writes)
+        view.join(None)
+        assert view.get("X") is init_writes["X"]
+
+    def test_copy_is_snapshot(self, init_writes):
+        view = View(init_writes)
+        w1, w2 = write(5, 1), write(6, 2)
+        view.set("X", w1)
+        bag = view.copy()
+        view.set("X", w2)
+        assert bag.get("X") is w1
+        assert view.get("X") is w2
+
+    def test_equality_ignores_representation(self, init_writes):
+        a = View(init_writes)
+        b = View(init_writes)
+        assert a == b
+        w = write(5, 1)
+        a.set("X", w)
+        assert a != b
+        b.set("X", w)
+        assert a == b
+
+    def test_set_then_join_is_idempotent(self, init_writes):
+        view = View(init_writes)
+        w = write(5, 1)
+        view.set("X", w)
+        view.join_loc("X", w)
+        assert view.get("X") is w
+
+    def test_contains(self, init_writes):
+        view = View(init_writes)
+        assert "X" in view
+        assert "Z" not in view
+
+    def test_unhashable(self, init_writes):
+        with pytest.raises(TypeError):
+            hash(View(init_writes))
+
+    def test_items_lists_explicit_entries(self, init_writes):
+        view = View(init_writes)
+        assert list(view.items()) == []
+        w = write(5, 1)
+        view.set("X", w)
+        assert list(view.items()) == [("X", w)]

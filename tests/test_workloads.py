@@ -1,0 +1,152 @@
+"""Tests for the nine Table 1 data-structure benchmarks.
+
+For each benchmark: it builds and runs under every scheduler, its bug is
+invisible below the measured depth and reachable at it, and its generated
+executions satisfy the consistency axioms.
+"""
+
+import pytest
+
+from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.core.depth import estimate_parameters
+from repro.memory.axioms import is_consistent
+from repro.runtime import run_once
+from repro.workloads import BENCHMARKS, BENCHMARK_ORDER
+from tests.helpers import hit_count
+
+#: Trials for statistical assertions (kept modest; benches go bigger).
+TRIALS = 150
+
+
+@pytest.fixture(params=BENCHMARK_ORDER)
+def info(request):
+    return BENCHMARKS[request.param]
+
+
+class TestBenchmarkBasics:
+    def test_registry_is_complete(self):
+        assert BENCHMARK_ORDER == [
+            "dekker", "msqueue", "barrier", "cldeque", "mcslock",
+            "mpmcqueue", "linuxrwlocks", "rwlock", "seqlock",
+        ]
+
+    def test_builds_a_fresh_program(self, info):
+        a = info.build()
+        b = info.build()
+        assert a is not b
+        assert a.name == info.name
+
+    def test_runs_under_c11tester(self, info):
+        result = run_once(info.build(), C11TesterScheduler(seed=0))
+        assert result.steps > 0
+        assert not result.limit_exceeded
+
+    def test_runs_under_pctwm(self, info):
+        result = run_once(
+            info.build(),
+            PCTWMScheduler(info.measured_depth, info.paper_k_com,
+                           info.best_history, seed=0),
+        )
+        assert result.steps > 0
+        assert not result.limit_exceeded
+
+    def test_races_not_counted_as_bugs(self, info):
+        assert not info.build().races_are_bugs
+
+    def test_generated_executions_are_consistent(self, info):
+        for seed in range(5):
+            result = run_once(info.build(), C11TesterScheduler(seed=seed))
+            assert is_consistent(result.graph), info.name
+
+    def test_inserted_writes_accepted(self, info):
+        result = run_once(info.build(inserted_writes=3),
+                          C11TesterScheduler(seed=0))
+        assert result.steps > 0
+
+
+class TestBugDepths:
+    def kcom(self, info):
+        return estimate_parameters(info.build(), runs=3, seed=0).k_com
+
+    @pytest.mark.parametrize("name", [
+        n for n in BENCHMARK_ORDER if BENCHMARKS[n].measured_depth > 0
+    ])
+    def test_invisible_below_measured_depth(self, name):
+        info = BENCHMARKS[name]
+        k_com = self.kcom(info)
+        depth = info.measured_depth - 1
+        hits = hit_count(
+            info.build,
+            lambda s: PCTWMScheduler(depth, k_com, info.best_history,
+                                     seed=s),
+            60,
+        )
+        assert hits == 0, f"{name} hit below its measured depth"
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_reachable_at_measured_depth(self, name):
+        info = BENCHMARKS[name]
+        k_com = self.kcom(info)
+        trials = TRIALS if info.measured_depth < 3 else 4 * TRIALS
+        hits = hit_count(
+            info.build,
+            lambda s: PCTWMScheduler(info.measured_depth, k_com,
+                                     info.best_history, seed=s),
+            trials,
+        )
+        assert hits > 0, f"{name} unreachable at its measured depth"
+
+    def test_depth_zero_benchmarks_hit_always(self):
+        for name in ("dekker", "msqueue"):
+            info = BENCHMARKS[name]
+            k_com = self.kcom(info)
+            hits = hit_count(
+                info.build,
+                lambda s: PCTWMScheduler(0, k_com, 1, seed=s), 50,
+            )
+            assert hits == 50, f"{name} must hit on every d=0 run"
+
+
+class TestShapeClaims:
+    """The headline comparative claims of Figure 5, at test scale."""
+
+    def kcom(self, info):
+        return estimate_parameters(info.build(), runs=3, seed=0).k_com
+
+    @pytest.mark.parametrize("name", [
+        "dekker", "msqueue", "barrier", "cldeque", "mpmcqueue",
+        "linuxrwlocks", "rwlock",
+    ])
+    def test_pctwm_beats_or_matches_c11tester(self, name):
+        info = BENCHMARKS[name]
+        k_com = self.kcom(info)
+        c11 = hit_count(info.build,
+                        lambda s: C11TesterScheduler(seed=s), TRIALS)
+        best_wm = max(
+            hit_count(
+                info.build,
+                lambda s: PCTWMScheduler(d, k_com, info.best_history,
+                                         seed=s),
+                TRIALS,
+            )
+            for d in (info.measured_depth, info.measured_depth + 1)
+        )
+        # Allow statistical slack: PCTWM must not lose by more than a
+        # few trials on its best configuration.
+        assert best_wm >= c11 - TRIALS // 10, (
+            f"{name}: pctwm {best_wm} vs c11tester {c11}"
+        )
+
+    def test_seqlock_is_the_exception(self):
+        """Section 6.2: the wait-loop benchmark favors random testing."""
+        info = BENCHMARKS["seqlock"]
+        k_com = self.kcom(info)
+        c11 = hit_count(info.build,
+                        lambda s: C11TesterScheduler(seed=s), TRIALS)
+        wm = hit_count(
+            info.build,
+            lambda s: PCTWMScheduler(info.measured_depth, k_com,
+                                     info.best_history, seed=s),
+            TRIALS,
+        )
+        assert c11 > wm

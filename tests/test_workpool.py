@@ -1,0 +1,75 @@
+"""Tests for the work-pool extension application (spawn + dynamic workers)."""
+
+import pytest
+
+from repro.core import (
+    C11TesterScheduler,
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+    POSScheduler,
+)
+from repro.runtime import run_once
+from repro.workloads.apps import EXTENSION_APPLICATIONS, workpool
+
+SCHEDULERS = [
+    lambda s: NaiveRandomScheduler(seed=s),
+    lambda s: C11TesterScheduler(seed=s),
+    lambda s: PCTScheduler(2, 80, seed=s),
+    lambda s: PCTWMScheduler(2, 40, 2, seed=s),
+    lambda s: POSScheduler(seed=s),
+]
+
+
+class TestWorkpool:
+    def test_registered_as_extension_app(self):
+        assert EXTENSION_APPLICATIONS["workpool"] is workpool
+
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_buggy_variant_races(self, make):
+        raced = sum(
+            bool(run_once(workpool(), make(seed), keep_graph=False,
+                          max_steps=100000).races)
+            for seed in range(15)
+        )
+        assert raced >= 14  # essentially every run
+
+    @pytest.mark.parametrize("make", SCHEDULERS)
+    def test_fixed_variant_is_race_free(self, make):
+        for seed in range(15):
+            result = run_once(workpool(fixed=True), make(seed),
+                              keep_graph=False, max_steps=100000)
+            assert not result.races, seed
+            assert not result.limit_exceeded
+
+    def test_fixed_variant_computes_correct_total(self):
+        """Whenever the workers drain the queue, the sum is exact."""
+        expected = sum(10 + i for i in range(6))  # tasks=6 payloads
+        seen_full_run = False
+        for seed in range(40):
+            result = run_once(workpool(fixed=True),
+                              C11TesterScheduler(seed=seed),
+                              max_steps=100000)
+            completed, total = result.thread_results["pool"]
+            if completed == 6:
+                assert total == expected
+                seen_full_run = True
+        assert seen_full_run
+
+    def test_buggy_variant_loses_payloads(self):
+        """The racy pool misreads at least one payload in some run."""
+        expected = sum(10 + i for i in range(6))
+        for seed in range(40):
+            result = run_once(workpool(), C11TesterScheduler(seed=seed),
+                              max_steps=100000)
+            completed, total = result.thread_results["pool"]
+            if completed == 6 and total != expected:
+                return
+        pytest.fail("racy pool never misread a payload in 40 runs")
+
+    def test_scales_with_parameters(self):
+        small = run_once(workpool(workers=1, tasks=2),
+                         C11TesterScheduler(seed=0), max_steps=100000)
+        large = run_once(workpool(workers=3, tasks=10),
+                         C11TesterScheduler(seed=0), max_steps=100000)
+        assert large.k > small.k
