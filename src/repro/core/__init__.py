@@ -8,6 +8,7 @@ from .ablations import (
 )
 from .c11tester import C11TesterScheduler
 from .depth import ParameterEstimate, empirical_bug_depth, estimate_parameters
+from .factory import SCHEDULER_REGISTRY, SchedulerSpec, make_scheduler
 from .guarantees import (
     naive_detection_probability,
     pct_lower_bound,
@@ -26,6 +27,9 @@ from .views import View
 
 __all__ = [
     "C11TesterScheduler",
+    "SCHEDULER_REGISTRY",
+    "SchedulerSpec",
+    "make_scheduler",
     "PCTWMEagerViews",
     "PCTWMFullBagJoin",
     "PCTWMNoDelay",

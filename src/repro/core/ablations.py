@@ -42,11 +42,11 @@ class PCTWMNoDelay(PCTWMScheduler):
         op = state.peek(tid)
         from ..runtime.ops import is_communication_op
         if op is not None and is_communication_op(op) \
-                and id(op) not in self._counted:
-            self._counted.add(id(op))
+                and op.uid not in self._counted:
+            self._counted.add(op.uid)
             self._i += 1
             if self._i in self._slot_by_count:
-                self._reordered.add(id(op))
+                self._reordered.add(op.uid)
         return tid
 
 
@@ -61,7 +61,7 @@ class PCTWMFullBagJoin(PCTWMScheduler):
         if source is None:
             return
         external = (
-            (op is not None and id(op) in self._reordered)
+            (op is not None and op.uid in self._reordered)
             or info.get("spinning", False)
             or info.get("rmw", False)
         )

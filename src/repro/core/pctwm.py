@@ -110,13 +110,13 @@ class PCTWMScheduler(PriorityScheduler):
                 return diverted
             op = state.peek(tid)
             if op is not None and is_communication_op(op) \
-                    and id(op) not in self._counted:
-                self._counted.add(id(op))
+                    and op.uid not in self._counted:
+                self._counted.add(op.uid)
                 self._i += 1
                 slot = self._slot_by_count.get(self._i)
                 if slot is not None:
                     self.lower_priority(tid, slot)
-                    self._reordered.add(id(op))
+                    self._reordered.add(op.uid)
                     continue
             return tid
 
@@ -128,7 +128,7 @@ class PCTWMScheduler(PriorityScheduler):
             # getSC: an SC event first absorbs its SC-predecessor's bag
             # (lines 6-8), so readLocal below observes the SC history.
             view.join(self._bags.get(self._last_sc.uid))
-        if id(ctx.op) in self._reordered or ctx.spinning:
+        if ctx.op.uid in self._reordered or ctx.spinning:
             return self._read_global(ctx)
         return self._read_local(view, ctx)
 
@@ -176,7 +176,7 @@ class PCTWMScheduler(PriorityScheduler):
         if event.is_sc:
             self._last_sc = event
         if op is not None:
-            self._reordered.discard(id(op))
+            self._reordered.discard(op.uid)
 
     def _apply_read_update(self, state, view: View, event: Event,
                            op, info: dict) -> None:
@@ -184,7 +184,7 @@ class PCTWMScheduler(PriorityScheduler):
         if source is None:
             return
         external = (
-            (op is not None and id(op) in self._reordered)
+            (op is not None and op.uid in self._reordered)
             or info.get("spinning", False)
             or info.get("rmw", False)
         )

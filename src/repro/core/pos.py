@@ -37,7 +37,7 @@ class POSScheduler(Scheduler):
         self._priorities = {}
 
     def _priority_of(self, op) -> float:
-        key = id(op)
+        key = op.uid
         if key not in self._priorities:
             self._priorities[key] = self.rng.random()
         return self._priorities[key]
@@ -55,4 +55,4 @@ class POSScheduler(Scheduler):
     def on_event_executed(self, state, event, info) -> None:
         op = info.get("op")
         if op is not None:
-            self._priorities.pop(id(op), None)
+            self._priorities.pop(op.uid, None)

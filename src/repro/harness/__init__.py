@@ -7,12 +7,19 @@ from .coverage import (
 )
 from .campaign import (
     CampaignResult,
+    TrialRecord,
     c11tester_factory,
     naive_factory,
     pct_factory,
     pctwm_factory,
     run_campaign,
 )
+from .parallel import (
+    CampaignProgress,
+    print_progress,
+    run_campaign_parallel,
+)
+from .seeding import derive_trial_seed
 from .figures import (
     Figure5Bar,
     Figure6Series,
@@ -47,8 +54,13 @@ from .tables import (
 )
 
 __all__ = [
+    "CampaignProgress",
     "CampaignResult",
+    "TrialRecord",
     "bar_chart",
+    "derive_trial_seed",
+    "print_progress",
+    "run_campaign_parallel",
     "line_chart",
     "line_charts",
     "CoverageReport",

@@ -4,6 +4,11 @@ A *campaign* runs a program factory under a scheduler factory for N trials
 (the paper uses 1000 trials for Tables 2-3 and 500 for Figure 6) and
 reports the bug hitting rate plus timing, mirroring the artifact's metrics
 (Bug Hitting Rate %, Average Running time, Throughput).
+
+Trial ``i`` is seeded by ``derive_trial_seed(base_seed, i)`` — a
+splitmix-style derivation that makes trial streams independent across
+nearby base seeds and identical between the serial path here and the
+sharded parallel path in :mod:`repro.harness.parallel`.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from ..core.pctwm import PCTWMScheduler
 from ..runtime.executor import RunResult, run_once
 from ..runtime.program import Program
 from ..runtime.scheduler import Scheduler
+from .seeding import derive_trial_seed
 
 ProgramFactory = Callable[[], Program]
 SchedulerFactory = Callable[[int], Scheduler]
@@ -40,6 +46,11 @@ class CampaignResult:
     run_times_s: List[float] = field(default_factory=list)
     #: Per-run application-defined operation counts (Silo throughput).
     operations: int = 0
+    #: Worker processes used (1 = serial execution).
+    jobs: int = 1
+    #: Wall time of each shard, in shard (= trial) order; empty when
+    #: the campaign ran serially.
+    shard_times_s: List[float] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -64,6 +75,75 @@ class CampaignResult:
         )
 
 
+@dataclass
+class TrialRecord:
+    """Outcome of a single campaign trial, in aggregation-ready form.
+
+    This is what worker processes ship back to the parent: small, picklable,
+    and ordered by ``index`` so shard merges are deterministic.
+    """
+
+    index: int
+    bug_found: bool
+    limit_exceeded: bool
+    steps: int
+    k: int
+    elapsed_s: float
+    operations: int = 0
+
+
+def run_trial(program_factory: ProgramFactory,
+              scheduler_factory: SchedulerFactory,
+              base_seed: int, index: int, max_steps: int = 20000,
+              count_operations: Optional[Callable[[RunResult], int]] = None,
+              ) -> TrialRecord:
+    """Run campaign trial ``index`` — the unit shared by serial and
+    parallel campaigns, so both execute bit-identical work."""
+    scheduler = scheduler_factory(derive_trial_seed(base_seed, index))
+    t0 = time.perf_counter()
+    run = run_once(program_factory(), scheduler, max_steps=max_steps,
+                   keep_graph=False)
+    elapsed = time.perf_counter() - t0
+    return TrialRecord(
+        index=index,
+        bug_found=run.bug_found,
+        limit_exceeded=run.limit_exceeded,
+        steps=run.steps,
+        k=run.k,
+        elapsed_s=elapsed,
+        operations=count_operations(run) if count_operations else 0,
+    )
+
+
+def fold_trial(result: CampaignResult, record: TrialRecord) -> None:
+    """Accumulate one trial into the campaign aggregate (trial order)."""
+    result.run_times_s.append(record.elapsed_s)
+    if record.bug_found:
+        result.hits += 1
+    if record.limit_exceeded:
+        result.inconclusive += 1
+    result.total_steps += record.steps
+    result.total_events += record.k
+    result.operations += record.operations
+
+
+def resolve_campaign_names(program_factory: ProgramFactory,
+                           scheduler_factory: SchedulerFactory,
+                           base_seed: int,
+                           scheduler_name: Optional[str]) -> tuple:
+    """The (program, scheduler) display names for a campaign result.
+
+    Builds a throwaway probe scheduler only when the caller did not name
+    the scheduler — factory specs carry their name statically.
+    """
+    if scheduler_name is None:
+        scheduler_name = getattr(scheduler_factory, "scheduler_name", None)
+    if scheduler_name is None:
+        scheduler_name = scheduler_factory(
+            derive_trial_seed(base_seed, 0)).name
+    return program_factory().name, scheduler_name
+
+
 def run_campaign(program_factory: ProgramFactory,
                  scheduler_factory: SchedulerFactory,
                  trials: int = 100,
@@ -75,27 +155,19 @@ def run_campaign(program_factory: ProgramFactory,
     """Run ``trials`` independent randomized tests and aggregate."""
     if trials < 1:
         raise ValueError("trials must be >= 1")
-    probe = scheduler_factory(base_seed)
+    program_name, sched_name = resolve_campaign_names(
+        program_factory, scheduler_factory, base_seed, scheduler_name)
     result = CampaignResult(
-        program=program_factory().name,
-        scheduler=scheduler_name or probe.name,
+        program=program_name,
+        scheduler=sched_name,
         trials=trials,
     )
     start = time.perf_counter()
     for i in range(trials):
-        scheduler = scheduler_factory(base_seed + i)
-        t0 = time.perf_counter()
-        run = run_once(program_factory(), scheduler, max_steps=max_steps,
-                       keep_graph=False)
-        result.run_times_s.append(time.perf_counter() - t0)
-        if run.bug_found:
-            result.hits += 1
-        if run.limit_exceeded:
-            result.inconclusive += 1
-        result.total_steps += run.steps
-        result.total_events += run.k
-        if count_operations is not None:
-            result.operations += count_operations(run)
+        fold_trial(result, run_trial(
+            program_factory, scheduler_factory, base_seed, i,
+            max_steps=max_steps, count_operations=count_operations,
+        ))
     result.elapsed_s = time.perf_counter() - start
     return result
 

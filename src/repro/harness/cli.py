@@ -48,6 +48,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="runs per configuration (paper: 1000/500)")
         cmd.add_argument("--seed", type=int, default=0)
         cmd.add_argument("--benchmarks", nargs="*", default=None)
+        cmd.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per campaign (1 = serial; "
+                              "results are identical for any value)")
         return cmd
 
     add("table1", "benchmark characteristics (k, k_com, d)")
@@ -79,6 +82,20 @@ def _build_parser() -> argparse.ArgumentParser:
     hunt_cmd.add_argument("--out", default=None,
                           help="write the trace JSON here")
 
+    campaign_cmd = sub.add_parser(
+        "campaign",
+        help="run one hit-rate campaign, optionally sharded over workers")
+    campaign_cmd.add_argument("benchmark")
+    campaign_cmd.add_argument("--scheduler", default="pctwm")
+    campaign_cmd.add_argument("--trials", type=int, default=100)
+    campaign_cmd.add_argument("--seed", type=int, default=0)
+    campaign_cmd.add_argument("--jobs", type=int, default=1)
+    campaign_cmd.add_argument("--depth", type=int, default=None)
+    campaign_cmd.add_argument("--history", type=int, default=None)
+    campaign_cmd.add_argument("--max-steps", type=int, default=20000)
+    campaign_cmd.add_argument("--progress", action="store_true",
+                              help="print per-shard progress to stderr")
+
     litmus_cmd = sub.add_parser(
         "litmus", help="run the litmus gallery under every scheduler")
     litmus_cmd.add_argument("--trials", type=int, default=200)
@@ -90,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--runs", type=int, default=10)
     report_cmd.add_argument("--seed", type=int, default=0)
     report_cmd.add_argument("--scale", type=int, default=1)
+    report_cmd.add_argument("--jobs", type=int, default=1)
     report_cmd.add_argument("--out", default="evaluation_report.md")
     return parser
 
@@ -97,17 +115,20 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     command = args.command
+    jobs = getattr(args, "jobs", 1)
     if command == "depth":
         return _cmd_depth(args)
     if command == "hunt":
         return _cmd_hunt(args)
+    if command == "campaign":
+        return _cmd_campaign(args)
     if command == "litmus":
         return _cmd_litmus(args)
     if command == "report":
         from .report import write_report
 
         path = write_report(args.out, trials=args.trials, runs=args.runs,
-                            seed=args.seed, scale=args.scale)
+                            seed=args.seed, scale=args.scale, jobs=jobs)
         print(f"report written to {path}")
         return 0
     if command in ("table1", "all"):
@@ -117,12 +138,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if command in ("table2", "all"):
         print("== Table 2: hit rate vs bug depth ==")
         print(render_table2(table2(trials=args.trials, seed=args.seed,
-                                   benchmarks=args.benchmarks)))
+                                   benchmarks=args.benchmarks, jobs=jobs)))
         print()
     if command in ("table3", "all"):
         print("== Table 3: hit rate vs history depth ==")
         print(render_table3(table3(trials=args.trials, seed=args.seed,
-                                   benchmarks=args.benchmarks)))
+                                   benchmarks=args.benchmarks, jobs=jobs)))
         print()
     if command in ("table4", "all"):
         print("== Table 4: application performance ==")
@@ -135,7 +156,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print("== Figure 5: highest observed hit rates ==")
         bars = figure5(trials=args.trials, seed=args.seed,
-                       benchmarks=args.benchmarks)
+                       benchmarks=args.benchmarks, jobs=jobs)
         print(render_figure5(bars))
         print()
         print(bar_chart(bars))
@@ -145,7 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         print("== Figure 6: inserted relaxed writes ==")
         series = figure6(trials=args.trials, seed=args.seed,
-                         benchmarks=args.benchmarks)
+                         benchmarks=args.benchmarks, jobs=jobs)
         print(render_figure6(series))
         print()
         print(line_charts(series))
@@ -203,6 +224,56 @@ def _cmd_hunt(args) -> int:
             fh.write(trace.to_json())
         print(f"trace saved to {args.out} "
               f"(replay with repro.replay.replay_run)")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from ..core.depth import estimate_parameters
+    from ..core.factory import SCHEDULER_REGISTRY, SchedulerSpec
+    from ..workloads import BENCHMARKS, ProgramSpec
+    from .parallel import print_progress, run_campaign_parallel
+
+    if args.scheduler not in SCHEDULER_REGISTRY:
+        print(f"unknown scheduler {args.scheduler!r}; known: "
+              + ", ".join(sorted(SCHEDULER_REGISTRY)))
+        return 2
+    if args.benchmark not in BENCHMARKS:
+        print(f"unknown benchmark {args.benchmark!r}; known: "
+              + ", ".join(sorted(BENCHMARKS)))
+        return 2
+    info = BENCHMARKS[args.benchmark]
+    program = ProgramSpec(info.name)
+    depth = args.depth if args.depth is not None else info.measured_depth
+    history = args.history if args.history is not None \
+        else info.best_history
+    params = {}
+    if args.scheduler in ("pctwm", "pctwm-fullbag", "pctwm-eager",
+                          "pctwm-nodelay"):
+        est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+        params = {"depth": depth, "k_com": est.k_com, "history": history}
+    elif args.scheduler == "pctwm-nohistory":
+        est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+        params = {"depth": depth, "k_com": est.k_com}
+    elif args.scheduler in ("pct", "ppct"):
+        est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+        params = {"depth": max(depth, 1), "k_events": est.k}
+    try:
+        result = run_campaign_parallel(
+            program, SchedulerSpec(args.scheduler, params),
+            trials=args.trials, base_seed=args.seed,
+            max_steps=args.max_steps, jobs=args.jobs,
+            progress=print_progress if args.progress else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(result)
+    print(f"  hits={result.hits} inconclusive={result.inconclusive} "
+          f"steps={result.total_steps} events={result.total_events}")
+    if result.jobs > 1:
+        shard_s = " ".join(f"{t:.2f}" for t in result.shard_times_s)
+        print(f"  jobs={result.jobs} wall={result.elapsed_s:.2f}s "
+              f"shard walls: {shard_s}")
     return 0
 
 

@@ -19,6 +19,7 @@ from ..memory.execution import ExecutionGraph
 from ..runtime.executor import run_once
 from ..runtime.program import Program
 from ..runtime.scheduler import Scheduler
+from .seeding import derive_trial_seed
 
 #: Stable event identity across runs with identical control flow.
 EventKey = Tuple[int, int]
@@ -69,7 +70,7 @@ def coverage_campaign(program_factory: Callable[[], Program],
     name = ""
     sched_name = ""
     for i in range(trials):
-        scheduler = scheduler_factory(base_seed + i)
+        scheduler = scheduler_factory(derive_trial_seed(base_seed, i))
         sched_name = scheduler.name
         result = run_once(program_factory(), scheduler, max_steps=max_steps)
         name = result.program

@@ -18,13 +18,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.depth import estimate_parameters
-from ..workloads.registry import BENCHMARKS, BenchmarkInfo
-from .campaign import (
-    c11tester_factory,
-    pct_factory,
-    pctwm_factory,
-    run_campaign,
-)
+from ..core.factory import SchedulerSpec
+from ..workloads.registry import BENCHMARKS, BenchmarkInfo, ProgramSpec
+from .parallel import run_campaign_parallel
 
 
 @dataclass
@@ -41,18 +37,23 @@ def figure5(trials: int = 100, seed: int = 0,
             pctwm_depth_offsets: Sequence[int] = (0, 1, 2),
             pct_depths: Sequence[int] = (1, 2, 3, 4),
             histories: Sequence[int] = (1, 2, 3),
-            benchmarks: Optional[Sequence[str]] = None) -> List[Figure5Bar]:
+            benchmarks: Optional[Sequence[str]] = None,
+            jobs: int = 1) -> List[Figure5Bar]:
     """Highest observed hit rate per benchmark and algorithm."""
     bars = []
     for info in _selected(benchmarks):
         est = estimate_parameters(info.build(), runs=3, seed=seed)
-        c11 = run_campaign(info.build, c11tester_factory(), trials=trials,
-                           base_seed=seed)
+        program = ProgramSpec(info.name)
+        c11 = run_campaign_parallel(program, SchedulerSpec("c11tester"),
+                                    trials=trials, base_seed=seed,
+                                    jobs=jobs)
 
         best_pct, pct_cfg = -1.0, ""
         for d in pct_depths:
-            campaign = run_campaign(info.build, pct_factory(d, est.k),
-                                    trials=trials, base_seed=seed + 17 * d)
+            campaign = run_campaign_parallel(
+                program,
+                SchedulerSpec("pct", {"depth": d, "k_events": est.k}),
+                trials=trials, base_seed=seed + 17 * d, jobs=jobs)
             if campaign.hit_rate > best_pct:
                 best_pct, pct_cfg = campaign.hit_rate, f"d={d}"
 
@@ -60,9 +61,13 @@ def figure5(trials: int = 100, seed: int = 0,
         for offset in pctwm_depth_offsets:
             depth = info.measured_depth + offset
             for h in histories:
-                campaign = run_campaign(
-                    info.build, pctwm_factory(depth, est.k_com, h),
+                campaign = run_campaign_parallel(
+                    program,
+                    SchedulerSpec("pctwm", {"depth": depth,
+                                            "k_com": est.k_com,
+                                            "history": h}),
                     trials=trials, base_seed=seed + 31 * depth + 7 * h,
+                    jobs=jobs,
                 )
                 if campaign.hit_rate > best_wm:
                     best_wm, wm_cfg = campaign.hit_rate, f"d={depth},h={h}"
@@ -107,7 +112,7 @@ class Figure6Series:
 def figure6(trials: int = 100, seed: int = 0,
             insert_counts: Sequence[int] = (0, 2, 4, 6, 8, 10),
             benchmarks: Optional[Sequence[str]] = None,
-            ) -> Dict[str, Figure6Series]:
+            jobs: int = 1) -> Dict[str, Figure6Series]:
     """Hit rate vs number of inserted relaxed writes (Figure 6)."""
     if benchmarks is None:
         benchmarks = [
@@ -118,25 +123,31 @@ def figure6(trials: int = 100, seed: int = 0,
         info = BENCHMARKS[name]
         series = Figure6Series(name)
         for n in insert_counts:
-            def build(inserted=n, info=info):
-                return info.build(inserted_writes=inserted)
-
-            est = estimate_parameters(build(), runs=3, seed=seed)
+            program = ProgramSpec(name, params={"inserted_writes": n})
+            est = estimate_parameters(program.build(), runs=3, seed=seed)
             depth = info.measured_depth
             series.inserted.append(n)
             series.c11tester.append(
-                run_campaign(build, c11tester_factory(), trials=trials,
-                             base_seed=seed + n).hit_rate
+                run_campaign_parallel(program, SchedulerSpec("c11tester"),
+                                      trials=trials, base_seed=seed + n,
+                                      jobs=jobs).hit_rate
             )
             series.pct.append(
-                run_campaign(build, pct_factory(max(depth, 1) + 1, est.k),
-                             trials=trials, base_seed=seed + n + 1).hit_rate
+                run_campaign_parallel(
+                    program,
+                    SchedulerSpec("pct", {"depth": max(depth, 1) + 1,
+                                          "k_events": est.k}),
+                    trials=trials, base_seed=seed + n + 1,
+                    jobs=jobs).hit_rate
             )
             series.pctwm.append(
-                run_campaign(
-                    build,
-                    pctwm_factory(depth, est.k_com, info.best_history),
+                run_campaign_parallel(
+                    program,
+                    SchedulerSpec("pctwm", {"depth": depth,
+                                            "k_com": est.k_com,
+                                            "history": info.best_history}),
                     trials=trials, base_seed=seed + n + 2,
+                    jobs=jobs,
                 ).hit_rate
             )
         out[name] = series

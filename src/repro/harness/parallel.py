@@ -1,0 +1,230 @@
+"""Parallel campaign engine: shard trials over a process pool.
+
+The paper's headline experiments run 500-1000 randomized trials per
+(program, scheduler, d, h) cell; each trial is pure-Python CPU-bound
+work, so this module shards the trial index space across a
+``multiprocessing`` worker pool:
+
+* **Work units are picklable.**  Programs and schedulers cross the
+  process boundary as registry specs (:class:`repro.workloads.ProgramSpec`,
+  :class:`repro.core.factory.SchedulerSpec`) or any other picklable
+  factory — not closures.
+* **Seeding is shard-independent.**  Trial ``i`` always runs with
+  ``derive_trial_seed(base_seed, i)``, so the aggregate counts are
+  bit-identical to the serial path regardless of worker count or
+  chunk size.
+* **Merging is deterministic.**  Shards report per-trial records; the
+  parent folds them in trial order, so ``hits``, ``inconclusive``,
+  ``total_steps``, ``total_events`` and ``run_times_s`` match a serial
+  campaign exactly.
+
+A progress hook makes long campaigns observable: after every completed
+shard the parent reports trials done, throughput, and an ETA.
+
+    spec = ProgramSpec("seqlock")
+    sched = SchedulerSpec("pctwm", {"depth": 3, "k_com": 18, "history": 2})
+    result = run_campaign_parallel(spec, sched, trials=1000, jobs=4,
+                                   progress=print_progress)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from ..runtime.executor import RunResult
+from .campaign import (
+    CampaignResult,
+    ProgramFactory,
+    SchedulerFactory,
+    TrialRecord,
+    fold_trial,
+    resolve_campaign_names,
+    run_campaign,
+    run_trial,
+)
+
+__all__ = [
+    "CampaignProgress",
+    "ShardResult",
+    "ShardSpec",
+    "print_progress",
+    "run_campaign_parallel",
+]
+
+
+@dataclass
+class ShardSpec:
+    """One worker-pool task: a contiguous slice of the trial index space.
+
+    Everything in here crosses the process boundary, so the factories must
+    be picklable (registry specs or module-level callables).
+    """
+
+    program_factory: ProgramFactory
+    scheduler_factory: SchedulerFactory
+    base_seed: int
+    start: int
+    stop: int
+    max_steps: int = 20000
+    count_operations: Optional[Callable[[RunResult], int]] = None
+
+
+@dataclass
+class ShardResult:
+    """Per-trial records of one shard, plus its wall time."""
+
+    start: int
+    records: List[TrialRecord]
+    wall_s: float
+
+
+@dataclass
+class CampaignProgress:
+    """Snapshot handed to the progress hook after each completed shard."""
+
+    completed_trials: int
+    total_trials: int
+    elapsed_s: float
+    #: Wall time of each shard completed so far, in completion order.
+    shard_wall_times: List[float] = field(default_factory=list)
+
+    @property
+    def trials_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.completed_trials / self.elapsed_s
+
+    @property
+    def eta_s(self) -> float:
+        """Estimated seconds until the campaign completes."""
+        rate = self.trials_per_second
+        if rate <= 0:
+            return float("inf")
+        return (self.total_trials - self.completed_trials) / rate
+
+    def render(self) -> str:
+        eta = f"{self.eta_s:.1f}s" if self.eta_s != float("inf") else "?"
+        return (
+            f"{self.completed_trials}/{self.total_trials} trials "
+            f"({self.trials_per_second:.1f}/s, eta {eta})"
+        )
+
+
+def print_progress(progress: CampaignProgress) -> None:
+    """Default progress hook: one status line per completed shard."""
+    import sys
+
+    print(f"  [campaign] {progress.render()}", file=sys.stderr, flush=True)
+
+
+def _run_shard(shard: ShardSpec) -> ShardResult:
+    """Worker entry point: run one contiguous slice of trials."""
+    t0 = time.perf_counter()
+    records = [
+        run_trial(shard.program_factory, shard.scheduler_factory,
+                  shard.base_seed, index, max_steps=shard.max_steps,
+                  count_operations=shard.count_operations)
+        for index in range(shard.start, shard.stop)
+    ]
+    return ShardResult(shard.start, records, time.perf_counter() - t0)
+
+
+def shard_bounds(trials: int, jobs: int,
+                 chunks_per_job: int = 4) -> List[tuple]:
+    """Split ``range(trials)`` into contiguous ``(start, stop)`` slices.
+
+    Oversplits to ``jobs * chunks_per_job`` shards for load balancing
+    (trial durations vary, e.g. when some seeds hit the step budget);
+    sharding never affects results because seeds are per-trial.
+    """
+    shards = max(1, min(trials, jobs * max(1, chunks_per_job)))
+    bounds = []
+    base, extra = divmod(trials, shards)
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+def _pool_context():
+    """Prefer fork (cheap on Linux); fall back to spawn elsewhere."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_campaign_parallel(
+        program_factory: ProgramFactory,
+        scheduler_factory: SchedulerFactory,
+        trials: int = 100,
+        base_seed: int = 0,
+        max_steps: int = 20000,
+        jobs: int = 1,
+        scheduler_name: Optional[str] = None,
+        count_operations: Optional[Callable[[RunResult], int]] = None,
+        progress: Optional[Callable[[CampaignProgress], None]] = None,
+        chunks_per_job: int = 4,
+) -> CampaignResult:
+    """Run a campaign sharded over ``jobs`` worker processes.
+
+    Bit-identical to :func:`run_campaign` for the same ``base_seed``:
+    aggregate counts and the per-trial ``run_times_s`` ordering do not
+    depend on ``jobs`` or chunking (individual timings naturally vary).
+    With ``jobs <= 1`` the campaign runs serially in-process, so callers
+    can thread a jobs parameter through unconditionally.
+    """
+    if trials < 1:
+        raise ValueError("trials must be >= 1")
+    if jobs <= 1:
+        result = run_campaign(
+            program_factory, scheduler_factory, trials=trials,
+            base_seed=base_seed, max_steps=max_steps,
+            scheduler_name=scheduler_name,
+            count_operations=count_operations,
+        )
+        if progress is not None:
+            progress(CampaignProgress(trials, trials, result.elapsed_s))
+        return result
+
+    program_name, sched_name = resolve_campaign_names(
+        program_factory, scheduler_factory, base_seed, scheduler_name)
+    result = CampaignResult(
+        program=program_name,
+        scheduler=sched_name,
+        trials=trials,
+        jobs=jobs,
+    )
+    shards = [
+        ShardSpec(program_factory, scheduler_factory, base_seed,
+                  start, stop, max_steps, count_operations)
+        for start, stop in shard_bounds(trials, jobs, chunks_per_job)
+    ]
+    start_time = time.perf_counter()
+    outcomes: List[ShardResult] = []
+    completed = 0
+    wall_times: List[float] = []
+    ctx = _pool_context()
+    with ctx.Pool(processes=min(jobs, len(shards))) as pool:
+        for outcome in pool.imap_unordered(_run_shard, shards):
+            outcomes.append(outcome)
+            completed += len(outcome.records)
+            wall_times.append(outcome.wall_s)
+            if progress is not None:
+                progress(CampaignProgress(
+                    completed, trials,
+                    time.perf_counter() - start_time,
+                    list(wall_times),
+                ))
+    # Deterministic merge: fold shards back in trial order.
+    outcomes.sort(key=lambda o: o.start)
+    for outcome in outcomes:
+        for record in outcome.records:
+            fold_trial(result, record)
+    result.shard_times_s = [o.wall_s for o in outcomes]
+    result.elapsed_s = time.perf_counter() - start_time
+    return result

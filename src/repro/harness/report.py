@@ -26,14 +26,16 @@ def _md_table(headers: List[str], rows: List[List[str]]) -> str:
 
 
 def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
-                    scale: int = 1) -> str:
+                    scale: int = 1, jobs: int = 1) -> str:
     """Run the full evaluation and return it as a markdown document."""
     started = time.strftime("%Y-%m-%d %H:%M:%S")
     parts = [
         "# PCTWM reproduction — generated evaluation report",
         "",
         f"Generated {started}; {trials} trials per configuration "
-        f"(paper: 1000/500), {runs} runs per Table 4 cell.",
+        f"(paper: 1000/500), {runs} runs per Table 4 cell"
+        + (f", campaigns sharded over {jobs} workers." if jobs > 1
+           else "."),
     ]
 
     rows1 = table1(seed=seed)
@@ -46,7 +48,7 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
                     str(r.measured_k_com), str(r.measured_depth)]
                    for r in rows1])]
 
-    rows2 = table2(trials=trials, seed=seed)
+    rows2 = table2(trials=trials, seed=seed, jobs=jobs)
     parts += ["", "## Table 2 — hit rate vs bug depth", "",
               _md_table(
                   ["benchmark", "d", "Rate(d)", "Rate(d+1)", "Rate(d+2)"],
@@ -55,7 +57,7 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
                       for o in (0, 1, 2)]
                    for r in rows2])]
 
-    rows3 = table3(trials=trials, seed=seed)
+    rows3 = table3(trials=trials, seed=seed, jobs=jobs)
     hs = sorted({h for r in rows3 for h in r.rates})
     parts += ["", "## Table 3 — hit rate vs history depth", "",
               _md_table(
@@ -64,7 +66,7 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
                    + [f"{r.rates.get(h, 0.0):.1f}" for h in hs]
                    for r in rows3])]
 
-    bars = figure5(trials=trials, seed=seed)
+    bars = figure5(trials=trials, seed=seed, jobs=jobs)
     avg = (sum(b.c11tester for b in bars) / len(bars),
            sum(b.pct for b in bars) / len(bars),
            sum(b.pctwm for b in bars) / len(bars))
@@ -79,7 +81,7 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
                   + [["**average**", f"**{avg[0]:.1f}**",
                       f"**{avg[1]:.1f}**", f"**{avg[2]:.1f}**", ""]])]
 
-    series = figure6(trials=trials, seed=seed)
+    series = figure6(trials=trials, seed=seed, jobs=jobs)
     parts += ["", "## Figure 6 — inserted relaxed writes", ""]
     for name, s in series.items():
         parts += [f"### {name}", "",
@@ -111,8 +113,9 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
 
 
 def write_report(path: str, trials: int = 100, runs: int = 10,
-                 seed: int = 0, scale: int = 1) -> str:
-    text = generate_report(trials=trials, runs=runs, seed=seed, scale=scale)
+                 seed: int = 0, scale: int = 1, jobs: int = 1) -> str:
+    text = generate_report(trials=trials, runs=runs, seed=seed, scale=scale,
+                           jobs=jobs)
     with open(path, "w") as fh:
         fh.write(text)
     return path

@@ -1,0 +1,40 @@
+"""Deterministic per-trial seed derivation for campaigns.
+
+Campaigns used to seed trial ``i`` with ``base_seed + i``, which has two
+problems:
+
+* campaigns with nearby base seeds rerun overlapping trial streams
+  (``base_seed=0`` trials 1..N-1 are ``base_seed=1`` trials 0..N-2), so
+  "independent" experiment cells share most of their randomness;
+* a parallel campaign would have to thread the additive index through
+  every sharding scheme to stay reproducible.
+
+``derive_trial_seed`` instead splitmixes ``(base_seed, trial_index)``
+through BLAKE2b, giving every (campaign, trial) pair its own
+statistically independent 64-bit seed.  The derivation depends only on
+the two integers — not on process identity, hash randomization
+(``PYTHONHASHSEED``), worker count, or chunking — so serial and parallel
+campaigns over the same base seed run bit-identical trials.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Domain-separation tag so other subsystems can derive non-colliding
+#: seed streams from the same base seed if they ever need to.
+_DOMAIN = b"repro.campaign.trial"
+
+
+def derive_trial_seed(base_seed: int, trial_index: int) -> int:
+    """The seed of trial ``trial_index`` in a campaign over ``base_seed``.
+
+    Deterministic, stable across processes and platforms, and injective
+    in practice: distinct ``(base_seed, trial_index)`` pairs map to
+    distinct 64-bit outputs with overwhelming probability.
+    """
+    if trial_index < 0:
+        raise ValueError("trial_index must be >= 0")
+    payload = b"%s:%d:%d" % (_DOMAIN, base_seed, trial_index)
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")

@@ -13,15 +13,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.depth import estimate_parameters
+from ..core.factory import SchedulerSpec
 from ..runtime.executor import run_once
 from ..workloads.apps import APPLICATIONS, silo_operations
-from ..workloads.registry import BENCHMARKS, BenchmarkInfo
-from .campaign import (
-    CampaignResult,
-    c11tester_factory,
-    pctwm_factory,
-    run_campaign,
-)
+from ..workloads.registry import BENCHMARKS, BenchmarkInfo, ProgramSpec
+from .campaign import CampaignResult, c11tester_factory, pctwm_factory
+from .parallel import run_campaign_parallel
 from .stats import relative_stdev_pct
 
 
@@ -88,21 +85,26 @@ class Table2Row:
 
 def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
            offsets: Sequence[int] = (0, 1, 2), seed: int = 0,
-           benchmarks: Optional[Sequence[str]] = None) -> List[Table2Row]:
+           benchmarks: Optional[Sequence[str]] = None,
+           jobs: int = 1) -> List[Table2Row]:
     """PCTWM hit rates for d, d+1, d+2 at the best history depth."""
     rows = []
     for info in _selected(benchmarks):
         est = estimate_parameters(info.build(), runs=3, seed=seed)
+        program = ProgramSpec(info.name)
         row = Table2Row(info.name, info.measured_depth)
         for offset in offsets:
             depth = info.measured_depth + offset
             best_rate, best_h = -1.0, histories[0]
             for h in histories:
-                campaign = run_campaign(
-                    info.build,
-                    pctwm_factory(depth, est.k_com, h),
+                campaign = run_campaign_parallel(
+                    program,
+                    SchedulerSpec("pctwm", {"depth": depth,
+                                            "k_com": est.k_com,
+                                            "history": h}),
                     trials=trials,
                     base_seed=seed + 1000 * offset + 100 * h,
+                    jobs=jobs,
                 )
                 if campaign.hit_rate > best_rate:
                     best_rate, best_h = campaign.hit_rate, h
@@ -143,18 +145,23 @@ class Table3Row:
 
 def table3(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
            seed: int = 0,
-           benchmarks: Optional[Sequence[str]] = None) -> List[Table3Row]:
+           benchmarks: Optional[Sequence[str]] = None,
+           jobs: int = 1) -> List[Table3Row]:
     """PCTWM hit rates for h = 1..4 at the benchmark's measured depth."""
     rows = []
     for info in _selected(benchmarks):
         est = estimate_parameters(info.build(), runs=3, seed=seed)
+        program = ProgramSpec(info.name)
         row = Table3Row(info.name, est.k_com, info.measured_depth)
         for h in histories:
-            campaign = run_campaign(
-                info.build,
-                pctwm_factory(info.measured_depth, est.k_com, h),
+            campaign = run_campaign_parallel(
+                program,
+                SchedulerSpec("pctwm", {"depth": info.measured_depth,
+                                        "k_com": est.k_com,
+                                        "history": h}),
                 trials=trials,
                 base_seed=seed + 10 * h,
+                jobs=jobs,
             )
             row.rates[h] = campaign.hit_rate
         rows.append(row)

@@ -16,6 +16,7 @@ from typing import Callable, Optional
 
 from ..core.depth import estimate_parameters
 from ..core.pctwm import PCTWMScheduler
+from ..harness.seeding import derive_trial_seed
 from ..runtime.executor import run_once
 from ..runtime.program import Program
 
@@ -44,7 +45,7 @@ def _hit_stats(program_factory: Callable[[], Program], depth: int,
     hits = 0
     witness = -1
     for i in range(trials):
-        seed = base_seed + i
+        seed = derive_trial_seed(base_seed, i)
         result = run_once(program_factory(),
                           PCTWMScheduler(depth, k_com, history, seed=seed),
                           keep_graph=False, max_steps=max_steps)

@@ -91,8 +91,14 @@ class ExecutionState:
         self.k_com = 0
         self._by_name = {t.name: t for t in self.threads}
 
-    def spawn_thread(self, body, args, name: Optional[str]) -> ThreadState:
-        """Create a runtime thread (SpawnOp); returns its primed state."""
+    def spawn_thread(self, body, args, name: Optional[str],
+                     parent_tid: int) -> ThreadState:
+        """Create a runtime thread (SpawnOp); returns its primed state.
+
+        The child starts with the parent's clock (the spawn edge is hb),
+        assigned here so the new thread never exposes a malformed
+        zero-length clock between creation and the caller's bookkeeping.
+        """
         tid = len(self.threads)
         base = name or getattr(body, "__name__", "thread")
         unique = base
@@ -103,7 +109,7 @@ class ExecutionState:
         thread = ThreadState(tid, unique, body(*args))
         thread.prime()
         self.threads.append(thread)
-        self.clocks.append(self.clocks[0][:0])  # placeholder, set by caller
+        self.clocks.append(self.clocks[parent_tid])
         self._by_name[unique] = thread
         return thread
 
@@ -285,10 +291,7 @@ class Executor:
 
     def _exec_spawn(self, state: ExecutionState, thread: ThreadState,
                     op: SpawnOp) -> None:
-        child = state.spawn_thread(op.body, op.args, op.name)
-        # The child inherits the parent's clock: everything the parent did
-        # before the spawn happens-before the child's events.
-        state.clocks[child.tid] = state.clocks[thread.tid]
+        child = state.spawn_thread(op.body, op.args, op.name, thread.tid)
         self.scheduler.on_thread_created(state, child.tid, thread.tid)
         thread.advance(child.name)
         if thread.finished:

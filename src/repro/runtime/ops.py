@@ -17,15 +17,34 @@ Programs normally construct these through the handles in
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..memory.events import MemoryOrder
 
+#: Process-wide monotonic op counter.  Never reused, unlike ``id()``,
+#: which CPython recycles as soon as an op object is garbage-collected.
+_op_uids = itertools.count(1)
+
 
 @dataclass(eq=False)
 class Op:
-    """Base operation; identity is by instance (ops are single-use)."""
+    """Base operation; identity is by instance (ops are single-use).
+
+    Every op carries a ``uid`` — a process-wide monotonically increasing
+    sequence number stamped at construction.  Schedulers that must
+    remember "have I seen this pending op before?" (PCTWM's ``counted`` /
+    ``reordered`` sets, POS's per-op priorities) key on ``op.uid``:
+    keying on ``id(op)`` is unsound because ops are garbage-collected
+    after they execute and CPython reuses their addresses, so a stale id
+    could silently alias a brand-new op.
+    """
+
+    uid: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.uid = next(_op_uids)
 
 
 @dataclass(eq=False)

@@ -13,7 +13,13 @@ from .linuxrwlocks import linuxrwlocks
 from .mcslock import mcslock
 from .mpmcqueue import mpmcqueue
 from .msqueue import msqueue
-from .registry import BENCHMARKS, BENCHMARK_ORDER, BenchmarkInfo
+from .registry import (
+    BENCHMARKS,
+    BENCHMARK_ORDER,
+    BenchmarkInfo,
+    ProgramSpec,
+    resolve_program_factory,
+)
 from .rwlock import rwlock
 from .seqlock import seqlock
 from .spsc import spsc
@@ -23,6 +29,8 @@ __all__ = [
     "BENCHMARKS",
     "BENCHMARK_ORDER",
     "BenchmarkInfo",
+    "ProgramSpec",
+    "resolve_program_factory",
     "barrier",
     "cldeque",
     "dekker",

@@ -8,8 +8,8 @@ Figures 5-6 know which parameters to sweep.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping
 
 from ..runtime.program import Program
 from .barrier import barrier
@@ -78,3 +78,66 @@ BENCHMARKS: Dict[str, BenchmarkInfo] = {
 
 #: Table order used throughout the paper's evaluation section.
 BENCHMARK_ORDER = list(BENCHMARKS)
+
+
+def resolve_program_factory(kind: str, name: str) -> Factory:
+    """Look up a program factory by registry kind and name.
+
+    ``kind`` is ``"benchmark"`` (Table 1 data structures), ``"litmus"``
+    (the classic shapes, including the extended gallery) or ``"app"``
+    (the Table 4 application models).  Lazy imports keep this module free
+    of cycles with the litmus/app packages.
+    """
+    if kind == "benchmark":
+        if name not in BENCHMARKS:
+            known = ", ".join(BENCHMARKS)
+            raise ValueError(f"unknown benchmark {name!r}; known: {known}")
+        return BENCHMARKS[name].factory
+    if kind == "litmus":
+        from ..litmus import ALL_LITMUS, EXTENDED_LITMUS
+
+        gallery = {**ALL_LITMUS, **EXTENDED_LITMUS}
+        if name not in gallery:
+            known = ", ".join(gallery)
+            raise ValueError(f"unknown litmus {name!r}; known: {known}")
+        return gallery[name]
+    if kind == "app":
+        from .apps import APPLICATIONS, EXTENSION_APPLICATIONS
+
+        apps = {**APPLICATIONS, **EXTENSION_APPLICATIONS}
+        if name not in apps:
+            known = ", ".join(apps)
+            raise ValueError(f"unknown application {name!r}; known: {known}")
+        return apps[name]
+    raise ValueError(
+        f"unknown program kind {kind!r}; "
+        "expected 'benchmark', 'litmus' or 'app'"
+    )
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A picklable zero-argument program factory.
+
+    The parallel campaign engine ships work units across process
+    boundaries, so program factories must pickle; closures over
+    :class:`BenchmarkInfo` objects do not.  A spec names the program in a
+    registry (``kind`` + ``name``) and carries the factory keyword
+    arguments (e.g. ``{"inserted_writes": 4}`` for the Figure 6 sweep),
+    which is all a worker needs to rebuild the program.
+    """
+
+    name: str
+    kind: str = "benchmark"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        resolve_program_factory(self.kind, self.name)  # fail fast
+        object.__setattr__(self, "params", dict(self.params))
+
+    def build(self) -> Program:
+        factory = resolve_program_factory(self.kind, self.name)
+        return factory(**self.params)
+
+    def __call__(self) -> Program:
+        return self.build()

@@ -410,3 +410,62 @@ class TestScriptedSchedules:
         # Run writer fully, then reader picks one-older-than-latest.
         result = run_once(p, ScriptedScheduler([0, 0, 1], read_picks=[1]))
         assert result.thread_results["reader"] == 1
+
+
+class TestSpawnedThreadClocks:
+    """Spawned threads must never expose a malformed placeholder clock.
+
+    ``ExecutionState.spawn_thread`` assigns the parent's clock itself
+    (the spawn edge is hb), so no observer — scheduler hook or later
+    caller — can see a zero-length clock between thread creation and
+    the caller's bookkeeping.
+    """
+
+    def _spawning_program(self):
+        from repro.runtime import spawn
+
+        p = Program("spawner")
+        x = p.atomic("X", 0)
+
+        def child():
+            yield x.store(2, RLX)
+
+        def parent():
+            yield x.store(1, RLX)
+            yield spawn(child, name="kid")
+            yield join("kid")
+
+        p.add_thread(parent)
+        return p
+
+    def test_clock_well_formed_at_creation_hook(self):
+        """on_thread_created fires immediately after spawn: the clock must
+        already be the parent's, not an empty placeholder."""
+        observed = []
+
+        class Watcher(NaiveRandomScheduler):
+            def on_thread_created(self, state, tid, parent_tid):
+                observed.append((
+                    tuple(state.clocks[tid]),
+                    tuple(state.clocks[parent_tid]),
+                ))
+
+        result = run_once(self._spawning_program(), Watcher(seed=0))
+        assert not result.bug_found
+        assert observed, "spawn never happened"
+        for child_clock, parent_clock in observed:
+            assert len(child_clock) > 0
+            assert child_clock == parent_clock
+
+    def test_spawn_thread_assigns_parent_clock_directly(self):
+        """State-level contract, independent of the executor caller."""
+        from repro.runtime.executor import ExecutionState
+
+        state = ExecutionState(self._spawning_program())
+        state.clocks[0] = (3,)
+
+        def body():
+            yield from ()
+
+        child = state.spawn_thread(body, (), "kid", parent_tid=0)
+        assert state.clocks[child.tid] == (3,)

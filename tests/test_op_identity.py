@@ -1,0 +1,143 @@
+"""Regression tests for stable op identity (the ``id(op)`` reuse bug).
+
+PCTWM must count every pending communication op exactly once and
+remember which ops were selected as communication sinks.  Keying those
+sets on ``id(op)`` is unsound: ops are garbage-collected right after
+they execute, CPython recycles their addresses almost immediately, and a
+recycled id makes the scheduler silently skip counting a fresh op (or
+treat it as an already-selected sink) — wrong statistics with no error.
+Ops now carry a process-unique monotonic ``uid`` instead.
+"""
+
+import gc
+
+from repro.core import PCTWMNoDelay, PCTWMScheduler
+from repro.memory.events import RLX
+from repro.runtime import Program, run_once
+from repro.runtime.ops import LoadOp, StoreOp
+
+
+def _churn_program(iterations: int = 300) -> Program:
+    """One thread that burns through many short-lived op objects.
+
+    Each loop iteration allocates a fresh LoadOp and StoreOp which are
+    dropped as soon as they execute, so CPython reuses their addresses —
+    exactly the situation that confused ``id``-keyed bookkeeping.  The
+    loaded value changes every iteration, so the spin heuristic never
+    fires and every load is scheduled normally.
+    """
+    p = Program("churn")
+    x = p.atomic("X", 0)
+
+    def worker():
+        value = 0
+        for _ in range(iterations):
+            value = yield x.load(RLX)
+            yield x.store(value + 1, RLX)
+        return value
+
+    p.add_thread(worker)
+    return p
+
+
+class TestOpUids:
+    def test_uids_monotonic_and_never_recycled(self):
+        """Op ids get reused after GC; uids must not be."""
+        seen_ids = set()
+        seen_uids = set()
+        id_was_recycled = False
+        for _ in range(5000):
+            op = LoadOp("X", RLX)
+            if id(op) in seen_ids:
+                id_was_recycled = True
+            seen_ids.add(id(op))
+            assert op.uid not in seen_uids
+            seen_uids.add(op.uid)
+        # The premise of the bug: CPython really does recycle id() for
+        # garbage-collected ops, so id-keyed sets alias distinct ops.
+        assert id_was_recycled
+
+    def test_uids_unique_across_op_kinds(self):
+        ops = [LoadOp("X"), StoreOp("X", 1), LoadOp("Y"), StoreOp("Y", 2)]
+        uids = [op.uid for op in ops]
+        assert len(set(uids)) == len(uids)
+        assert uids == sorted(uids)
+
+
+class _StubThread:
+    def __init__(self, tid):
+        self.tid = tid
+        self.pending = None
+        self.site_key = (tid, 0)
+
+
+class _StubSpins:
+    def is_spinning(self, key):
+        return False
+
+
+class _StubState:
+    """The minimal ExecutionState surface ``choose_thread`` consults."""
+
+    def __init__(self):
+        self.threads = [_StubThread(0)]
+        self.spins = _StubSpins()
+        self.init_writes = {}
+
+    def enabled_tids(self):
+        return [0]
+
+    def peek(self, tid):
+        return self.threads[tid].pending
+
+
+class TestStaleIdentityRegression:
+    def test_churned_pending_ops_are_all_counted(self):
+        """Drive ``choose_thread`` with maximal op churn.
+
+        Each iteration allocates one fresh LoadOp and frees the previous
+        one, so CPython hands the next op the address the last one
+        vacated.  Under the old ``id(op)`` bookkeeping the recycled
+        address was already in ``counted`` and the scheduler counted *one*
+        of the 200 communication events; with stable uids it counts all
+        of them.
+        """
+        state = _StubState()
+        sched = PCTWMScheduler(depth=1, k_com=200, seed=0)
+        sched.on_run_start(state)
+        for _ in range(200):
+            state.threads[0].pending = LoadOp("X", RLX)
+            assert sched.choose_thread(state) == 0
+            state.threads[0].pending = None
+        assert sched._i == 200
+        assert len(sched._counted) == 200
+
+    def test_every_communication_op_counted_once(self):
+        """``counted`` must grow by one per communication op, despite churn.
+
+        With ``id(op)`` keys this fails: stale ids of collected ops stay
+        in the set forever, a recycled address makes a fresh load appear
+        already-counted, and the Algorithm 1 event counter falls behind
+        the true ``k_com``.
+        """
+        gc.collect()
+        sched = PCTWMScheduler(depth=1, k_com=300, seed=42)
+        run = run_once(_churn_program(300), sched, keep_graph=False)
+        assert not run.bug_found
+        assert run.k_com == 300  # the 300 relaxed loads
+        assert sched._i == run.k_com
+        assert len(sched._counted) == run.k_com
+
+    def test_nodelay_ablation_counts_once_too(self):
+        """The no-delay ablation shares the counting logic; audit it."""
+        sched = PCTWMNoDelay(depth=1, k_com=300, seed=42)
+        run = run_once(_churn_program(300), sched, keep_graph=False)
+        assert sched._i == run.k_com == 300
+
+    def test_counts_stable_across_repeated_runs(self):
+        """Back-to-back runs reuse freed memory heavily; counts must not
+        drift from run to run."""
+        for seed in range(5):
+            sched = PCTWMScheduler(depth=2, k_com=100, seed=seed)
+            run = run_once(_churn_program(100), sched, keep_graph=False)
+            assert sched._i == run.k_com == 100
