@@ -13,6 +13,11 @@ from .campaign import (
     pct_factory,
     pctwm_factory,
     run_campaign,
+    run_trial,
+)
+from .checkpoint import (
+    TrialJournal,
+    load_journal,
 )
 from .parallel import (
     CampaignProgress,
@@ -56,11 +61,14 @@ from .tables import (
 __all__ = [
     "CampaignProgress",
     "CampaignResult",
+    "TrialJournal",
     "TrialRecord",
     "bar_chart",
     "derive_trial_seed",
+    "load_journal",
     "print_progress",
     "run_campaign_parallel",
+    "run_trial",
     "line_chart",
     "line_charts",
     "CoverageReport",

@@ -13,6 +13,7 @@ sharded parallel path in :mod:`repro.harness.parallel`.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -28,6 +29,10 @@ from .seeding import derive_trial_seed
 
 ProgramFactory = Callable[[], Program]
 SchedulerFactory = Callable[[int], Scheduler]
+
+#: How many error summaries a campaign keeps verbatim; further errors are
+#: still counted but not sampled (long campaigns must stay bounded).
+ERROR_SAMPLE_LIMIT = 8
 
 
 @dataclass
@@ -51,11 +56,32 @@ class CampaignResult:
     #: Wall time of each shard, in shard (= trial) order; empty when
     #: the campaign ran serially.
     shard_times_s: List[float] = field(default_factory=list)
+    #: Trials whose workload/scheduler raised an unexpected exception.
+    #: These are contained faults, not bugs: the campaign keeps going.
+    errors: int = 0
+    #: Trials that exhausted their per-trial wall-clock budget.
+    timeouts: int = 0
+    #: Up to :data:`ERROR_SAMPLE_LIMIT` verbatim error summaries, in
+    #: trial order, for post-mortem triage.
+    error_samples: List[str] = field(default_factory=list)
+    #: Trials actually folded into the aggregate.  Equals ``trials``
+    #: unless the campaign was interrupted (SIGINT) before finishing.
+    completed: int = 0
+    #: True when the campaign stopped early on operator interrupt; the
+    #: aggregates then cover only ``completed`` trials.
+    interrupted: bool = False
+    #: Trials restored from a checkpoint journal rather than re-run.
+    resumed_trials: int = 0
 
     @property
     def hit_rate(self) -> float:
         """Bug hitting rate in percent (the paper's headline metric)."""
         return 100.0 * self.hits / self.trials if self.trials else 0.0
+
+    @property
+    def faults(self) -> int:
+        """Contained faults: errored plus timed-out trials."""
+        return self.errors + self.timeouts
 
     @property
     def avg_time_ms(self) -> float:
@@ -68,11 +94,16 @@ class CampaignResult:
         return self.operations / self.elapsed_s
 
     def __str__(self) -> str:  # pragma: no cover - reporting aid
-        return (
+        text = (
             f"{self.program} / {self.scheduler}: "
             f"{self.hit_rate:.1f}% over {self.trials} runs "
             f"({self.avg_time_ms:.2f} ms/run)"
         )
+        if self.errors or self.timeouts:
+            text += f" [{self.errors} errors, {self.timeouts} timeouts]"
+        if self.interrupted:
+            text += f" [interrupted at {self.completed}/{self.trials}]"
+        return text
 
 
 @dataclass
@@ -90,19 +121,65 @@ class TrialRecord:
     k: int
     elapsed_s: float
     operations: int = 0
+    #: True when the trial exhausted its wall-clock budget.
+    timed_out: bool = False
+    #: ``"ExcType: message @ file:line"`` when the trial raised instead of
+    #: completing; ``None`` for a clean run.  Errored trials report zero
+    #: steps/events and never count as bugs.
+    error: Optional[str] = None
+
+
+def summarize_exception(exc: BaseException) -> str:
+    """One-line fault summary: exception type, message, innermost frame."""
+    site = ""
+    tb = exc.__traceback__
+    while tb is not None and tb.tb_next is not None:
+        tb = tb.tb_next
+    if tb is not None:
+        filename = os.path.basename(tb.tb_frame.f_code.co_filename)
+        site = f" @ {filename}:{tb.tb_lineno}"
+    message = str(exc)
+    if len(message) > 200:
+        message = message[:197] + "..."
+    return f"{type(exc).__name__}: {message}{site}"
 
 
 def run_trial(program_factory: ProgramFactory,
               scheduler_factory: SchedulerFactory,
               base_seed: int, index: int, max_steps: int = 20000,
               count_operations: Optional[Callable[[RunResult], int]] = None,
+              trial_timeout_s: Optional[float] = None,
               ) -> TrialRecord:
     """Run campaign trial ``index`` — the unit shared by serial and
-    parallel campaigns, so both execute bit-identical work."""
-    scheduler = scheduler_factory(derive_trial_seed(base_seed, index))
+    parallel campaigns, so both execute bit-identical work.
+
+    Faults are *contained*: any exception escaping the workload, the
+    scheduler, or the engine (``ReproError``, ``ProgramDefinitionError``,
+    arbitrary workload crashes) becomes a :class:`TrialRecord` with
+    ``error`` set instead of aborting the campaign.  ``KeyboardInterrupt``
+    and ``SystemExit`` still propagate — interrupting a campaign is an
+    operator action, not a trial fault.
+
+    Timing covers scheduler construction *and* program construction plus
+    the run itself, so per-trial cost comparisons between schedulers and
+    workloads are symmetric.
+    """
     t0 = time.perf_counter()
-    run = run_once(program_factory(), scheduler, max_steps=max_steps,
-                   keep_graph=False)
+    try:
+        scheduler = scheduler_factory(derive_trial_seed(base_seed, index))
+        run = run_once(program_factory(), scheduler, max_steps=max_steps,
+                       keep_graph=False, wall_timeout_s=trial_timeout_s)
+        operations = count_operations(run) if count_operations else 0
+    except Exception as exc:
+        return TrialRecord(
+            index=index,
+            bug_found=False,
+            limit_exceeded=False,
+            steps=0,
+            k=0,
+            elapsed_s=time.perf_counter() - t0,
+            error=summarize_exception(exc),
+        )
     elapsed = time.perf_counter() - t0
     return TrialRecord(
         index=index,
@@ -111,17 +188,27 @@ def run_trial(program_factory: ProgramFactory,
         steps=run.steps,
         k=run.k,
         elapsed_s=elapsed,
-        operations=count_operations(run) if count_operations else 0,
+        operations=operations,
+        timed_out=run.timed_out,
     )
 
 
 def fold_trial(result: CampaignResult, record: TrialRecord) -> None:
     """Accumulate one trial into the campaign aggregate (trial order)."""
     result.run_times_s.append(record.elapsed_s)
+    result.completed += 1
+    if record.error is not None:
+        result.errors += 1
+        if len(result.error_samples) < ERROR_SAMPLE_LIMIT:
+            result.error_samples.append(
+                f"trial {record.index}: {record.error}")
+        return
     if record.bug_found:
         result.hits += 1
     if record.limit_exceeded:
         result.inconclusive += 1
+    if record.timed_out:
+        result.timeouts += 1
     result.total_steps += record.steps
     result.total_events += record.k
     result.operations += record.operations
@@ -134,14 +221,26 @@ def resolve_campaign_names(program_factory: ProgramFactory,
     """The (program, scheduler) display names for a campaign result.
 
     Builds a throwaway probe scheduler only when the caller did not name
-    the scheduler — factory specs carry their name statically.
+    the scheduler — factory specs carry their name statically.  A probe
+    that *raises* is contained (the campaign must survive a crashing
+    workload to report it as errors), falling back to the factory's own
+    name.
     """
     if scheduler_name is None:
         scheduler_name = getattr(scheduler_factory, "scheduler_name", None)
     if scheduler_name is None:
-        scheduler_name = scheduler_factory(
-            derive_trial_seed(base_seed, 0)).name
-    return program_factory().name, scheduler_name
+        try:
+            scheduler_name = scheduler_factory(
+                derive_trial_seed(base_seed, 0)).name
+        except Exception:
+            scheduler_name = getattr(scheduler_factory, "__name__",
+                                     "<scheduler>")
+    try:
+        program_name = program_factory().name
+    except Exception:
+        program_name = getattr(program_factory, "name", None) \
+            or getattr(program_factory, "__name__", "<program>")
+    return program_name, scheduler_name
 
 
 def run_campaign(program_factory: ProgramFactory,
@@ -151,8 +250,14 @@ def run_campaign(program_factory: ProgramFactory,
                  max_steps: int = 20000,
                  scheduler_name: Optional[str] = None,
                  count_operations: Optional[Callable[[RunResult], int]] = None,
+                 trial_timeout_s: Optional[float] = None,
                  ) -> CampaignResult:
-    """Run ``trials`` independent randomized tests and aggregate."""
+    """Run ``trials`` independent randomized tests and aggregate.
+
+    Trials that raise are contained as ``errors``; trials that exhaust
+    ``trial_timeout_s`` of wall clock are contained as ``timeouts`` —
+    neither aborts the campaign (see :func:`run_trial`).
+    """
     if trials < 1:
         raise ValueError("trials must be >= 1")
     program_name, sched_name = resolve_campaign_names(
@@ -167,6 +272,7 @@ def run_campaign(program_factory: ProgramFactory,
         fold_trial(result, run_trial(
             program_factory, scheduler_factory, base_seed, i,
             max_steps=max_steps, count_operations=count_operations,
+            trial_timeout_s=trial_timeout_s,
         ))
     result.elapsed_s = time.perf_counter() - start
     return result

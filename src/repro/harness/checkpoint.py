@@ -1,0 +1,174 @@
+"""Append-only trial journal: checkpoint/resume for long campaigns.
+
+Paper-scale campaigns (500-1000 trials per cell, many cells) can run for
+hours; losing a half-finished campaign to a crash or an operator SIGINT
+wastes all completed work.  The journal makes campaigns durable:
+
+* **Append-only JSONL.**  The first line is a header describing the
+  campaign (program, scheduler, base seed, trial count, step budget);
+  every subsequent line is one completed :class:`TrialRecord`.  Records
+  are flushed *and fsynced* per append, so a SIGKILL loses at most the
+  in-flight shard.
+* **Torn lines are tolerated.**  A process killed mid-write leaves a
+  partial last line; :func:`load_journal` skips unparseable lines
+  instead of refusing the whole file.
+* **Resume is exact.**  Trial seeds depend only on ``(base_seed,
+  index)``, and the journal stores per-trial elapsed times verbatim
+  (JSON floats round-trip exactly), so a resumed campaign folds to
+  aggregates bit-identical to an uninterrupted run.
+* **Resume is validated.**  A journal written for a different campaign
+  (other program, scheduler, base seed, trial count, or step budget)
+  is rejected with a clear error rather than silently merged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from typing import Dict, IO, Iterable, Optional, Tuple
+
+from .campaign import TrialRecord
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "TrialJournal",
+    "load_journal",
+]
+
+JOURNAL_VERSION = 1
+
+#: Header fields that must match between a journal and the campaign
+#: resuming from it.
+_COMPAT_FIELDS = ("program", "scheduler", "base_seed", "trials", "max_steps")
+
+
+def _record_to_obj(record: TrialRecord) -> dict:
+    obj = asdict(record)
+    obj["kind"] = "trial"
+    return obj
+
+
+def _record_from_obj(obj: dict) -> TrialRecord:
+    fields = {k: obj[k] for k in ("index", "bug_found", "limit_exceeded",
+                                  "steps", "k", "elapsed_s")}
+    fields["operations"] = obj.get("operations", 0)
+    fields["timed_out"] = obj.get("timed_out", False)
+    fields["error"] = obj.get("error")
+    return TrialRecord(**fields)
+
+
+def load_journal(path: str) -> Tuple[Optional[dict],
+                                     Dict[int, TrialRecord]]:
+    """Read a journal back: ``(header, {trial_index: record})``.
+
+    Missing file -> ``(None, {})``.  Unparseable (torn) lines are
+    skipped; duplicate indices keep the last occurrence.
+    """
+    header: Optional[dict] = None
+    records: Dict[int, TrialRecord] = {}
+    if not os.path.exists(path):
+        return None, records
+    with open(path, "r") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn line from a killed writer
+            if not isinstance(obj, dict):
+                continue
+            kind = obj.get("kind")
+            if kind == "campaign-journal" and header is None:
+                header = obj
+            elif kind == "trial":
+                try:
+                    record = _record_from_obj(obj)
+                except (KeyError, TypeError):
+                    continue
+                records[record.index] = record
+    return header, records
+
+
+def check_compatible(header: dict, meta: dict) -> None:
+    """Reject resuming a journal written for a different campaign."""
+    mismatches = [
+        f"{name}: journal={header.get(name)!r} campaign={meta.get(name)!r}"
+        for name in _COMPAT_FIELDS
+        if name in header and header.get(name) != meta.get(name)
+    ]
+    if mismatches:
+        raise ValueError(
+            "checkpoint journal does not match this campaign ("
+            + "; ".join(mismatches) + ")"
+        )
+
+
+class TrialJournal:
+    """Durable append-only writer for completed campaign trials.
+
+    Usage::
+
+        journal = TrialJournal(path)
+        done = journal.start(meta, resume=True)   # {} on a fresh run
+        ...
+        journal.append(shard.records)             # after each shard
+        journal.close()
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: Optional[IO[str]] = None
+
+    def start(self, meta: dict, resume: bool = False,
+              ) -> Dict[int, TrialRecord]:
+        """Open the journal and return already-completed records.
+
+        Without ``resume`` any existing file is truncated and a fresh
+        header written.  With ``resume``, the existing journal is
+        validated against ``meta`` and its records returned so the
+        campaign can skip them.
+        """
+        done: Dict[int, TrialRecord] = {}
+        header: Optional[dict] = None
+        if resume:
+            header, done = load_journal(self.path)
+            if header is not None:
+                check_compatible(header, meta)
+        mode = "a" if resume and os.path.exists(self.path) else "w"
+        self._fh = open(self.path, mode)
+        if header is None:
+            self._write_line(dict(meta, kind="campaign-journal",
+                                  version=JOURNAL_VERSION))
+            self._sync()
+        return done
+
+    def append(self, records: Iterable[TrialRecord]) -> None:
+        """Journal completed trials durably (flush + fsync)."""
+        if self._fh is None:
+            raise ValueError("journal is not open; call start() first")
+        for record in records:
+            self._write_line(_record_to_obj(record))
+        self._sync()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TrialJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _write_line(self, obj: dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+
+    def _sync(self) -> None:
+        assert self._fh is not None
+        self._fh.flush()
+        os.fsync(self._fh.fileno())

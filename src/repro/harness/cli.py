@@ -35,6 +35,36 @@ from .tables import (
 )
 
 
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -44,11 +74,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     def add(name: str, help_text: str) -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
-        cmd.add_argument("--trials", type=int, default=100,
+        cmd.add_argument("--trials", type=_positive_int, default=100,
                          help="runs per configuration (paper: 1000/500)")
-        cmd.add_argument("--seed", type=int, default=0)
+        cmd.add_argument("--seed", type=_nonnegative_int, default=0)
         cmd.add_argument("--benchmarks", nargs="*", default=None)
-        cmd.add_argument("--jobs", type=int, default=1,
+        cmd.add_argument("--jobs", type=_positive_int, default=1,
                          help="worker processes per campaign (1 = serial; "
                               "results are identical for any value)")
         return cmd
@@ -57,28 +87,28 @@ def _build_parser() -> argparse.ArgumentParser:
     add("table2", "PCTWM hit rates for d, d+1, d+2")
     add("table3", "PCTWM hit rates for h = 1..4")
     t4 = sub.add_parser("table4", help="application performance overhead")
-    t4.add_argument("--runs", type=int, default=10)
-    t4.add_argument("--scale", type=int, default=1)
-    t4.add_argument("--seed", type=int, default=0)
+    t4.add_argument("--runs", type=_positive_int, default=10)
+    t4.add_argument("--scale", type=_positive_int, default=1)
+    t4.add_argument("--seed", type=_nonnegative_int, default=0)
     add("figure5", "highest hit rates: C11Tester vs PCT vs PCTWM")
     add("figure6", "hit rate vs inserted relaxed writes")
     everything = add("all", "run every table and figure")
-    everything.add_argument("--runs", type=int, default=10)
+    everything.add_argument("--runs", type=_positive_int, default=10)
 
     depth_cmd = sub.add_parser(
         "depth", help="estimate k, k_com and the empirical bug depth")
     depth_cmd.add_argument("benchmark")
-    depth_cmd.add_argument("--trials", type=int, default=150)
-    depth_cmd.add_argument("--max-depth", type=int, default=4)
-    depth_cmd.add_argument("--seed", type=int, default=0)
+    depth_cmd.add_argument("--trials", type=_positive_int, default=150)
+    depth_cmd.add_argument("--max-depth", type=_positive_int, default=4)
+    depth_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
 
     hunt_cmd = sub.add_parser(
         "hunt", help="find a bug with PCTWM and save a replayable trace")
     hunt_cmd.add_argument("benchmark")
-    hunt_cmd.add_argument("--attempts", type=int, default=1000)
+    hunt_cmd.add_argument("--attempts", type=_positive_int, default=1000)
     hunt_cmd.add_argument("--depth", type=int, default=None)
     hunt_cmd.add_argument("--history", type=int, default=None)
-    hunt_cmd.add_argument("--seed", type=int, default=0)
+    hunt_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
     hunt_cmd.add_argument("--out", default=None,
                           help="write the trace JSON here")
 
@@ -87,27 +117,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run one hit-rate campaign, optionally sharded over workers")
     campaign_cmd.add_argument("benchmark")
     campaign_cmd.add_argument("--scheduler", default="pctwm")
-    campaign_cmd.add_argument("--trials", type=int, default=100)
-    campaign_cmd.add_argument("--seed", type=int, default=0)
-    campaign_cmd.add_argument("--jobs", type=int, default=1)
+    campaign_cmd.add_argument("--trials", type=_positive_int, default=100)
+    campaign_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+    campaign_cmd.add_argument("--jobs", type=_positive_int, default=1)
     campaign_cmd.add_argument("--depth", type=int, default=None)
     campaign_cmd.add_argument("--history", type=int, default=None)
-    campaign_cmd.add_argument("--max-steps", type=int, default=20000)
+    campaign_cmd.add_argument("--max-steps", type=_positive_int,
+                              default=20000)
     campaign_cmd.add_argument("--progress", action="store_true",
                               help="print per-shard progress to stderr")
+    campaign_cmd.add_argument("--trial-timeout", type=_positive_float,
+                              default=None, metavar="SECONDS",
+                              help="per-trial wall-clock budget; "
+                                   "over-budget trials are recorded as "
+                                   "timeouts, not hangs")
+    campaign_cmd.add_argument("--checkpoint", default=None, metavar="PATH",
+                              help="append completed trials to this JSONL "
+                                   "journal as shards finish")
+    campaign_cmd.add_argument("--resume", action="store_true",
+                              help="skip trials already in --checkpoint")
+    campaign_cmd.add_argument("--max-retries", type=_nonnegative_int,
+                              default=2,
+                              help="retries per shard lost to a dead "
+                                   "worker before degrading to in-process "
+                                   "execution")
+    campaign_cmd.add_argument("--start-method", default=None,
+                              choices=("fork", "spawn", "forkserver"),
+                              help="multiprocessing start method "
+                                   "(default: $REPRO_START_METHOD or fork)")
 
     litmus_cmd = sub.add_parser(
         "litmus", help="run the litmus gallery under every scheduler")
-    litmus_cmd.add_argument("--trials", type=int, default=200)
-    litmus_cmd.add_argument("--seed", type=int, default=0)
+    litmus_cmd.add_argument("--trials", type=_positive_int, default=200)
+    litmus_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
 
     report_cmd = sub.add_parser(
         "report", help="regenerate the full evaluation as markdown")
-    report_cmd.add_argument("--trials", type=int, default=100)
-    report_cmd.add_argument("--runs", type=int, default=10)
-    report_cmd.add_argument("--seed", type=int, default=0)
-    report_cmd.add_argument("--scale", type=int, default=1)
-    report_cmd.add_argument("--jobs", type=int, default=1)
+    report_cmd.add_argument("--trials", type=_positive_int, default=100)
+    report_cmd.add_argument("--runs", type=_positive_int, default=10)
+    report_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+    report_cmd.add_argument("--scale", type=_positive_int, default=1)
+    report_cmd.add_argument("--jobs", type=_positive_int, default=1)
     report_cmd.add_argument("--out", default="evaluation_report.md")
     return parser
 
@@ -263,17 +313,37 @@ def _cmd_campaign(args) -> int:
             trials=args.trials, base_seed=args.seed,
             max_steps=args.max_steps, jobs=args.jobs,
             progress=print_progress if args.progress else None,
+            trial_timeout_s=args.trial_timeout,
+            checkpoint=args.checkpoint,
+            resume=args.resume,
+            max_retries=args.max_retries,
+            start_method=args.start_method,
         )
     except ValueError as exc:
         print(f"error: {exc}")
         return 2
+    except KeyboardInterrupt:
+        print("interrupted before any trial completed")
+        return 130
     print(result)
     print(f"  hits={result.hits} inconclusive={result.inconclusive} "
-          f"steps={result.total_steps} events={result.total_events}")
+          f"steps={result.total_steps} events={result.total_events} "
+          f"errors={result.errors} timeouts={result.timeouts}")
+    for sample in result.error_samples:
+        print(f"  error sample: {sample}")
+    if result.resumed_trials:
+        print(f"  resumed {result.resumed_trials} trials from "
+              f"{args.checkpoint}")
     if result.jobs > 1:
         shard_s = " ".join(f"{t:.2f}" for t in result.shard_times_s)
         print(f"  jobs={result.jobs} wall={result.elapsed_s:.2f}s "
               f"shard walls: {shard_s}")
+    if result.interrupted:
+        print(f"  interrupted: {result.completed}/{result.trials} trials "
+              f"aggregated above")
+        if args.checkpoint:
+            print(f"  resume with: --checkpoint {args.checkpoint} --resume")
+        return 130
     return 0
 
 

@@ -1,9 +1,9 @@
-"""Parallel campaign engine: shard trials over a process pool.
+"""Fault-tolerant parallel campaign engine: supervised trial shards.
 
 The paper's headline experiments run 500-1000 randomized trials per
 (program, scheduler, d, h) cell; each trial is pure-Python CPU-bound
-work, so this module shards the trial index space across a
-``multiprocessing`` worker pool:
+work, so this module shards the trial index space across a process pool
+and *supervises* the shards so one fault cannot destroy a campaign:
 
 * **Work units are picklable.**  Programs and schedulers cross the
   process boundary as registry specs (:class:`repro.workloads.ProgramSpec`,
@@ -11,28 +11,44 @@ work, so this module shards the trial index space across a
   factory — not closures.
 * **Seeding is shard-independent.**  Trial ``i`` always runs with
   ``derive_trial_seed(base_seed, i)``, so the aggregate counts are
-  bit-identical to the serial path regardless of worker count or
-  chunk size.
+  bit-identical to the serial path regardless of worker count, chunking,
+  or how often a shard had to be retried.
 * **Merging is deterministic.**  Shards report per-trial records; the
   parent folds them in trial order, so ``hits``, ``inconclusive``,
   ``total_steps``, ``total_events`` and ``run_times_s`` match a serial
   campaign exactly.
-
-A progress hook makes long campaigns observable: after every completed
-shard the parent reports trials done, throughput, and an ETA.
+* **Faults are contained at three levels.**  A trial that raises or
+  exhausts its wall-clock budget becomes an ``error``/``timeout``
+  record inside the worker (:func:`repro.harness.campaign.run_trial`).
+  A worker that *dies* (OOM kill, fork-unsafe state, segfault) breaks
+  the pool; the supervisor rebuilds it and retries the lost shards with
+  bounded retries and exponential backoff — retries are bit-identical
+  because seeds are per-trial.  Shards that keep failing degrade to
+  in-process execution so the campaign still finishes (and a
+  deterministic infrastructure fault surfaces with a real traceback).
+* **Progress is durable.**  With ``checkpoint=PATH`` every completed
+  shard is appended to a JSONL trial journal (flushed + fsynced);
+  ``resume=True`` skips already-journaled trials.  SIGINT stops the
+  campaign cleanly: completed work is journaled and the partial
+  aggregates are returned with ``interrupted=True``.
 
     spec = ProgramSpec("seqlock")
     sched = SchedulerSpec("pctwm", {"depth": 3, "k_com": 18, "history": 2})
     result = run_campaign_parallel(spec, sched, trials=1000, jobs=4,
+                                   checkpoint="seqlock.jsonl",
                                    progress=print_progress)
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
 import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.executor import RunResult
 from .campaign import (
@@ -45,6 +61,7 @@ from .campaign import (
     run_campaign,
     run_trial,
 )
+from .checkpoint import TrialJournal
 
 __all__ = [
     "CampaignProgress",
@@ -54,22 +71,28 @@ __all__ = [
     "run_campaign_parallel",
 ]
 
+#: Environment override for the multiprocessing start method used by
+#: campaign pools ("fork", "spawn", or "forkserver").
+START_METHOD_ENV = "REPRO_START_METHOD"
+
 
 @dataclass
 class ShardSpec:
-    """One worker-pool task: a contiguous slice of the trial index space.
+    """One worker-pool task: a slice of the trial index space.
 
-    Everything in here crosses the process boundary, so the factories must
-    be picklable (registry specs or module-level callables).
+    ``indices`` is usually contiguous, but resuming from a checkpoint
+    shards only the *remaining* trials, which may have holes.  Everything
+    in here crosses the process boundary, so the factories must be
+    picklable (registry specs or module-level callables).
     """
 
     program_factory: ProgramFactory
     scheduler_factory: SchedulerFactory
     base_seed: int
-    start: int
-    stop: int
+    indices: Tuple[int, ...]
     max_steps: int = 20000
     count_operations: Optional[Callable[[RunResult], int]] = None
+    trial_timeout_s: Optional[float] = None
 
 
 @dataclass
@@ -90,6 +113,9 @@ class CampaignProgress:
     elapsed_s: float
     #: Wall time of each shard completed so far, in completion order.
     shard_wall_times: List[float] = field(default_factory=list)
+    #: Trials restored from a checkpoint journal (counted in
+    #: ``completed_trials`` but not re-run).
+    resumed_trials: int = 0
 
     @property
     def trials_per_second(self) -> float:
@@ -107,29 +133,30 @@ class CampaignProgress:
 
     def render(self) -> str:
         eta = f"{self.eta_s:.1f}s" if self.eta_s != float("inf") else "?"
+        resumed = (f", {self.resumed_trials} resumed"
+                   if self.resumed_trials else "")
         return (
             f"{self.completed_trials}/{self.total_trials} trials "
-            f"({self.trials_per_second:.1f}/s, eta {eta})"
+            f"({self.trials_per_second:.1f}/s, eta {eta}{resumed})"
         )
 
 
 def print_progress(progress: CampaignProgress) -> None:
     """Default progress hook: one status line per completed shard."""
-    import sys
-
     print(f"  [campaign] {progress.render()}", file=sys.stderr, flush=True)
 
 
 def _run_shard(shard: ShardSpec) -> ShardResult:
-    """Worker entry point: run one contiguous slice of trials."""
+    """Worker entry point: run one slice of trials."""
     t0 = time.perf_counter()
     records = [
         run_trial(shard.program_factory, shard.scheduler_factory,
                   shard.base_seed, index, max_steps=shard.max_steps,
-                  count_operations=shard.count_operations)
-        for index in range(shard.start, shard.stop)
+                  count_operations=shard.count_operations,
+                  trial_timeout_s=shard.trial_timeout_s)
+        for index in shard.indices
     ]
-    return ShardResult(shard.start, records, time.perf_counter() - t0)
+    return ShardResult(shard.indices[0], records, time.perf_counter() - t0)
 
 
 def shard_bounds(trials: int, jobs: int,
@@ -151,11 +178,142 @@ def shard_bounds(trials: int, jobs: int,
     return bounds
 
 
-def _pool_context():
-    """Prefer fork (cheap on Linux); fall back to spawn elsewhere."""
+def _pool_context(start_method: Optional[str] = None):
+    """The multiprocessing context campaigns use for worker pools.
+
+    Resolution order: explicit ``start_method`` argument, the
+    ``REPRO_START_METHOD`` environment variable, then the historical
+    default (fork where available — cheap on Linux — else spawn).  Pass
+    ``"spawn"`` when the parent holds threads: forking a threaded
+    process is unsafe.
+    """
+    if start_method is None:
+        start_method = os.environ.get(START_METHOD_ENV) or None
     methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ValueError(
+                f"unknown start method {start_method!r}; "
+                f"available: {', '.join(methods)}"
+            )
+        return multiprocessing.get_context(start_method)
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+def _warn(message: str) -> None:
+    print(f"  [campaign] {message}", file=sys.stderr, flush=True)
+
+
+class _ShardSupervisor:
+    """Runs shards to completion across pool failures and interrupts.
+
+    Owns the retry bookkeeping: ``pending`` shards keyed by their first
+    trial index, a per-shard failure count, and the journal/progress
+    side effects applied exactly once per completed shard.
+    """
+
+    def __init__(self, shards: Sequence[ShardSpec], jobs: int,
+                 ctx, max_retries: int, retry_backoff_s: float,
+                 journal: Optional[TrialJournal],
+                 on_progress: Callable[[ShardResult], None]):
+        self.pending: Dict[int, ShardSpec] = {
+            s.indices[0]: s for s in shards}
+        self.failures: Dict[int, int] = {key: 0 for key in self.pending}
+        self.jobs = jobs
+        self.ctx = ctx
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.journal = journal
+        self.on_progress = on_progress
+        self.outcomes: List[ShardResult] = []
+        self.interrupted = False
+
+    def run(self) -> None:
+        try:
+            if self.jobs > 1:
+                self._run_pooled()
+            self._run_in_process()
+        except KeyboardInterrupt:
+            self.interrupted = True
+
+    # -- supervision rounds --------------------------------------------------
+
+    def _complete(self, key: int, outcome: ShardResult) -> None:
+        del self.pending[key]
+        self.outcomes.append(outcome)
+        if self.journal is not None:
+            self.journal.append(outcome.records)
+        self.on_progress(outcome)
+
+    def _runnable(self) -> Dict[int, ShardSpec]:
+        return {key: spec for key, spec in self.pending.items()
+                if self.failures[key] <= self.max_retries}
+
+    def _run_pooled(self) -> None:
+        """Submit shards to worker pools, rebuilding after crashes."""
+        round_index = 0
+        while True:
+            runnable = self._runnable()
+            if not runnable:
+                return
+            if round_index > 0 and self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * 2 ** (round_index - 1))
+            lost = self._run_pool_round(runnable)
+            if not lost:
+                return
+            round_index += 1
+            for key in lost:
+                self.failures[key] += 1
+            abandoned = [k for k in lost
+                         if self.failures[k] > self.max_retries]
+            if abandoned:
+                _warn(
+                    f"{len(abandoned)} shard(s) failed "
+                    f"{self.max_retries + 1}x in workers; degrading to "
+                    f"in-process execution"
+                )
+
+    def _run_pool_round(self, runnable: Dict[int, ShardSpec]) -> List[int]:
+        """One pool lifetime; returns the shard keys that were lost."""
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.jobs, len(runnable)), mp_context=self.ctx)
+        clean = False
+        try:
+            futures = {executor.submit(_run_shard, spec): key
+                       for key, spec in runnable.items()}
+            lost: List[int] = []
+            for future in as_completed(futures):
+                key = futures[future]
+                try:
+                    outcome = future.result()
+                except (BrokenProcessPool, OSError) as exc:
+                    # A worker died; every unfinished shard of this pool
+                    # is lost (the pool is unusable).  Which worker held
+                    # which shard is unknowable, so all are retried.
+                    lost = [k for k in futures.values()
+                            if k in self.pending]
+                    _warn(f"worker pool broke ({type(exc).__name__}); "
+                          f"retrying {len(lost)} shard(s)")
+                    break
+                except Exception as exc:
+                    # The shard itself raised (infrastructure fault, e.g.
+                    # unpicklable result); the pool survives.
+                    lost.append(key)
+                    _warn(f"shard at trial {key} failed: {exc!r}")
+                else:
+                    self._complete(key, outcome)
+            else:
+                clean = True
+            return lost
+        finally:
+            # A broken or interrupted pool cannot be drained; don't wait.
+            executor.shutdown(wait=clean, cancel_futures=True)
+
+    def _run_in_process(self) -> None:
+        """Run whatever is left in the parent process, in trial order."""
+        for key in sorted(self.pending):
+            self._complete(key, _run_shard(self.pending[key]))
 
 
 def run_campaign_parallel(
@@ -169,23 +327,48 @@ def run_campaign_parallel(
         count_operations: Optional[Callable[[RunResult], int]] = None,
         progress: Optional[Callable[[CampaignProgress], None]] = None,
         chunks_per_job: int = 4,
+        trial_timeout_s: Optional[float] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.1,
+        start_method: Optional[str] = None,
 ) -> CampaignResult:
     """Run a campaign sharded over ``jobs`` worker processes.
 
     Bit-identical to :func:`run_campaign` for the same ``base_seed``:
     aggregate counts and the per-trial ``run_times_s`` ordering do not
-    depend on ``jobs`` or chunking (individual timings naturally vary).
-    With ``jobs <= 1`` the campaign runs serially in-process, so callers
-    can thread a jobs parameter through unconditionally.
+    depend on ``jobs``, chunking, worker crashes, or checkpoint/resume
+    (individual timings naturally vary; wall-clock ``trial_timeout_s``
+    budgets are inherently timing-dependent).  With ``jobs <= 1`` the
+    campaign runs in-process, so callers can thread a jobs parameter
+    through unconditionally.
+
+    Fault tolerance:
+
+    * ``trial_timeout_s`` — per-trial wall-clock budget, enforced inside
+      the worker's step loop; over-budget trials are recorded as
+      ``timeouts``, not hangs.
+    * ``max_retries`` — how many times a shard lost to a dead worker is
+      retried (with exponential backoff starting at ``retry_backoff_s``)
+      before it degrades to in-process execution.
+    * ``checkpoint``/``resume`` — durable JSONL trial journal; see
+      :mod:`repro.harness.checkpoint`.  On SIGINT the journal is flushed
+      and the partial aggregates returned with ``interrupted=True``.
+    * ``start_method`` — multiprocessing start method ("fork", "spawn",
+      "forkserver"); defaults to ``$REPRO_START_METHOD`` or fork.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
-    if jobs <= 1:
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    if jobs <= 1 and checkpoint is None:
         result = run_campaign(
             program_factory, scheduler_factory, trials=trials,
             base_seed=base_seed, max_steps=max_steps,
             scheduler_name=scheduler_name,
             count_operations=count_operations,
+            trial_timeout_s=trial_timeout_s,
         )
         if progress is not None:
             progress(CampaignProgress(trials, trials, result.elapsed_s))
@@ -199,32 +382,69 @@ def run_campaign_parallel(
         trials=trials,
         jobs=jobs,
     )
+
+    journal: Optional[TrialJournal] = None
+    done: Dict[int, TrialRecord] = {}
+    if checkpoint is not None:
+        journal = TrialJournal(checkpoint)
+        done = journal.start(
+            {"program": program_name, "scheduler": sched_name,
+             "base_seed": base_seed, "trials": trials,
+             "max_steps": max_steps},
+            resume=resume,
+        )
+        done = {i: r for i, r in done.items() if i < trials}
+    result.resumed_trials = len(done)
+
+    remaining = [i for i in range(trials) if i not in done]
     shards = [
         ShardSpec(program_factory, scheduler_factory, base_seed,
-                  start, stop, max_steps, count_operations)
-        for start, stop in shard_bounds(trials, jobs, chunks_per_job)
+                  tuple(remaining[start:stop]), max_steps,
+                  count_operations, trial_timeout_s)
+        for start, stop in shard_bounds(len(remaining), max(jobs, 1),
+                                        chunks_per_job)
+        if stop > start
     ]
+
     start_time = time.perf_counter()
-    outcomes: List[ShardResult] = []
-    completed = 0
+    completed_trials = len(done)
     wall_times: List[float] = []
-    ctx = _pool_context()
-    with ctx.Pool(processes=min(jobs, len(shards))) as pool:
-        for outcome in pool.imap_unordered(_run_shard, shards):
-            outcomes.append(outcome)
-            completed += len(outcome.records)
-            wall_times.append(outcome.wall_s)
-            if progress is not None:
-                progress(CampaignProgress(
-                    completed, trials,
-                    time.perf_counter() - start_time,
-                    list(wall_times),
-                ))
-    # Deterministic merge: fold shards back in trial order.
-    outcomes.sort(key=lambda o: o.start)
-    for outcome in outcomes:
-        for record in outcome.records:
-            fold_trial(result, record)
-    result.shard_times_s = [o.wall_s for o in outcomes]
+
+    def on_progress(outcome: ShardResult) -> None:
+        nonlocal completed_trials
+        completed_trials += len(outcome.records)
+        wall_times.append(outcome.wall_s)
+        if progress is not None:
+            progress(CampaignProgress(
+                completed_trials, trials,
+                time.perf_counter() - start_time,
+                list(wall_times),
+                resumed_trials=len(done),
+            ))
+
+    supervisor = _ShardSupervisor(
+        shards, jobs, _pool_context(start_method), max_retries,
+        retry_backoff_s, journal, on_progress)
+    try:
+        if shards:
+            supervisor.run()
+        elif progress is not None:
+            progress(CampaignProgress(
+                trials, trials, time.perf_counter() - start_time,
+                resumed_trials=len(done)))
+    finally:
+        if journal is not None:
+            journal.close()
+
+    # Deterministic merge: fold resumed + fresh records in trial order.
+    records = list(done.values())
+    for outcome in supervisor.outcomes:
+        records.extend(outcome.records)
+    records.sort(key=lambda r: r.index)
+    for record in records:
+        fold_trial(result, record)
+    supervisor.outcomes.sort(key=lambda o: o.start)
+    result.shard_times_s = [o.wall_s for o in supervisor.outcomes]
+    result.interrupted = supervisor.interrupted
     result.elapsed_s = time.perf_counter() - start_time
     return result

@@ -51,20 +51,32 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
     rows2 = table2(trials=trials, seed=seed, jobs=jobs)
     parts += ["", "## Table 2 — hit rate vs bug depth", "",
               _md_table(
-                  ["benchmark", "d", "Rate(d)", "Rate(d+1)", "Rate(d+2)"],
+                  ["benchmark", "d", "Rate(d)", "Rate(d+1)", "Rate(d+2)",
+                   "errors", "timeouts"],
                   [[r.benchmark, str(r.depth)]
                    + [f"{r.rates.get(o, 0.0):.1f} (h:{r.histories.get(o, 1)})"
                       for o in (0, 1, 2)]
+                   + [str(r.errors), str(r.timeouts)]
                    for r in rows2])]
 
     rows3 = table3(trials=trials, seed=seed, jobs=jobs)
     hs = sorted({h for r in rows3 for h in r.rates})
     parts += ["", "## Table 3 — hit rate vs history depth", "",
               _md_table(
-                  ["benchmark", "k_com", "d"] + [f"h:{h}" for h in hs],
+                  ["benchmark", "k_com", "d"] + [f"h:{h}" for h in hs]
+                  + ["errors", "timeouts"],
                   [[r.benchmark, str(r.k_com), str(r.depth)]
                    + [f"{r.rates.get(h, 0.0):.1f}" for h in hs]
+                   + [str(r.errors), str(r.timeouts)]
                    for r in rows3])]
+    faults2 = sum(r.errors + r.timeouts for r in rows2)
+    faults3 = sum(r.errors + r.timeouts for r in rows3)
+    if faults2 or faults3:
+        parts += ["",
+                  f"**Campaign health:** {faults2 + faults3} contained "
+                  "fault(s) (errored or timed-out trials) while computing "
+                  "Tables 2-3; faulted trials count toward neither hits "
+                  "nor misses' step totals."]
 
     bars = figure5(trials=trials, seed=seed, jobs=jobs)
     avg = (sum(b.c11tester for b in bars) / len(bars),

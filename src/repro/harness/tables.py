@@ -81,6 +81,10 @@ class Table2Row:
     #: hit-rate (%) and best history per depth offset 0, +1, +2.
     rates: Dict[int, float] = field(default_factory=dict)
     histories: Dict[int, int] = field(default_factory=dict)
+    #: Contained faults across every campaign behind this row (trials
+    #: that raised / exhausted their wall-clock budget).
+    errors: int = 0
+    timeouts: int = 0
 
 
 def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
@@ -106,6 +110,8 @@ def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
                     base_seed=seed + 1000 * offset + 100 * h,
                     jobs=jobs,
                 )
+                row.errors += campaign.errors
+                row.timeouts += campaign.timeouts
                 if campaign.hit_rate > best_rate:
                     best_rate, best_h = campaign.hit_rate, h
             row.rates[offset] = best_rate
@@ -117,7 +123,7 @@ def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
 def render_table2(rows: Sequence[Table2Row]) -> str:
     header = (
         f"{'Benchmark':14s} {'d':>3s} {'Rate(d)':>12s} {'Rate(d+1)':>12s} "
-        f"{'Rate(d+2)':>12s}"
+        f"{'Rate(d+2)':>12s} {'err':>5s} {'t/o':>5s}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
@@ -128,6 +134,7 @@ def render_table2(rows: Sequence[Table2Row]) -> str:
         lines.append(
             f"{r.benchmark:14s} {r.depth:3d} "
             + " ".join(f"{c:>12s}" for c in cells)
+            + f" {r.errors:5d} {r.timeouts:5d}"
         )
     return "\n".join(lines)
 
@@ -141,6 +148,9 @@ class Table3Row:
     k_com: int
     depth: int
     rates: Dict[int, float] = field(default_factory=dict)
+    #: Contained faults across every campaign behind this row.
+    errors: int = 0
+    timeouts: int = 0
 
 
 def table3(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
@@ -164,6 +174,8 @@ def table3(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
                 jobs=jobs,
             )
             row.rates[h] = campaign.hit_rate
+            row.errors += campaign.errors
+            row.timeouts += campaign.timeouts
         rows.append(row)
     return rows
 
@@ -173,11 +185,13 @@ def render_table3(rows: Sequence[Table3Row]) -> str:
     header = (
         f"{'Benchmark':14s} {'kcom':>5s} {'d':>3s} "
         + " ".join(f"{'h:' + str(h):>7s}" for h in hs)
+        + f" {'err':>5s} {'t/o':>5s}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
         cells = " ".join(f"{r.rates.get(h, 0.0):7.1f}" for h in hs)
-        lines.append(f"{r.benchmark:14s} {r.k_com:5d} {r.depth:3d} {cells}")
+        lines.append(f"{r.benchmark:14s} {r.k_com:5d} {r.depth:3d} {cells}"
+                     f" {r.errors:5d} {r.timeouts:5d}")
     return "\n".join(lines)
 
 

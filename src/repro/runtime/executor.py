@@ -17,6 +17,7 @@ construction (tests audit this with :mod:`repro.memory.axioms`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -58,6 +59,8 @@ class RunResult:
     bug_message: Optional[str] = None
     #: True when the run hit the step budget (inconclusive, not a bug).
     limit_exceeded: bool = False
+    #: True when the run hit its wall-clock budget (inconclusive, not a bug).
+    timed_out: bool = False
     steps: int = 0
     #: Number of program events executed (the paper's k), excluding init.
     k: int = 0
@@ -146,14 +149,21 @@ class ExecutionState:
 class Executor:
     """Runs a program to completion under a scheduler."""
 
+    #: How many steps pass between wall-clock deadline checks.  The check
+    #: also runs before the first step, so a zero budget times out
+    #: deterministically without executing anything.
+    DEADLINE_CHECK_STRIDE = 32
+
     def __init__(self, program: Program, scheduler: Scheduler,
                  max_steps: int = 20000, spin_threshold: int = 8,
-                 keep_graph: bool = True):
+                 keep_graph: bool = True,
+                 wall_timeout_s: Optional[float] = None):
         self.program = program
         self.scheduler = scheduler
         self.max_steps = max_steps
         self.spin_threshold = spin_threshold
         self.keep_graph = keep_graph
+        self.wall_timeout_s = wall_timeout_s
 
     # -- public API ---------------------------------------------------------
 
@@ -174,6 +184,9 @@ class Executor:
     # -- main loop -----------------------------------------------------------
 
     def _loop(self, state: ExecutionState, result: RunResult) -> None:
+        deadline = None
+        if self.wall_timeout_s is not None:
+            deadline = time.perf_counter() + self.wall_timeout_s
         while True:
             if state.all_finished():
                 self._run_final_checks(state, result)
@@ -186,6 +199,11 @@ class Executor:
                 return
             if state.steps >= self.max_steps:
                 result.limit_exceeded = True
+                return
+            if deadline is not None \
+                    and state.steps % self.DEADLINE_CHECK_STRIDE == 0 \
+                    and time.perf_counter() >= deadline:
+                result.timed_out = True
                 return
             tid = self.scheduler.choose_thread(state)
             if tid not in enabled:
@@ -441,8 +459,15 @@ class Executor:
 
 def run_once(program: Program, scheduler: Scheduler,
              max_steps: int = 20000, spin_threshold: int = 8,
-             keep_graph: bool = True) -> RunResult:
-    """Convenience wrapper: build an executor and run a single test."""
+             keep_graph: bool = True,
+             wall_timeout_s: Optional[float] = None) -> RunResult:
+    """Convenience wrapper: build an executor and run a single test.
+
+    ``wall_timeout_s`` bounds the run's wall-clock time: when the budget
+    is exhausted the run stops at the next deadline check and is reported
+    with ``timed_out=True`` (inconclusive, like ``limit_exceeded``).
+    """
     executor = Executor(program, scheduler, max_steps=max_steps,
-                        spin_threshold=spin_threshold, keep_graph=keep_graph)
+                        spin_threshold=spin_threshold, keep_graph=keep_graph,
+                        wall_timeout_s=wall_timeout_s)
     return executor.run()
