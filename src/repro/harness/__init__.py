@@ -1,5 +1,11 @@
 """Test-campaign harness: hit-rate campaigns and the paper's tables/figures."""
 
+from .artifact import (
+    BugArtifact,
+    ReplayReport,
+    load_artifact,
+    replay_artifact,
+)
 from .coverage import (
     CoverageReport,
     coverage_campaign,
@@ -59,11 +65,15 @@ from .tables import (
 )
 
 __all__ = [
+    "BugArtifact",
     "CampaignProgress",
     "CampaignResult",
+    "ReplayReport",
     "TrialJournal",
     "TrialRecord",
     "bar_chart",
+    "load_artifact",
+    "replay_artifact",
     "derive_trial_seed",
     "load_journal",
     "print_progress",

@@ -14,6 +14,7 @@ sharded parallel path in :mod:`repro.harness.parallel`.
 from __future__ import annotations
 
 import os
+import sys
 import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -33,6 +34,26 @@ SchedulerFactory = Callable[[int], Scheduler]
 #: How many error summaries a campaign keeps verbatim; further errors are
 #: still counted but not sampled (long campaigns must stay bounded).
 ERROR_SAMPLE_LIMIT = 8
+
+#: ``--sanitize sampled`` checks every Nth trial (indices 0, N, 2N, ...),
+#: bounding the sanitizer's overhead while still auditing the campaign.
+SANITIZE_SAMPLE_STRIDE = 10
+
+#: Valid values for the campaign ``sanitize`` knob.
+SANITIZE_MODES = ("off", "sampled", "all")
+
+
+def sanitize_this_trial(sanitize: str, index: int) -> bool:
+    """Whether trial ``index`` runs under the consistency sanitizer.
+
+    Sampling is by trial *index*, not by a counter, so serial and sharded
+    parallel campaigns sanitize exactly the same trials.
+    """
+    if sanitize == "all":
+        return True
+    if sanitize == "sampled":
+        return index % SANITIZE_SAMPLE_STRIDE == 0
+    return False
 
 
 @dataclass
@@ -72,6 +93,15 @@ class CampaignResult:
     interrupted: bool = False
     #: Trials restored from a checkpoint journal rather than re-run.
     resumed_trials: int = 0
+    #: Trials whose execution graph violated the C11 consistency axioms
+    #: (only counted when the sanitizer ran on that trial).  A nonzero
+    #: count means the *engine* is broken — the run's verdicts are suspect.
+    inconsistent: int = 0
+    #: Up to :data:`ERROR_SAMPLE_LIMIT` verbatim axiom-violation
+    #: summaries, in trial order.
+    violation_samples: List[str] = field(default_factory=list)
+    #: Paths of bug artifacts written during the campaign, trial order.
+    artifacts: List[str] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -127,6 +157,12 @@ class TrialRecord:
     #: completing; ``None`` for a clean run.  Errored trials report zero
     #: steps/events and never count as bugs.
     error: Optional[str] = None
+    #: True when the sanitizer found the trial's graph axiom-inconsistent.
+    inconsistent: bool = False
+    #: The axiom violations behind ``inconsistent`` (strings, bounded).
+    violations: List[str] = field(default_factory=list)
+    #: Path of the bug artifact written for this trial, if any.
+    artifact: Optional[str] = None
 
 
 def summarize_exception(exc: BaseException) -> str:
@@ -149,6 +185,9 @@ def run_trial(program_factory: ProgramFactory,
               base_seed: int, index: int, max_steps: int = 20000,
               count_operations: Optional[Callable[[RunResult], int]] = None,
               trial_timeout_s: Optional[float] = None,
+              sanitize: str = "off",
+              artifact_dir: Optional[str] = None,
+              spin_threshold: int = 8,
               ) -> TrialRecord:
     """Run campaign trial ``index`` — the unit shared by serial and
     parallel campaigns, so both execute bit-identical work.
@@ -160,49 +199,137 @@ def run_trial(program_factory: ProgramFactory,
     and ``SystemExit`` still propagate — interrupting a campaign is an
     operator action, not a trial fault.
 
+    With ``sanitize`` on (``"all"``, or ``"sampled"`` for every
+    :data:`SANITIZE_SAMPLE_STRIDE`-th trial) the run additionally audits
+    its execution graph against the C11 consistency axioms; violations
+    mark the record ``inconsistent`` without aborting anything.  With
+    ``artifact_dir`` set, the trial records its decision trace and any
+    bug/error/timeout/inconsistent outcome is serialized as a replayable
+    JSON artifact in that directory (written here, in the worker, so it
+    survives the process boundary).
+
     Timing covers scheduler construction *and* program construction plus
     the run itself, so per-trial cost comparisons between schedulers and
     workloads are symmetric.
     """
+    trial_seed = derive_trial_seed(base_seed, index)
+    recorder = None
+    run: Optional[RunResult] = None
+    error: Optional[str] = None
+    operations = 0
     t0 = time.perf_counter()
     try:
-        scheduler = scheduler_factory(derive_trial_seed(base_seed, index))
+        scheduler = scheduler_factory(trial_seed)
+        if artifact_dir is not None:
+            from ..replay.recording import RecordingScheduler
+
+            scheduler = recorder = RecordingScheduler(scheduler)
         run = run_once(program_factory(), scheduler, max_steps=max_steps,
-                       keep_graph=False, wall_timeout_s=trial_timeout_s)
+                       keep_graph=False, wall_timeout_s=trial_timeout_s,
+                       spin_threshold=spin_threshold,
+                       sanitize=sanitize_this_trial(sanitize, index))
         operations = count_operations(run) if count_operations else 0
     except Exception as exc:
-        return TrialRecord(
+        error = summarize_exception(exc)
+        run = None
+    elapsed = time.perf_counter() - t0
+    if error is not None:
+        record = TrialRecord(
             index=index,
             bug_found=False,
             limit_exceeded=False,
             steps=0,
             k=0,
-            elapsed_s=time.perf_counter() - t0,
-            error=summarize_exception(exc),
+            elapsed_s=elapsed,
+            error=error,
         )
-    elapsed = time.perf_counter() - t0
-    return TrialRecord(
-        index=index,
-        bug_found=run.bug_found,
-        limit_exceeded=run.limit_exceeded,
-        steps=run.steps,
-        k=run.k,
-        elapsed_s=elapsed,
-        operations=operations,
-        timed_out=run.timed_out,
+    else:
+        record = TrialRecord(
+            index=index,
+            bug_found=run.bug_found,
+            limit_exceeded=run.limit_exceeded,
+            steps=run.steps,
+            k=run.k,
+            elapsed_s=elapsed,
+            operations=operations,
+            timed_out=run.timed_out,
+            inconsistent=run.inconsistent,
+            violations=list(run.violations),
+        )
+    if recorder is not None:
+        # Artifact writing is best-effort and outside the timed region:
+        # a full disk or unwritable directory must not fail the trial.
+        try:
+            record.artifact = _write_artifact(
+                artifact_dir, program_factory, scheduler_factory,
+                recorder, run, error,
+                base_seed=base_seed, index=index, trial_seed=trial_seed,
+                max_steps=max_steps, spin_threshold=spin_threshold,
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            print(f"warning: trial {index}: could not write artifact: "
+                  f"{summarize_exception(exc)}", file=sys.stderr)
+    return record
+
+
+def _write_artifact(artifact_dir: str, program_factory: ProgramFactory,
+                    scheduler_factory: SchedulerFactory,
+                    recorder, run: Optional[RunResult],
+                    error: Optional[str], *, base_seed: int, index: int,
+                    trial_seed: int, max_steps: int,
+                    spin_threshold: int) -> Optional[str]:
+    """Serialize a failed trial as a replayable artifact; None if clean."""
+    from .artifact import (BugArtifact, artifact_path, classify_outcome,
+                           program_spec_dict, scheduler_spec_dict)
+
+    outcome = classify_outcome(run, error)
+    if outcome is None:
+        return None
+    trace = recorder.trace
+    trace.seed = trial_seed
+    trace.spin_threshold = spin_threshold
+    artifact = BugArtifact(
+        outcome=outcome,
+        program=trace.program or getattr(program_factory, "name", ""),
+        scheduler=recorder.inner.name,
+        trial_index=index,
+        trial_seed=trial_seed,
+        base_seed=base_seed,
+        max_steps=max_steps,
+        spin_threshold=spin_threshold,
+        trace=trace,
+        steps=run.steps if run is not None else 0,
+        bug_kind=run.bug_kind if run is not None else None,
+        bug_message=run.bug_message if run is not None else None,
+        error=error,
+        violations=list(run.violations) if run is not None else [],
+        diagnostics=run.diagnostics if run is not None else None,
+        program_spec=program_spec_dict(program_factory),
+        scheduler_spec=scheduler_spec_dict(scheduler_factory),
     )
+    os.makedirs(artifact_dir, exist_ok=True)
+    return artifact.save(artifact_path(artifact_dir, index))
 
 
 def fold_trial(result: CampaignResult, record: TrialRecord) -> None:
     """Accumulate one trial into the campaign aggregate (trial order)."""
     result.run_times_s.append(record.elapsed_s)
     result.completed += 1
+    if record.artifact:
+        result.artifacts.append(record.artifact)
     if record.error is not None:
         result.errors += 1
         if len(result.error_samples) < ERROR_SAMPLE_LIMIT:
             result.error_samples.append(
                 f"trial {record.index}: {record.error}")
         return
+    if record.inconsistent:
+        result.inconsistent += 1
+        for violation in record.violations:
+            if len(result.violation_samples) >= ERROR_SAMPLE_LIMIT:
+                break
+            result.violation_samples.append(
+                f"trial {record.index}: {violation}")
     if record.bug_found:
         result.hits += 1
     if record.limit_exceeded:
@@ -251,15 +378,25 @@ def run_campaign(program_factory: ProgramFactory,
                  scheduler_name: Optional[str] = None,
                  count_operations: Optional[Callable[[RunResult], int]] = None,
                  trial_timeout_s: Optional[float] = None,
+                 sanitize: str = "off",
+                 artifact_dir: Optional[str] = None,
+                 spin_threshold: int = 8,
                  ) -> CampaignResult:
     """Run ``trials`` independent randomized tests and aggregate.
 
     Trials that raise are contained as ``errors``; trials that exhaust
     ``trial_timeout_s`` of wall clock are contained as ``timeouts`` —
-    neither aborts the campaign (see :func:`run_trial`).
+    neither aborts the campaign (see :func:`run_trial`).  ``sanitize``
+    audits trial graphs against the consistency axioms (``"sampled"``:
+    every :data:`SANITIZE_SAMPLE_STRIDE`-th trial; ``"all"``: every
+    trial); ``artifact_dir`` makes failing trials emit replayable bug
+    artifacts there.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
+    if sanitize not in SANITIZE_MODES:
+        raise ValueError(
+            f"sanitize must be one of {SANITIZE_MODES}, got {sanitize!r}")
     program_name, sched_name = resolve_campaign_names(
         program_factory, scheduler_factory, base_seed, scheduler_name)
     result = CampaignResult(
@@ -272,7 +409,8 @@ def run_campaign(program_factory: ProgramFactory,
         fold_trial(result, run_trial(
             program_factory, scheduler_factory, base_seed, i,
             max_steps=max_steps, count_operations=count_operations,
-            trial_timeout_s=trial_timeout_s,
+            trial_timeout_s=trial_timeout_s, sanitize=sanitize,
+            artifact_dir=artifact_dir, spin_threshold=spin_threshold,
         ))
     result.elapsed_s = time.perf_counter() - start
     return result

@@ -39,8 +39,12 @@ __all__ = [
 JOURNAL_VERSION = 1
 
 #: Header fields that must match between a journal and the campaign
-#: resuming from it.
-_COMPAT_FIELDS = ("program", "scheduler", "base_seed", "trials", "max_steps")
+#: resuming from it.  ``sanitize`` is included because resuming a
+#: sanitized campaign without the sanitizer (or vice versa) would fold
+#: trials audited under different rules into one aggregate; journals
+#: from before the field existed simply lack it and stay compatible.
+_COMPAT_FIELDS = ("program", "scheduler", "base_seed", "trials", "max_steps",
+                  "sanitize")
 
 
 def _record_to_obj(record: TrialRecord) -> dict:
@@ -55,6 +59,9 @@ def _record_from_obj(obj: dict) -> TrialRecord:
     fields["operations"] = obj.get("operations", 0)
     fields["timed_out"] = obj.get("timed_out", False)
     fields["error"] = obj.get("error")
+    fields["inconsistent"] = obj.get("inconsistent", False)
+    fields["violations"] = list(obj.get("violations") or [])
+    fields["artifact"] = obj.get("artifact")
     return TrialRecord(**fields)
 
 

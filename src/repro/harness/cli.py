@@ -15,6 +15,8 @@ plus utility commands beyond the artifact:
     python -m repro depth mpmcqueue               # estimate k/k_com/d
     python -m repro hunt seqlock --out trace.json # find a bug, save trace
     python -m repro litmus --trials 200           # run the litmus gallery
+    python -m repro campaign msqueue --sanitize sampled --artifacts art/
+    python -m repro replay art/trial-000007.json --minimize
 """
 
 from __future__ import annotations
@@ -72,6 +74,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_sanitize(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--sanitize", default="off",
+                         choices=("off", "sampled", "all"),
+                         help="audit execution graphs against the C11 "
+                              "consistency axioms (sampled = every 10th "
+                              "trial); violations are reported as "
+                              "'inconsistent', never aborts")
+
     def add(name: str, help_text: str) -> argparse.ArgumentParser:
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--trials", type=_positive_int, default=100,
@@ -81,6 +91,7 @@ def _build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--jobs", type=_positive_int, default=1,
                          help="worker processes per campaign (1 = serial; "
                               "results are identical for any value)")
+        add_sanitize(cmd)
         return cmd
 
     add("table1", "benchmark characteristics (k, k_com, d)")
@@ -145,11 +156,28 @@ def _build_parser() -> argparse.ArgumentParser:
                               choices=("fork", "spawn", "forkserver"),
                               help="multiprocessing start method "
                                    "(default: $REPRO_START_METHOD or fork)")
+    add_sanitize(campaign_cmd)
+    campaign_cmd.add_argument("--artifacts", default=None, metavar="DIR",
+                              help="write a replayable JSON artifact here "
+                                   "for every trial that finds a bug, "
+                                   "errors, times out, or is flagged "
+                                   "inconsistent")
 
     litmus_cmd = sub.add_parser(
         "litmus", help="run the litmus gallery under every scheduler")
     litmus_cmd.add_argument("--trials", type=_positive_int, default=200)
     litmus_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+    add_sanitize(litmus_cmd)
+
+    replay_cmd = sub.add_parser(
+        "replay", help="re-execute a bug artifact and verify the outcome")
+    replay_cmd.add_argument("artifact", help="artifact JSON path (written "
+                                             "by campaign --artifacts)")
+    replay_cmd.add_argument("--minimize", action="store_true",
+                            help="shrink the decision trace while "
+                                 "preserving the bug (bug artifacts only)")
+    replay_cmd.add_argument("--out", default=None, metavar="PATH",
+                            help="write the minimized trace JSON here")
 
     report_cmd = sub.add_parser(
         "report", help="regenerate the full evaluation as markdown")
@@ -159,6 +187,7 @@ def _build_parser() -> argparse.ArgumentParser:
     report_cmd.add_argument("--scale", type=_positive_int, default=1)
     report_cmd.add_argument("--jobs", type=_positive_int, default=1)
     report_cmd.add_argument("--out", default="evaluation_report.md")
+    add_sanitize(report_cmd)
     return parser
 
 
@@ -174,26 +203,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_campaign(args)
     if command == "litmus":
         return _cmd_litmus(args)
+    if command == "replay":
+        return _cmd_replay(args)
     if command == "report":
         from .report import write_report
 
         path = write_report(args.out, trials=args.trials, runs=args.runs,
-                            seed=args.seed, scale=args.scale, jobs=jobs)
+                            seed=args.seed, scale=args.scale, jobs=jobs,
+                            sanitize=args.sanitize)
         print(f"report written to {path}")
         return 0
     if command in ("table1", "all"):
         print("== Table 1: benchmark characteristics ==")
         print(render_table1(table1(seed=args.seed)))
         print()
+    sanitize = getattr(args, "sanitize", "off")
     if command in ("table2", "all"):
         print("== Table 2: hit rate vs bug depth ==")
         print(render_table2(table2(trials=args.trials, seed=args.seed,
-                                   benchmarks=args.benchmarks, jobs=jobs)))
+                                   benchmarks=args.benchmarks, jobs=jobs,
+                                   sanitize=sanitize)))
         print()
     if command in ("table3", "all"):
         print("== Table 3: hit rate vs history depth ==")
         print(render_table3(table3(trials=args.trials, seed=args.seed,
-                                   benchmarks=args.benchmarks, jobs=jobs)))
+                                   benchmarks=args.benchmarks, jobs=jobs,
+                                   sanitize=sanitize)))
         print()
     if command in ("table4", "all"):
         print("== Table 4: application performance ==")
@@ -318,6 +353,8 @@ def _cmd_campaign(args) -> int:
             resume=args.resume,
             max_retries=args.max_retries,
             start_method=args.start_method,
+            sanitize=args.sanitize,
+            artifact_dir=args.artifacts,
         )
     except ValueError as exc:
         print(f"error: {exc}")
@@ -328,9 +365,17 @@ def _cmd_campaign(args) -> int:
     print(result)
     print(f"  hits={result.hits} inconclusive={result.inconclusive} "
           f"steps={result.total_steps} events={result.total_events} "
-          f"errors={result.errors} timeouts={result.timeouts}")
+          f"errors={result.errors} timeouts={result.timeouts}"
+          + (f" inconsistent={result.inconsistent}"
+             if args.sanitize != "off" else ""))
     for sample in result.error_samples:
         print(f"  error sample: {sample}")
+    for sample in result.violation_samples:
+        print(f"  SANITIZER violation: {sample}")
+    if result.artifacts:
+        print(f"  {len(result.artifacts)} artifact(s) in {args.artifacts} "
+              f"(replay with: python -m repro replay "
+              f"{result.artifacts[0]})")
     if result.resumed_trials:
         print(f"  resumed {result.resumed_trials} trials from "
               f"{args.checkpoint}")
@@ -357,11 +402,14 @@ def _cmd_litmus(args) -> int:
     from ..core.depth import estimate_parameters
     from ..litmus import ALL_LITMUS
     from ..runtime.executor import run_once
+    from .campaign import sanitize_this_trial
 
     header = (f"{'litmus':10s} {'naive':>8s} {'c11tester':>10s} "
               f"{'pct':>8s} {'pctwm':>8s}")
     print(header)
     print("-" * len(header))
+    inconsistent = 0
+    violation_samples: List[str] = []
     for name, factory in ALL_LITMUS.items():
         est = estimate_parameters(factory(), runs=3, seed=args.seed)
         rates = []
@@ -371,11 +419,50 @@ def _cmd_litmus(args) -> int:
             lambda s: PCTScheduler(2, est.k, seed=s),
             lambda s: PCTWMScheduler(2, est.k_com, 2, seed=s),
         ):
-            hits = sum(
-                run_once(factory(), make(args.seed + i),
-                         keep_graph=False).bug_found
-                for i in range(args.trials)
-            )
+            hits = 0
+            for i in range(args.trials):
+                run = run_once(
+                    factory(), make(args.seed + i), keep_graph=False,
+                    sanitize=sanitize_this_trial(args.sanitize, i))
+                hits += run.bug_found
+                if run.inconsistent:
+                    inconsistent += 1
+                    if len(violation_samples) < 8:
+                        violation_samples.extend(
+                            f"{name}[{run.scheduler} trial {i}]: {v}"
+                            for v in run.violations[:2])
             rates.append(100.0 * hits / args.trials)
         print(f"{name:10s} " + " ".join(f"{r:7.1f}%" for r in rates))
+    if args.sanitize != "off":
+        print(f"\nsanitizer ({args.sanitize}): "
+              f"{inconsistent} inconsistent run(s)")
+        for sample in violation_samples:
+            print(f"  {sample}")
+        if inconsistent:
+            return 1
     return 0
+
+
+def _cmd_replay(args) -> int:
+    from ..runtime.errors import render_diagnostics
+    from .artifact import load_artifact, replay_artifact
+
+    try:
+        artifact = load_artifact(args.artifact)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load artifact {args.artifact!r}: {exc}")
+        return 2
+    try:
+        report = replay_artifact(artifact, minimize=args.minimize)
+    except ValueError as exc:
+        print(f"error: {exc}")
+        return 2
+    print(report.render())
+    if artifact.diagnostics:
+        print()
+        print(render_diagnostics(artifact.diagnostics))
+    if report.minimized is not None and args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report.minimized.to_json())
+        print(f"minimized trace saved to {args.out}")
+    return 0 if report.matched else 1

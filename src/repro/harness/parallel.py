@@ -93,6 +93,9 @@ class ShardSpec:
     max_steps: int = 20000
     count_operations: Optional[Callable[[RunResult], int]] = None
     trial_timeout_s: Optional[float] = None
+    sanitize: str = "off"
+    artifact_dir: Optional[str] = None
+    spin_threshold: int = 8
 
 
 @dataclass
@@ -153,7 +156,10 @@ def _run_shard(shard: ShardSpec) -> ShardResult:
         run_trial(shard.program_factory, shard.scheduler_factory,
                   shard.base_seed, index, max_steps=shard.max_steps,
                   count_operations=shard.count_operations,
-                  trial_timeout_s=shard.trial_timeout_s)
+                  trial_timeout_s=shard.trial_timeout_s,
+                  sanitize=shard.sanitize,
+                  artifact_dir=shard.artifact_dir,
+                  spin_threshold=shard.spin_threshold)
         for index in shard.indices
     ]
     return ShardResult(shard.indices[0], records, time.perf_counter() - t0)
@@ -333,6 +339,9 @@ def run_campaign_parallel(
         max_retries: int = 2,
         retry_backoff_s: float = 0.1,
         start_method: Optional[str] = None,
+        sanitize: str = "off",
+        artifact_dir: Optional[str] = None,
+        spin_threshold: int = 8,
 ) -> CampaignResult:
     """Run a campaign sharded over ``jobs`` worker processes.
 
@@ -357,6 +366,12 @@ def run_campaign_parallel(
       and the partial aggregates returned with ``interrupted=True``.
     * ``start_method`` — multiprocessing start method ("fork", "spawn",
       "forkserver"); defaults to ``$REPRO_START_METHOD`` or fork.
+    * ``sanitize`` — audit trial graphs against the consistency axioms
+      ("off" | "sampled" | "all"); sampling is by trial index, so the
+      sanitized set is jobs-independent.
+    * ``artifact_dir`` — failing trials write replayable bug artifacts
+      here from inside the worker, so they survive worker death; only
+      the paths cross the process boundary.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -369,6 +384,8 @@ def run_campaign_parallel(
             scheduler_name=scheduler_name,
             count_operations=count_operations,
             trial_timeout_s=trial_timeout_s,
+            sanitize=sanitize, artifact_dir=artifact_dir,
+            spin_threshold=spin_threshold,
         )
         if progress is not None:
             progress(CampaignProgress(trials, trials, result.elapsed_s))
@@ -390,7 +407,7 @@ def run_campaign_parallel(
         done = journal.start(
             {"program": program_name, "scheduler": sched_name,
              "base_seed": base_seed, "trials": trials,
-             "max_steps": max_steps},
+             "max_steps": max_steps, "sanitize": sanitize},
             resume=resume,
         )
         done = {i: r for i, r in done.items() if i < trials}
@@ -400,7 +417,8 @@ def run_campaign_parallel(
     shards = [
         ShardSpec(program_factory, scheduler_factory, base_seed,
                   tuple(remaining[start:stop]), max_steps,
-                  count_operations, trial_timeout_s)
+                  count_operations, trial_timeout_s,
+                  sanitize, artifact_dir, spin_threshold)
         for start, stop in shard_bounds(len(remaining), max(jobs, 1),
                                         chunks_per_job)
         if stop > start

@@ -26,7 +26,8 @@ def _md_table(headers: List[str], rows: List[List[str]]) -> str:
 
 
 def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
-                    scale: int = 1, jobs: int = 1) -> str:
+                    scale: int = 1, jobs: int = 1,
+                    sanitize: str = "off") -> str:
     """Run the full evaluation and return it as a markdown document."""
     started = time.strftime("%Y-%m-%d %H:%M:%S")
     parts = [
@@ -34,8 +35,11 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
         "",
         f"Generated {started}; {trials} trials per configuration "
         f"(paper: 1000/500), {runs} runs per Table 4 cell"
-        + (f", campaigns sharded over {jobs} workers." if jobs > 1
-           else "."),
+        + (f", campaigns sharded over {jobs} workers" if jobs > 1
+           else "")
+        + (f", consistency sanitizer: {sanitize}" if sanitize != "off"
+           else "")
+        + ".",
     ]
 
     rows1 = table1(seed=seed)
@@ -48,26 +52,26 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
                     str(r.measured_k_com), str(r.measured_depth)]
                    for r in rows1])]
 
-    rows2 = table2(trials=trials, seed=seed, jobs=jobs)
+    rows2 = table2(trials=trials, seed=seed, jobs=jobs, sanitize=sanitize)
     parts += ["", "## Table 2 — hit rate vs bug depth", "",
               _md_table(
                   ["benchmark", "d", "Rate(d)", "Rate(d+1)", "Rate(d+2)",
-                   "errors", "timeouts"],
+                   "errors", "timeouts", "inconsistent"],
                   [[r.benchmark, str(r.depth)]
                    + [f"{r.rates.get(o, 0.0):.1f} (h:{r.histories.get(o, 1)})"
                       for o in (0, 1, 2)]
-                   + [str(r.errors), str(r.timeouts)]
+                   + [str(r.errors), str(r.timeouts), str(r.inconsistent)]
                    for r in rows2])]
 
-    rows3 = table3(trials=trials, seed=seed, jobs=jobs)
+    rows3 = table3(trials=trials, seed=seed, jobs=jobs, sanitize=sanitize)
     hs = sorted({h for r in rows3 for h in r.rates})
     parts += ["", "## Table 3 — hit rate vs history depth", "",
               _md_table(
                   ["benchmark", "k_com", "d"] + [f"h:{h}" for h in hs]
-                  + ["errors", "timeouts"],
+                  + ["errors", "timeouts", "inconsistent"],
                   [[r.benchmark, str(r.k_com), str(r.depth)]
                    + [f"{r.rates.get(h, 0.0):.1f}" for h in hs]
-                   + [str(r.errors), str(r.timeouts)]
+                   + [str(r.errors), str(r.timeouts), str(r.inconsistent)]
                    for r in rows3])]
     faults2 = sum(r.errors + r.timeouts for r in rows2)
     faults3 = sum(r.errors + r.timeouts for r in rows3)
@@ -77,6 +81,14 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
                   "fault(s) (errored or timed-out trials) while computing "
                   "Tables 2-3; faulted trials count toward neither hits "
                   "nor misses' step totals."]
+    inconsistent = sum(r.inconsistent for r in rows2) \
+        + sum(r.inconsistent for r in rows3)
+    if inconsistent:
+        parts += ["",
+                  f"**Sanitizer:** {inconsistent} trial(s) produced "
+                  "axiom-inconsistent execution graphs — the runtime "
+                  "engine is suspect and every rate above should be "
+                  "treated as unreliable until it is fixed."]
 
     bars = figure5(trials=trials, seed=seed, jobs=jobs)
     avg = (sum(b.c11tester for b in bars) / len(bars),
@@ -125,9 +137,10 @@ def generate_report(trials: int = 100, runs: int = 10, seed: int = 0,
 
 
 def write_report(path: str, trials: int = 100, runs: int = 10,
-                 seed: int = 0, scale: int = 1, jobs: int = 1) -> str:
+                 seed: int = 0, scale: int = 1, jobs: int = 1,
+                 sanitize: str = "off") -> str:
     text = generate_report(trials=trials, runs=runs, seed=seed, scale=scale,
-                           jobs=jobs)
+                           jobs=jobs, sanitize=sanitize)
     with open(path, "w") as fh:
         fh.write(text)
     return path

@@ -82,15 +82,17 @@ class Table2Row:
     rates: Dict[int, float] = field(default_factory=dict)
     histories: Dict[int, int] = field(default_factory=dict)
     #: Contained faults across every campaign behind this row (trials
-    #: that raised / exhausted their wall-clock budget).
+    #: that raised / exhausted their wall-clock budget), plus trials
+    #: whose graphs the sanitizer flagged as axiom-inconsistent.
     errors: int = 0
     timeouts: int = 0
+    inconsistent: int = 0
 
 
 def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
            offsets: Sequence[int] = (0, 1, 2), seed: int = 0,
            benchmarks: Optional[Sequence[str]] = None,
-           jobs: int = 1) -> List[Table2Row]:
+           jobs: int = 1, sanitize: str = "off") -> List[Table2Row]:
     """PCTWM hit rates for d, d+1, d+2 at the best history depth."""
     rows = []
     for info in _selected(benchmarks):
@@ -109,9 +111,11 @@ def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
                     trials=trials,
                     base_seed=seed + 1000 * offset + 100 * h,
                     jobs=jobs,
+                    sanitize=sanitize,
                 )
                 row.errors += campaign.errors
                 row.timeouts += campaign.timeouts
+                row.inconsistent += campaign.inconsistent
                 if campaign.hit_rate > best_rate:
                     best_rate, best_h = campaign.hit_rate, h
             row.rates[offset] = best_rate
@@ -123,7 +127,7 @@ def table2(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
 def render_table2(rows: Sequence[Table2Row]) -> str:
     header = (
         f"{'Benchmark':14s} {'d':>3s} {'Rate(d)':>12s} {'Rate(d+1)':>12s} "
-        f"{'Rate(d+2)':>12s} {'err':>5s} {'t/o':>5s}"
+        f"{'Rate(d+2)':>12s} {'err':>5s} {'t/o':>5s} {'inc':>5s}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
@@ -134,7 +138,7 @@ def render_table2(rows: Sequence[Table2Row]) -> str:
         lines.append(
             f"{r.benchmark:14s} {r.depth:3d} "
             + " ".join(f"{c:>12s}" for c in cells)
-            + f" {r.errors:5d} {r.timeouts:5d}"
+            + f" {r.errors:5d} {r.timeouts:5d} {r.inconsistent:5d}"
         )
     return "\n".join(lines)
 
@@ -151,12 +155,13 @@ class Table3Row:
     #: Contained faults across every campaign behind this row.
     errors: int = 0
     timeouts: int = 0
+    inconsistent: int = 0
 
 
 def table3(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
            seed: int = 0,
            benchmarks: Optional[Sequence[str]] = None,
-           jobs: int = 1) -> List[Table3Row]:
+           jobs: int = 1, sanitize: str = "off") -> List[Table3Row]:
     """PCTWM hit rates for h = 1..4 at the benchmark's measured depth."""
     rows = []
     for info in _selected(benchmarks):
@@ -172,10 +177,12 @@ def table3(trials: int = 100, histories: Sequence[int] = (1, 2, 3, 4),
                 trials=trials,
                 base_seed=seed + 10 * h,
                 jobs=jobs,
+                sanitize=sanitize,
             )
             row.rates[h] = campaign.hit_rate
             row.errors += campaign.errors
             row.timeouts += campaign.timeouts
+            row.inconsistent += campaign.inconsistent
         rows.append(row)
     return rows
 
@@ -185,13 +192,13 @@ def render_table3(rows: Sequence[Table3Row]) -> str:
     header = (
         f"{'Benchmark':14s} {'kcom':>5s} {'d':>3s} "
         + " ".join(f"{'h:' + str(h):>7s}" for h in hs)
-        + f" {'err':>5s} {'t/o':>5s}"
+        + f" {'err':>5s} {'t/o':>5s} {'inc':>5s}"
     )
     lines = [header, "-" * len(header)]
     for r in rows:
         cells = " ".join(f"{r.rates.get(h, 0.0):7.1f}" for h in hs)
         lines.append(f"{r.benchmark:14s} {r.k_com:5d} {r.depth:3d} {cells}"
-                     f" {r.errors:5d} {r.timeouts:5d}")
+                     f" {r.errors:5d} {r.timeouts:5d} {r.inconsistent:5d}")
     return "\n".join(lines)
 
 

@@ -16,8 +16,9 @@ module is the independent auditor used by tests and by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
+from .events import Event
 from .execution import ExecutionGraph
 from .relations import Relation
 
@@ -139,3 +140,86 @@ def check_consistency(graph: ExecutionGraph) -> List[AxiomViolation]:
 
 def is_consistent(graph: ExecutionGraph) -> bool:
     return not check_consistency(graph)
+
+
+class IncrementalCoherenceChecker:
+    """Cheap online coherence audit, fed one event at a time.
+
+    The full axiom check (:func:`check_consistency`) materializes O(n²)
+    relations, so the runtime sanitizer runs it once at run end; *during*
+    the run this checker audits each committed event in O(1) against the
+    per-location coherence discipline the executor is supposed to uphold
+    by construction:
+
+    * writes append at the mo-tail of their location;
+    * a read never observes a write mo-older than one the same thread
+      already observed at that location (read coherence), nor mo-older
+      than the thread's own latest write there (write coherence);
+    * an RMW reads from its immediate mo-predecessor (atomicity).
+
+    The checker keeps its own floors — deliberately independent of
+    :class:`repro.memory.visibility.VisibilityTracker`, whose bugs it
+    exists to catch.  Violations are capped at ``max_violations`` so a
+    badly broken run cannot exhaust memory.
+    """
+
+    def __init__(self, graph: ExecutionGraph, max_violations: int = 16):
+        self.violations: List[AxiomViolation] = []
+        self.max_violations = max_violations
+        self._read_floor: Dict[Tuple[int, str], int] = {}
+        self._own_write: Dict[Tuple[int, str], int] = {}
+        self._mo_tail: Dict[str, int] = {
+            loc: len(writes) for loc, writes in graph.writes_by_loc.items()
+        }
+
+    def _flag(self, axiom: str, detail: str) -> None:
+        if len(self.violations) < self.max_violations:
+            self.violations.append(AxiomViolation(axiom, f"online: {detail}"))
+
+    def on_event(self, event: Event) -> None:
+        """Audit one committed event (read, write, RMW; fences are free)."""
+        if event.is_fence:
+            return
+        if event.reads_from is not None:
+            self._on_read(event)
+        if event.is_write:
+            self._on_write(event)
+
+    def _on_read(self, event: Event) -> None:
+        tid, loc = event.tid, event.loc
+        source = event.reads_from
+        floor = self._read_floor.get((tid, loc), 0)
+        if source.mo_index < floor:
+            self._flag(
+                "read-coherence",
+                f"{event!r} observes {source!r} at mo index "
+                f"{source.mo_index}, below the thread's read floor {floor}",
+            )
+        own = self._own_write.get((tid, loc), -1)
+        if source.mo_index < own:
+            self._flag(
+                "write-coherence",
+                f"{event!r} observes {source!r} at mo index "
+                f"{source.mo_index}, older than the thread's own write "
+                f"at {own}",
+            )
+        if event.is_rmw and event.mo_index != source.mo_index + 1:
+            self._flag(
+                "atomicity",
+                f"{event!r} is not mo-adjacent to its source {source!r} "
+                f"({source.mo_index} -> {event.mo_index})",
+            )
+        if source.mo_index > floor:
+            self._read_floor[(tid, loc)] = source.mo_index
+
+    def _on_write(self, event: Event) -> None:
+        loc = event.loc
+        expected = self._mo_tail.get(loc, 0)
+        if event.mo_index != expected:
+            self._flag(
+                "mo-tail",
+                f"{event!r} placed at mo index {event.mo_index}, "
+                f"expected the tail {expected}",
+            )
+        self._mo_tail[loc] = event.mo_index + 1
+        self._own_write[(event.tid, loc)] = event.mo_index

@@ -66,6 +66,20 @@ class VisibilityTracker:
 
     # -- queries ---------------------------------------------------------------
 
+    def snapshot(self) -> dict:
+        """JSON-safe dump of the per-thread view state, for diagnostics.
+
+        Keys are ``"t<tid>:<loc>"`` (read floors) and location names
+        (seq_cst write floors); values are mo indices.
+        """
+        return {
+            "read_floors": {
+                f"t{tid}:{loc}": index
+                for (tid, loc), index in sorted(self._read_floor.items())
+            },
+            "sc_write_floors": dict(sorted(self._sc_write_floor.items())),
+        }
+
     def floor(self, tid: int, loc: str, clock: Tuple[int, ...],
               seq_cst: bool = False) -> int:
         """The minimal mo index a read by ``tid`` at ``loc`` may observe."""

@@ -1,6 +1,6 @@
 """Record/replay: make any randomized bug-finding run reproducible."""
 
-from .minimize import MinimalConfig, minimize_configuration
+from .minimize import MinimalConfig, minimize_configuration, minimize_trace
 from .recording import (
     RecordingScheduler,
     ReplayScheduler,
@@ -17,6 +17,7 @@ __all__ = [
     "Trace",
     "find_and_record",
     "minimize_configuration",
+    "minimize_trace",
     "record_run",
     "replay_run",
 ]

@@ -1,24 +1,35 @@
-"""Configuration minimization: shrink a found bug to its simplest repro.
+"""Minimization: shrink a found bug to its simplest repro.
 
-Once a bug is found at some (d, h), smaller parameters usually reproduce
-it too — and the smallest reproducing configuration *is* the empirical
-bug depth / history demand, the most useful thing to put in a bug report
-(Definition 4 of the paper, operationalized per bug).
+Two complementary minimizers:
+
+* :func:`minimize_configuration` shrinks the PCTWM *parameters* (d, h) —
+  the smallest reproducing configuration is the empirical bug depth /
+  history demand, the most useful thing to put in a bug report
+  (Definition 4 of the paper, operationalized per bug);
+* :func:`minimize_trace` shrinks a recorded *decision trace* — greedy
+  delta-debugging over the decision list, keeping only deletions after
+  which the replay still produces the identical bug.  The result is
+  never longer than the input and itself replays to the same outcome.
 
     config = minimize_configuration(program_factory, depth=4, history=4)
     config.depth, config.history, config.hit_rate, config.witness_seed
+
+    short = minimize_trace(program_factory, trace)
+    assert len(short) <= len(trace)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Tuple
 
 from ..core.depth import estimate_parameters
 from ..core.pctwm import PCTWMScheduler
 from ..harness.seeding import derive_trial_seed
-from ..runtime.executor import run_once
+from ..runtime.errors import ReproError
+from ..runtime.executor import RunResult, run_once
 from ..runtime.program import Program
+from .trace import Trace
 
 
 @dataclass(frozen=True)
@@ -102,3 +113,73 @@ def minimize_configuration(program_factory: Callable[[], Program],
         depth=best[0], history=best[1], k_com=k_com,
         hit_rate=best[2] / trials, witness_seed=best[3],
     )
+
+
+# -- trace minimization --------------------------------------------------------
+
+
+def _bug_signature(result: RunResult) -> tuple:
+    return (result.bug_found, result.bug_kind, result.bug_message)
+
+
+def _replay_decisions(program_factory: Callable[[], Program],
+                      trace: Trace, decisions: List[Tuple[str, int]],
+                      max_steps: int,
+                      ) -> Tuple[Optional[RunResult], int]:
+    """Replay a candidate decision list; ``(None, 0)`` on divergence.
+
+    Returns the run result plus how many decisions were actually
+    consumed, so callers can trim unused tails.
+    """
+    from .recording import ReplayScheduler  # local: recording imports us not
+
+    candidate = replace(trace, decisions=list(decisions))
+    scheduler = ReplayScheduler(candidate)
+    try:
+        result = run_once(program_factory(), scheduler, max_steps=max_steps,
+                          spin_threshold=trace.spin_threshold,
+                          keep_graph=False)
+    except ReproError:
+        return None, 0
+    return result, scheduler.consumed
+
+
+def minimize_trace(program_factory: Callable[[], Program], trace: Trace,
+                   max_steps: int = 20000) -> Trace:
+    """Shrink a bug-reproducing trace while preserving its outcome.
+
+    Greedy ddmin-style descent: attempt chunk deletions (halving the
+    chunk size down to single decisions) and keep any deletion after
+    which the replay still reproduces the identical bug
+    ``(bug_found, bug_kind, bug_message)``.  Accepted candidates are
+    trimmed to their consumed prefix, so the result always replays
+    cleanly (fully consumed) and is never longer than the input.
+
+    Traces whose replay finds no bug are returned unchanged (there is no
+    outcome to preserve — deleting everything would trivially "work").
+    """
+    base, used = _replay_decisions(program_factory, trace,
+                                   list(trace.decisions), max_steps)
+    if base is None:
+        raise ValueError("trace does not replay against this program")
+    if not base.bug_found:
+        return trace
+    target = _bug_signature(base)
+    best = list(trace.decisions[:used])
+    chunk = max(1, len(best) // 4)
+    while chunk >= 1:
+        i = 0
+        while i < len(best):
+            shorter = best[:i] + best[i + chunk:]
+            if not shorter:
+                i += chunk
+                continue
+            result, used = _replay_decisions(program_factory, trace,
+                                             shorter, max_steps)
+            if result is not None and result.bug_found \
+                    and _bug_signature(result) == target:
+                best = shorter[:used]
+            else:
+                i += chunk
+        chunk //= 2
+    return replace(trace, decisions=best)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Optional, Tuple
 
 from ..memory.events import Event
-from ..runtime.errors import ReproError
+from ..runtime.errors import ReplayDivergenceError, ReproError
 from ..runtime.executor import RunResult, run_once
 from ..runtime.program import Program
 from ..runtime.scheduler import ReadContext, Scheduler
@@ -103,38 +103,78 @@ class ReplayScheduler(Scheduler):
     def fully_consumed(self) -> bool:
         return self._cursor == len(self._decisions)
 
+    @property
+    def consumed(self) -> int:
+        """How many recorded decisions the replay has used so far."""
+        return self._cursor
+
+    @property
+    def remaining(self) -> int:
+        return len(self._decisions) - self._cursor
+
 
 def record_run(program: Program, scheduler: Scheduler,
                max_steps: int = 20000,
                spin_threshold: int = 8) -> Tuple[RunResult, Trace]:
-    """Run once under ``scheduler`` while recording every decision."""
+    """Run once under ``scheduler`` while recording every decision.
+
+    The trace remembers ``spin_threshold``: replaying under a different
+    threshold changes the livelock heuristic's read promotions and can
+    diverge silently, so :func:`replay_run` defaults to the recorded one.
+    """
     recorder = RecordingScheduler(scheduler)
     result = run_once(program, recorder, max_steps=max_steps,
                       spin_threshold=spin_threshold)
+    recorder.trace.spin_threshold = spin_threshold
     return result, recorder.trace
 
 
 def replay_run(program: Program, trace: Trace,
-               max_steps: int = 20000) -> RunResult:
-    """Deterministically re-execute a recorded trace."""
-    return run_once(program, ReplayScheduler(trace), max_steps=max_steps)
+               max_steps: int = 20000,
+               spin_threshold: Optional[int] = None,
+               strict: bool = True,
+               sanitize: bool = False) -> RunResult:
+    """Deterministically re-execute a recorded trace.
+
+    Runs under the trace's recorded ``spin_threshold`` unless overridden.
+    With ``strict`` (the default), a run that finishes without consuming
+    the whole trace raises :class:`ReplayDivergenceError` — leftover
+    decisions mean the replayed program is not the recorded one, and the
+    result would be misleading.
+    """
+    if spin_threshold is None:
+        spin_threshold = trace.spin_threshold
+    scheduler = ReplayScheduler(trace)
+    result = run_once(program, scheduler, max_steps=max_steps,
+                      spin_threshold=spin_threshold, sanitize=sanitize)
+    if strict and not scheduler.fully_consumed:
+        raise ReplayDivergenceError(
+            f"replay finished after {scheduler.consumed} of "
+            f"{len(trace)} recorded decisions; the replayed program "
+            "diverged from the recorded one "
+            f"({scheduler.remaining} decisions left over)"
+        )
+    return result
 
 
 def find_and_record(program_factory: Callable[[], Program],
                     scheduler_factory: Callable[[int], Scheduler],
                     max_attempts: int = 1000, base_seed: int = 0,
                     max_steps: int = 20000,
+                    spin_threshold: int = 8,
                     ) -> Optional[Tuple[int, RunResult, Trace]]:
     """Search seeds until a bug is found; return its replayable trace.
 
     Returns ``(seed, result, trace)`` for the first bug-finding run, or
-    None when the attempt budget is exhausted.
+    None when the attempt budget is exhausted.  ``spin_threshold`` is
+    recorded in the trace so the replay runs under the same heuristic.
     """
     for attempt in range(max_attempts):
         seed = base_seed + attempt
         result, trace = record_run(program_factory(),
                                    scheduler_factory(seed),
-                                   max_steps=max_steps)
+                                   max_steps=max_steps,
+                                   spin_threshold=spin_threshold)
         trace.seed = seed
         if result.bug_found:
             return seed, result, trace

@@ -21,7 +21,10 @@ from .errors import (
     DeadlockError,
     ExecutionLimitExceeded,
     ProgramDefinitionError,
+    ReplayDivergenceError,
     ReproError,
+    collect_failure_diagnostics,
+    render_diagnostics,
     require,
 )
 from .executor import ExecutionState, Executor, RunResult, run_once
@@ -59,6 +62,7 @@ __all__ = [
     "Program",
     "ProgramDefinitionError",
     "ReadContext",
+    "ReplayDivergenceError",
     "ReproError",
     "Mutex",
     "RWLock",
@@ -72,9 +76,11 @@ __all__ = [
     "StoreOp",
     "ThreadState",
     "YieldOp",
+    "collect_failure_diagnostics",
     "fence",
     "is_communication_op",
     "join",
+    "render_diagnostics",
     "require",
     "run_once",
     "sched_yield",

@@ -1,6 +1,17 @@
-"""Runtime error types."""
+"""Runtime error types and structured failure diagnostics.
+
+Besides the exception hierarchy, this module owns the *failure dump*:
+when a run deadlocks, exhausts its step/wall-clock budget, or fails the
+consistency sanitizer, :func:`collect_failure_diagnostics` snapshots the
+execution state (per-thread pending op, the last-k executed events, the
+thread-local view contents, hot spin sites) as a JSON-safe dict that
+travels inside bug artifacts and is pretty-printed by
+:func:`render_diagnostics` (the ``repro replay`` CLI).
+"""
 
 from __future__ import annotations
+
+from typing import List, Optional
 
 
 class ReproError(Exception):
@@ -20,7 +31,93 @@ class ExecutionLimitExceeded(ReproError):
 
 
 class DeadlockError(ReproError):
-    """No thread is enabled but the program has not finished."""
+    """No thread is enabled but the program has not finished.
+
+    Carries the structured failure dump when one was collected, so
+    callers that catch the error can still inspect per-thread state.
+    """
+
+    def __init__(self, message: str, diagnostics: Optional[dict] = None):
+        super().__init__(message)
+        self.diagnostics = diagnostics
+
+
+class ReplayDivergenceError(ReproError):
+    """A replayed execution did not follow its recorded trace.
+
+    Raised both when the trace runs out mid-execution and when the run
+    finishes with decisions left over — either way the replayed program
+    is not the recorded one, and any result would be misleading.
+    """
+
+
+def collect_failure_diagnostics(state, last_k: int = 12) -> dict:
+    """Snapshot an :class:`~repro.runtime.executor.ExecutionState` dump.
+
+    Everything is pre-rendered to JSON-safe primitives so the dump can be
+    embedded in a bug artifact and cross process boundaries verbatim.
+    """
+    from ..analysis.trace import format_event  # local: avoid import cycle
+
+    threads = []
+    for t in state.threads:
+        threads.append({
+            "tid": t.tid,
+            "name": t.name,
+            "finished": t.finished,
+            "pending": None if t.pending is None else repr(t.pending),
+            "events_executed": t.events_executed,
+            "clock": list(state.clocks[t.tid]),
+        })
+    events = []
+    for e in state.graph.events[-last_k:]:
+        entry = {"uid": e.uid, "tid": e.tid, "event": format_event(e)}
+        if e.reads_from is not None:
+            src = e.reads_from
+            entry["rf"] = "init" if src.is_init else f"e{src.uid}(t{src.tid})"
+        events.append(entry)
+    return {
+        "steps": state.steps,
+        "threads": threads,
+        "last_events": events,
+        "views": state.visibility.snapshot(),
+        "spin_sites": state.spins.snapshot(),
+    }
+
+
+def render_diagnostics(diagnostics: dict) -> str:
+    """Human-readable rendering of a failure dump."""
+    lines: List[str] = [f"steps executed: {diagnostics.get('steps', '?')}"]
+    lines.append("threads:")
+    for t in diagnostics.get("threads", []):
+        status = "finished" if t.get("finished") \
+            else f"pending {t.get('pending')!s}"
+        clock = ",".join(str(c) for c in t.get("clock", []))
+        lines.append(
+            f"  t{t.get('tid')} {t.get('name')}: {status} "
+            f"({t.get('events_executed')} events, clock [{clock}])"
+        )
+    events = diagnostics.get("last_events", [])
+    if events:
+        lines.append(f"last {len(events)} events:")
+        for e in events:
+            rf = f"  [rf <- {e['rf']}]" if "rf" in e else ""
+            lines.append(f"  e{e.get('uid'):<4} t{e.get('tid')}  "
+                         f"{e.get('event')}{rf}")
+    views = diagnostics.get("views", {})
+    floors = views.get("read_floors", {})
+    if floors:
+        lines.append("thread-local view floors (mo indices):")
+        for key, index in floors.items():
+            lines.append(f"  {key}: {index}")
+    spins = [s for s in diagnostics.get("spin_sites", [])
+             if s.get("spinning")]
+    if spins:
+        lines.append("spinning program points:")
+        for s in spins:
+            lines.append(f"  t{s.get('tid')} site {s.get('site')}: "
+                         f"{s.get('count')} same-value executions")
+    return "\n".join(lines)
 
 
 def require(condition: bool, message: str = "assertion failed") -> None:

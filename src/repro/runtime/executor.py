@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..memory.axioms import IncrementalCoherenceChecker, check_consistency
 from ..memory.events import Event, MemoryOrder, clock_join
 from ..memory.execution import ExecutionGraph
 from ..memory.races import DataRace, RaceDetector
@@ -29,6 +30,7 @@ from .errors import (
     AssertionViolation,
     ProgramDefinitionError,
     ReproError,
+    collect_failure_diagnostics,
 )
 from .livelock import SpinTracker
 from .ops import (
@@ -69,6 +71,17 @@ class RunResult:
     races: List[DataRace] = field(default_factory=list)
     thread_results: Dict[str, Any] = field(default_factory=dict)
     graph: Optional[ExecutionGraph] = None
+    #: Consistency-axiom violations found by the sanitizer (empty unless
+    #: the run executed with ``sanitize=True`` and the graph is broken).
+    violations: List[str] = field(default_factory=list)
+    #: Structured failure dump (deadlock / step budget / wall-clock budget
+    #: / sanitizer violation); None for clean runs.
+    diagnostics: Optional[dict] = None
+
+    @property
+    def inconsistent(self) -> bool:
+        """True when the sanitizer found the execution graph inconsistent."""
+        return bool(self.violations)
 
     def __bool__(self) -> bool:
         return self.bug_found
@@ -93,6 +106,9 @@ class ExecutionState:
         self.k = 0
         self.k_com = 0
         self._by_name = {t.name: t for t in self.threads}
+        #: Online coherence auditor, attached by the executor in sanitize
+        #: mode (None otherwise; the hot path stays hook-free).
+        self.sanitizer: Optional[IncrementalCoherenceChecker] = None
 
     def spawn_thread(self, body, args, name: Optional[str],
                      parent_tid: int) -> ThreadState:
@@ -157,13 +173,15 @@ class Executor:
     def __init__(self, program: Program, scheduler: Scheduler,
                  max_steps: int = 20000, spin_threshold: int = 8,
                  keep_graph: bool = True,
-                 wall_timeout_s: Optional[float] = None):
+                 wall_timeout_s: Optional[float] = None,
+                 sanitize: bool = False):
         self.program = program
         self.scheduler = scheduler
         self.max_steps = max_steps
         self.spin_threshold = spin_threshold
         self.keep_graph = keep_graph
         self.wall_timeout_s = wall_timeout_s
+        self.sanitize = sanitize
 
     # -- public API ---------------------------------------------------------
 
@@ -171,6 +189,8 @@ class Executor:
         """Execute one randomized test run and report the outcome."""
         state = ExecutionState(self.program, self.spin_threshold)
         result = RunResult(self.program.name, self.scheduler.name)
+        if self.sanitize:
+            state.sanitizer = IncrementalCoherenceChecker(state.graph)
         self.scheduler.on_run_start(state)
         try:
             self._loop(state, result)
@@ -196,14 +216,17 @@ class Executor:
                 result.bug_found = True
                 result.bug_kind = "deadlock"
                 result.bug_message = "no enabled thread but program not done"
+                result.diagnostics = collect_failure_diagnostics(state)
                 return
             if state.steps >= self.max_steps:
                 result.limit_exceeded = True
+                result.diagnostics = collect_failure_diagnostics(state)
                 return
             if deadline is not None \
                     and state.steps % self.DEADLINE_CHECK_STRIDE == 0 \
                     and time.perf_counter() >= deadline:
                 result.timed_out = True
+                result.diagnostics = collect_failure_diagnostics(state)
                 return
             tid = self.scheduler.choose_thread(state)
             if tid not in enabled:
@@ -233,6 +256,18 @@ class Executor:
             result.bug_found = True
             result.bug_kind = "race"
             result.bug_message = str(state.races.races[0])
+        if self.sanitize:
+            violations = list(state.sanitizer.violations) \
+                if state.sanitizer else []
+            violations.extend(check_consistency(state.graph))
+            seen = set()
+            for violation in violations:
+                text = str(violation)
+                if text not in seen:
+                    seen.add(text)
+                    result.violations.append(text)
+            if result.violations and result.diagnostics is None:
+                result.diagnostics = collect_failure_diagnostics(state)
         if self.keep_graph:
             result.graph = state.graph
 
@@ -289,6 +324,8 @@ class Executor:
     def _commit(self, state: ExecutionState, thread: ThreadState,
                 event: Event, op: Op, result: Any, info: dict) -> None:
         state.races.on_access(event)
+        if state.sanitizer is not None:
+            state.sanitizer.on_event(event)
         info.setdefault("op", op)
         self.scheduler.on_event_executed(state, event, info)
         thread.advance(result)
@@ -460,14 +497,23 @@ class Executor:
 def run_once(program: Program, scheduler: Scheduler,
              max_steps: int = 20000, spin_threshold: int = 8,
              keep_graph: bool = True,
-             wall_timeout_s: Optional[float] = None) -> RunResult:
+             wall_timeout_s: Optional[float] = None,
+             sanitize: bool = False) -> RunResult:
     """Convenience wrapper: build an executor and run a single test.
 
     ``wall_timeout_s`` bounds the run's wall-clock time: when the budget
     is exhausted the run stops at the next deadline check and is reported
     with ``timed_out=True`` (inconclusive, like ``limit_exceeded``).
+
+    ``sanitize=True`` audits the generated execution against the
+    Section-4 consistency axioms: an O(1)-per-event coherence check
+    during the run plus the full :func:`repro.memory.axioms
+    .check_consistency` audit at run end.  Violations land in
+    ``result.violations`` (``result.inconsistent``) with a structured
+    failure dump in ``result.diagnostics`` — they indicate a bug in the
+    *engine*, not the program under test.
     """
     executor = Executor(program, scheduler, max_steps=max_steps,
                         spin_threshold=spin_threshold, keep_graph=keep_graph,
-                        wall_timeout_s=wall_timeout_s)
+                        wall_timeout_s=wall_timeout_s, sanitize=sanitize)
     return executor.run()

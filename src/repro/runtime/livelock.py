@@ -45,6 +45,19 @@ class SpinTracker:
     def is_spinning(self, site: Tuple[int, int]) -> bool:
         return self._counts.get(site, 0) > self.threshold
 
+    def snapshot(self, limit: int = 8) -> list:
+        """The hottest program points, for failure diagnostics.
+
+        Returns up to ``limit`` ``{"tid", "site", "count", "spinning"}``
+        entries, hottest first.
+        """
+        hottest = sorted(self._counts.items(), key=lambda kv: -kv[1])[:limit]
+        return [
+            {"tid": site[0], "site": site[1], "count": count,
+             "spinning": count > self.threshold}
+            for site, count in hottest
+        ]
+
     def reset(self, site: Tuple[int, int]) -> None:
         self._counts.pop(site, None)
         self._last_value.pop(site, None)

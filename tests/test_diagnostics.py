@@ -1,0 +1,122 @@
+"""Tests for structured failure diagnostics.
+
+Deadlocks, exhausted step budgets, and wall-clock timeouts must come with
+a machine-readable dump (per-thread pending op, last-k events, visibility
+floors) that is JSON-serializable — it travels inside bug artifacts — and
+pretty-printable for humans.
+"""
+
+import json
+
+from repro.core import C11TesterScheduler
+from repro.litmus import mp2
+from repro.memory.events import ACQ, REL, RLX
+from repro.runtime import (
+    DeadlockError,
+    ReplayDivergenceError,
+    ReproError,
+    render_diagnostics,
+    run_once,
+)
+from repro.runtime.api import join
+from repro.runtime.program import Program
+
+
+def _mutual_join() -> Program:
+    """t0 joins t1 while t1 joins t0: a guaranteed deadlock."""
+    p = Program("mutual-join")
+    x = p.atomic("X", 0)
+
+    def t0():
+        yield x.store(1, RLX)
+        yield join("t1")
+
+    def t1():
+        yield x.store(2, RLX)
+        yield join("t0")
+
+    p.add_thread(t0)
+    p.add_thread(t1)
+    return p
+
+
+def _handshake() -> Program:
+    p = Program("handshake")
+    flag = p.atomic("F", 0)
+
+    def producer():
+        yield flag.store(1, REL)
+
+    def consumer():
+        got = yield flag.load(ACQ)
+        return got
+
+    p.add_thread(producer)
+    p.add_thread(consumer)
+    return p
+
+
+class TestFailureDiagnostics:
+    def test_deadlock_produces_diagnostics(self):
+        result = run_once(_mutual_join(), C11TesterScheduler(seed=0))
+        assert result.bug_found and result.bug_kind == "deadlock"
+        diag = result.diagnostics
+        assert diag is not None
+        assert diag["steps"] == result.steps
+        assert len(diag["threads"]) == 2
+        # Both threads are blocked on their join; the pending op is shown.
+        pendings = [t["pending"] for t in diag["threads"]]
+        assert all(p and "Join" in p for p in pendings)
+        assert not any(t["finished"] for t in diag["threads"])
+        assert diag["last_events"]
+        assert "views" in diag
+
+    def test_step_budget_produces_diagnostics(self):
+        from repro.workloads import BENCHMARKS
+
+        result = run_once(BENCHMARKS["msqueue"].build(),
+                          C11TesterScheduler(seed=0), max_steps=5)
+        assert result.limit_exceeded
+        assert result.diagnostics is not None
+        assert result.diagnostics["steps"] == 5
+        # Some thread is mid-flight with a pending operation to show.
+        assert any(t["pending"] for t in result.diagnostics["threads"])
+
+    def test_wall_timeout_produces_diagnostics(self):
+        result = run_once(mp2(), C11TesterScheduler(seed=0),
+                          wall_timeout_s=0.0)
+        assert result.timed_out
+        assert result.diagnostics is not None
+
+    def test_clean_run_has_no_diagnostics(self):
+        result = run_once(_handshake(), C11TesterScheduler(seed=0))
+        assert not result.bug_found
+        assert result.diagnostics is None
+
+    def test_diagnostics_are_json_serializable(self):
+        """The dump travels inside JSON bug artifacts verbatim."""
+        result = run_once(_mutual_join(), C11TesterScheduler(seed=0))
+        restored = json.loads(json.dumps(result.diagnostics))
+        assert restored["steps"] == result.diagnostics["steps"]
+
+    def test_render_is_human_readable(self):
+        result = run_once(_mutual_join(), C11TesterScheduler(seed=0))
+        text = render_diagnostics(result.diagnostics)
+        assert "t0" in text and "t1" in text
+        assert "pending" in text
+        # The last-events section shows formatted events, e.g. "W.X".
+        assert "W" in text
+
+    def test_render_tolerates_minimal_dump(self):
+        assert isinstance(render_diagnostics({"steps": 0, "threads": [],
+                                              "last_events": []}), str)
+
+
+class TestErrorTypes:
+    def test_deadlock_error_carries_diagnostics(self):
+        err = DeadlockError("stuck", diagnostics={"steps": 3})
+        assert err.diagnostics == {"steps": 3}
+        assert isinstance(err, ReproError)
+
+    def test_replay_divergence_is_a_repro_error(self):
+        assert issubclass(ReplayDivergenceError, ReproError)
