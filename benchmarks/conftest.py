@@ -7,9 +7,13 @@ Trial counts are environment-tunable so the suite can run both in CI
 
 Each benchmark writes its rendered table/figure to benchmarks/output/ and
 echoes it to the terminal, so the regenerated artifacts are inspectable
-after the run.
+after the run.  Benchmarks that produce numbers (not just rendered text)
+additionally append machine-readable rows through the ``bench_json``
+fixture, which lands them in ``benchmarks/output/bench_rows.json`` at
+session end for trend tooling to consume.
 """
 
+import json
 import os
 import pathlib
 
@@ -19,7 +23,26 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 
 
 def trials_default(default: int = 60) -> int:
-    return int(os.environ.get("REPRO_TRIALS", default))
+    """``$REPRO_TRIALS`` as a validated positive int.
+
+    A malformed value aborts with a message naming the variable instead
+    of surfacing as a bare ``ValueError`` from ``int()`` deep inside a
+    fixture traceback.
+    """
+    raw = os.environ.get("REPRO_TRIALS")
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise pytest.UsageError(
+            f"REPRO_TRIALS must be an integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise pytest.UsageError(
+            f"REPRO_TRIALS must be >= 1, got {value}"
+        )
+    return value
 
 
 @pytest.fixture(scope="session")
@@ -44,3 +67,25 @@ def report(output_dir):
         print(f"\n{text}\n[saved to {path}]")
 
     return _report
+
+
+@pytest.fixture(scope="session")
+def bench_json(output_dir):
+    """Collect machine-readable benchmark rows; written at session end.
+
+    Usage: ``bench_json(benchmark="silo", scheduler="pctwm",
+    events_per_sec=...)``.  Every row the session records is dumped as
+    one JSON document to ``benchmarks/output/bench_rows.json``, so table
+    benchmarks emit data a trend dashboard can diff without scraping the
+    rendered text artifacts.
+    """
+    rows = []
+
+    def add(**fields) -> None:
+        rows.append(dict(fields))
+
+    yield add
+    if rows:
+        path = output_dir / "bench_rows.json"
+        path.write_text(json.dumps(rows, indent=2) + "\n")
+        print(f"\n[{len(rows)} benchmark rows saved to {path}]")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Regenerate the golden litmus hit-rate file.
+
+Runs PCTWM over a fixed (litmus, d, h) grid with fixed seeds and records
+the *exact* hit counts in ``tests/golden/litmus_rates.json``.  The counts
+are deterministic: any engine or scheduler change that alters a single
+RNG draw, priority decision or candidate set shows up as a diff here —
+the regression test (``tests/test_golden_rates.py``) recomputes the grid
+and demands byte-exact agreement.
+
+Regenerate (and review the diff!) only when a change is *supposed* to
+alter scheduling behaviour:
+
+    PYTHONPATH=src python scripts/regen_golden_rates.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import PCTWMScheduler  # noqa: E402
+from repro.litmus import ALL_LITMUS  # noqa: E402
+from repro.runtime import run_once  # noqa: E402
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "litmus_rates.json"
+
+#: The paper's four headline shapes (Figure 4 / Section 6.1).
+PROGRAMS = ("SB", "MP", "LB", "IRIW")
+DEPTHS = (1, 2, 3)
+HISTORIES = (1, 2, 3)
+K_COM = 8
+TRIALS = 40
+MAX_STEPS = 2000
+
+
+def compute_golden() -> dict:
+    """Exact PCTWM hit counts over the fixed grid (deterministic)."""
+    rates: dict = {}
+    for name in PROGRAMS:
+        factory = ALL_LITMUS[name]
+        cells: dict = {}
+        for depth in DEPTHS:
+            for history in HISTORIES:
+                hits = sum(
+                    run_once(
+                        factory(),
+                        PCTWMScheduler(depth, K_COM, history, seed=seed),
+                        max_steps=MAX_STEPS, keep_graph=False,
+                    ).bug_found
+                    for seed in range(TRIALS)
+                )
+                cells[f"d={depth},h={history}"] = hits
+        rates[name] = cells
+    return {
+        "meta": {
+            "scheduler": "pctwm",
+            "k_com": K_COM,
+            "trials": TRIALS,
+            "max_steps": MAX_STEPS,
+            "seeds": f"range({TRIALS})",
+        },
+        "rates": rates,
+    }
+
+
+def main() -> None:
+    golden = compute_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for name, cells in golden["rates"].items():
+        row = " ".join(f"{cell}:{hits}" for cell, hits in cells.items())
+        print(f"  {name}: {row}")
+
+
+if __name__ == "__main__":
+    main()

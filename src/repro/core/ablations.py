@@ -78,7 +78,7 @@ class PCTWMEagerViews(PCTWMScheduler):
     name = "pctwm-eager"
 
     def _read_local(self, view, ctx: ReadContext) -> Event:
-        return ctx.candidates[-1]
+        return ctx.latest()
 
 
 class PCTWMUnboundedHistory(PCTWMScheduler):

@@ -19,4 +19,4 @@ class NaiveRandomScheduler(Scheduler):
     name = "naive"
 
     def choose_read_from(self, state, ctx: ReadContext) -> Event:
-        return ctx.candidates[-1]
+        return ctx.latest()

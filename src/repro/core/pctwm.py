@@ -42,7 +42,7 @@ from ..memory.events import Event
 from ..runtime.ops import is_communication_op
 from ..runtime.scheduler import ReadContext
 from .priorities import PriorityScheduler
-from .views import View
+from .views import FastView, View
 
 
 class PCTWMScheduler(PriorityScheduler):
@@ -72,6 +72,18 @@ class PCTWMScheduler(PriorityScheduler):
         self._views: Dict[int, View] = {}
         self._bags: Dict[int, View] = {}
         self._last_sc: Optional[Event] = None
+        #: Memoized communication-sink candidate sets (readGlobal's
+        #: h-bounded visible writes) per (tid, loc); an entry is valid
+        #: while no write lands at the location and the reader's clock is
+        #: unchanged, so it is invalidated only by writes to the sampled
+        #: location or by the reader synchronizing.
+        self._sink_candidates: Dict = {}
+        #: Per-tid (view, version, snapshot): consecutive events that left
+        #: the thread's view untouched share one immutable bag snapshot
+        #: instead of copying the view per event (bags are never mutated
+        #: after the snapshot, so sharing is safe).
+        self._bag_cache: Dict = {}
+        self._fast = True
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -89,10 +101,23 @@ class PCTWMScheduler(PriorityScheduler):
         self._slot_by_count = {
             point: self.depth - (k + 1) for k, point in enumerate(points)
         }
-        self._views = {
-            t.tid: View(state.init_writes) for t in state.threads
-        }
+        # The fast engine uses array-backed views over the graph's dense
+        # location ids; the reference engine keeps Definition 1's dict
+        # views.  Both implement the same join semilattice, so the
+        # scheduler's choices are identical either way (the differential
+        # suite enforces this).
+        self._fast = getattr(state, "fast", True) and hasattr(state, "graph")
+        if self._fast:
+            self._views = {
+                t.tid: FastView(state.graph) for t in state.threads
+            }
+        else:
+            self._views = {
+                t.tid: View(state.init_writes) for t in state.threads
+            }
         self._bags = {}
+        self._sink_candidates = {}
+        self._bag_cache = {}
 
     def on_thread_created(self, state, tid: int, parent_tid: int) -> None:
         super().on_thread_created(state, tid, parent_tid)
@@ -133,8 +158,33 @@ class PCTWMScheduler(PriorityScheduler):
         return self._read_local(view, ctx)
 
     def _read_global(self, ctx: ReadContext) -> Event:
-        """readGlobal: uniform choice within history depth h (line 12)."""
-        bounded = ctx.candidates[-self.history:]
+        """readGlobal: uniform choice within history depth h (line 12).
+
+        The h-bounded candidate set is memoized per (tid, loc): mo is
+        append-only and the reader's clock only changes when it
+        synchronizes, so the set computed for one sink read stays valid
+        until a write lands at the location (or the clock moves).
+        """
+        state = getattr(ctx, "_state", None)
+        if not self._fast or state is None:
+            return self.rng.choice(ctx.candidates[-self.history:])
+        key = (ctx.tid, ctx.loc)
+        # Validity stamp: every input the h-bounded set depends on.  The
+        # write count covers mo growth and the SC write floor, the clock
+        # covers the hb floor, and the read floor covers the thread's own
+        # earlier reads (which move the floor without touching the clock).
+        stamp = (
+            len(state.graph.writes_by_loc[ctx.loc]),
+            state.clocks[ctx.tid],
+            state.visibility._read_floor.get(key, 0),
+            ctx.order.is_seq_cst,
+        )
+        memo = self._sink_candidates.get(key)
+        if memo is not None and memo[0] == stamp:
+            bounded = memo[1]
+        else:
+            bounded = ctx.bounded(self.history)
+            self._sink_candidates[key] = (stamp, bounded)
         return self.rng.choice(bounded)
 
     def _read_local(self, view: View, ctx: ReadContext) -> Event:
@@ -146,7 +196,13 @@ class PCTWMScheduler(PriorityScheduler):
         values learned through thread join).
         """
         entry = view.get(ctx.loc)
-        floor = ctx.candidates[0]
+        if self._fast:
+            state = getattr(ctx, "_state", None)
+            if state is not None and entry.mo_index \
+                    == len(state.graph.writes_by_loc[ctx.loc]) - 1:
+                # The mo-maximal write is always at or above the floor.
+                return entry
+        floor = ctx.floor_event()
         if entry.mo_index < floor.mo_index:
             return floor
         return entry
@@ -171,8 +227,21 @@ class PCTWMScheduler(PriorityScheduler):
             for source in info.get("fence_sync_sources", ()):
                 view.join(self._bags.get(source.uid))
         # Release fences (line 25): no update.
-        # Line 26: snapshot the view as this event's bag.
-        self._bags[event.uid] = view.copy()
+        # Line 26: snapshot the view as this event's bag.  On the fast
+        # path consecutive events that left the view untouched share one
+        # snapshot (FastView.version detects effective mutations).
+        if self._fast:
+            cached = self._bag_cache.get(tid)
+            version = view.version
+            if cached is not None and cached[0] is view \
+                    and cached[1] == version:
+                bag = cached[2]
+            else:
+                bag = view.copy()
+                self._bag_cache[tid] = (view, version, bag)
+            self._bags[event.uid] = bag
+        else:
+            self._bags[event.uid] = view.copy()
         if event.is_sc:
             self._last_sc = event
         if op is not None:

@@ -53,8 +53,16 @@ class PriorityScheduler(Scheduler):
         self._priorities[tid] = slot
 
     def highest_priority_enabled(self, state) -> int:
-        enabled = state.enabled_tids()
-        return max(enabled, key=lambda tid: (self._priorities[tid], -tid))
+        # max(enabled, key=priority, ties to the smaller tid) as a plain
+        # loop: no per-call lambda or tuple allocation on the hot path.
+        priorities = self._priorities
+        best = -1
+        best_p = None
+        for tid in state.enabled_tids():
+            p = priorities[tid]
+            if best_p is None or p > best_p:
+                best, best_p = tid, p
+        return best
 
     # -- livelock heuristic ----------------------------------------------------
 

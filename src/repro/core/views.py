@@ -9,13 +9,26 @@ A *bag* is the snapshot of the executing thread's view taken when an event
 executes (Algorithm 2, line 26); when the event later becomes the source of
 a communication relation, its bag is what gets joined into the sink thread's
 view.
+
+Two interchangeable implementations exist:
+
+* :class:`View` — the reference mapping ``loc -> write event`` backed by a
+  dict, exactly Definition 1 as written;
+* :class:`FastView` — the fast-path implementation: because mo is total
+  per location and append-only, a view is equivalently a vector of mo
+  indices over the graph's dense location ids, making ``join`` a
+  pointwise integer max (the same shape as a vector-clock join) and the
+  per-event bag snapshot a flat array copy instead of a dict copy.
+
+The differential and property suites pin the two to identical semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..memory.events import Event
+from ..memory.execution import ExecutionGraph
 
 
 class View:
@@ -84,3 +97,105 @@ class View:
             f"{loc}->e{e.uid}" for loc, e in sorted(self._entries.items())
         )
         return f"View({{{inner}}})"
+
+
+class FastView:
+    """Array-backed view over the graph's dense location ids.
+
+    Semantically identical to :class:`View`: entry ``i`` holds the mo
+    index of the write this view holds for the location with lid ``i``
+    (0 = the initialization write, the implicit default).  ``join`` is a
+    pointwise integer max — the same lattice operation as
+    :func:`repro.memory.events.clock_join` — and ``copy`` (the per-event
+    bag snapshot of Algorithm 2 line 26) is a flat list copy.
+    """
+
+    __slots__ = ("_graph", "_mo", "version")
+
+    def __init__(self, graph: ExecutionGraph,
+                 mo: Optional[List[int]] = None):
+        self._graph = graph
+        if mo is None:
+            self._mo = [0] * len(graph.writes_by_lid)
+        else:
+            self._mo = mo
+        #: Bumped on every effective mutation; lets PCTWM's bag snapshots
+        #: be shared between consecutive events that left the view alone.
+        self.version = 0
+
+    def get(self, loc: str) -> Event:
+        """The write this view holds for ``loc`` (init write by default)."""
+        lid = self._graph.loc_ids[loc]
+        return self._graph.writes_by_lid[lid][self._mo[lid]]
+
+    def set(self, loc: str, event: Event) -> None:
+        """Overwrite the entry for ``loc`` (Algorithm 2, lines 4-5)."""
+        lid = event.lid
+        if lid < 0:
+            lid = self._graph.loc_ids[loc]
+        if self._mo[lid] != event.mo_index:
+            self._mo[lid] = event.mo_index
+            self.version += 1
+
+    def join_loc(self, loc: str, event: Optional[Event]) -> None:
+        """``view(x) <- ⊔mo(view(x), event)``: keep the mo-later write."""
+        if event is None:
+            return
+        lid = event.lid
+        if lid < 0:
+            lid = self._graph.loc_ids[loc]
+        if event.mo_index > self._mo[lid]:
+            self._mo[lid] = event.mo_index
+            self.version += 1
+
+    def join(self, other: Optional["FastView"]) -> None:
+        """``view <- ⊔mo(view, other)``: pointwise max of index vectors."""
+        if other is None:
+            return
+        mine = self._mo
+        theirs = other._mo
+        if len(theirs) > len(mine):  # pragma: no cover - defensive
+            mine.extend([0] * (len(theirs) - len(mine)))
+        changed = False
+        for i, v in enumerate(theirs):
+            if v > mine[i]:
+                mine[i] = v
+                changed = True
+        if changed:
+            self.version += 1
+
+    def copy(self) -> "FastView":
+        """Snapshot for use as an event's bag (flat array copy)."""
+        return FastView(self._graph, self._mo.copy())
+
+    def items(self) -> Iterator[Tuple[str, Event]]:
+        """Explicit (non-default) entries."""
+        writes_by_lid = self._graph.writes_by_lid
+        for loc, lid in self._graph.loc_ids.items():
+            index = self._mo[lid] if lid < len(self._mo) else 0
+            if index > 0:
+                yield loc, writes_by_lid[lid][index]
+
+    def __contains__(self, loc: str) -> bool:
+        return loc in self._graph.loc_ids
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FastView):
+            if self._graph is other._graph:
+                return self._mo == other._mo
+            return NotImplemented
+        if isinstance(other, View):
+            return all(
+                self.get(loc) is other.get(loc)
+                for loc in self._graph.loc_ids
+            )
+        return NotImplemented
+
+    def __hash__(self):  # pragma: no cover - views are mutable
+        raise TypeError("FastView is unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(
+            f"{loc}->e{e.uid}" for loc, e in sorted(self.items())
+        )
+        return f"FastView({{{inner}}})"

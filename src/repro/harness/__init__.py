@@ -6,6 +6,11 @@ from .artifact import (
     load_artifact,
     replay_artifact,
 )
+from .bench import (
+    check_against_baseline,
+    environment_fingerprint,
+    run_bench,
+)
 from .coverage import (
     CoverageReport,
     coverage_campaign,
@@ -68,6 +73,9 @@ __all__ = [
     "BugArtifact",
     "CampaignProgress",
     "CampaignResult",
+    "check_against_baseline",
+    "environment_fingerprint",
+    "run_bench",
     "ReplayReport",
     "TrialJournal",
     "TrialRecord",

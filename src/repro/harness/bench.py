@@ -1,0 +1,254 @@
+"""Engine throughput benchmarking: the ``repro bench`` subcommand.
+
+Measures the execution engine's events/second per scheduler on the two
+largest application workloads (silo, iris), plus serial vs parallel
+campaign throughput, and writes the result as a machine-readable JSON
+trajectory (``BENCH_engine.json``) with an environment fingerprint.
+
+The committed file doubles as a regression gate: ``repro bench --check``
+re-measures and fails when any (workload, scheduler) cell falls more
+than ``tolerance`` below the committed number — the CI perf-smoke job
+runs exactly that in ``--quick`` mode.
+
+Methodology: each cell runs a short warmup, then takes the *best* of
+``repeats`` timed batches (best-of defends against scheduler noise and
+cache-cold outliers on shared CI machines; variance within a batch is
+already amortized over dozens of runs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..core.factory import SchedulerSpec
+from ..runtime import run_once
+from ..workloads.registry import ProgramSpec
+from .campaign import run_campaign
+from .parallel import run_campaign_parallel
+
+#: Scheduler configurations benchmarked, mirroring
+#: benchmarks/test_engine_throughput.py.
+SCHEDULER_SPECS: Dict[str, SchedulerSpec] = {
+    "naive": SchedulerSpec("naive"),
+    "c11tester": SchedulerSpec("c11tester"),
+    "pct": SchedulerSpec("pct", {"depth": 2, "k_events": 120}),
+    "pctwm": SchedulerSpec("pctwm", {"depth": 2, "k_com": 100,
+                                     "history": 2}),
+    "pos": SchedulerSpec("pos"),
+}
+
+#: The two largest application models: enough events per run that the
+#: per-run setup cost does not dominate the events/sec signal.
+WORKLOAD_SPECS: Dict[str, ProgramSpec] = {
+    "silo": ProgramSpec("silo", kind="app",
+                        params={"workers": 3, "transactions": 6}),
+    "iris": ProgramSpec("iris", kind="app"),
+}
+
+MAX_STEPS = 100_000
+
+#: Events/sec measured with this same harness at the last commit before
+#: the fast-path engine landed (the graph/axiom code now kept as the
+#: reference oracle was the only execution path).  Kept in the output so
+#: the committed trajectory always shows the before/after of the
+#: fast-path work; regenerating the file does not lose the "before".
+PRE_FASTPATH_BASELINE = {
+    "silo": {"naive": 48975, "c11tester": 56282, "pct": 43590,
+             "pctwm": 41572, "pos": 45417},
+    "iris": {"naive": 53035, "c11tester": 55651, "pct": 51423,
+             "pctwm": 42964, "pos": 52905},
+}
+
+
+def environment_fingerprint() -> dict:
+    """Enough platform detail to judge whether two runs are comparable."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def measure_events_per_sec(program_spec: ProgramSpec,
+                           scheduler_spec: SchedulerSpec,
+                           runs: int, repeats: int,
+                           base_seed: int = 0) -> dict:
+    """Best-of-``repeats`` events/second over batches of ``runs`` runs."""
+    seed = base_seed
+    for _ in range(max(runs // 4, 1)):  # warmup: JIT-free, but cache-warm
+        run_once(program_spec.build(), scheduler_spec(seed),
+                 keep_graph=False, max_steps=MAX_STEPS)
+        seed += 1
+    best = 0.0
+    events = 0
+    for _ in range(repeats):
+        batch_events = 0
+        start = time.perf_counter()
+        for _ in range(runs):
+            result = run_once(program_spec.build(), scheduler_spec(seed),
+                              keep_graph=False, max_steps=MAX_STEPS)
+            batch_events += result.k
+            seed += 1
+        elapsed = time.perf_counter() - start
+        rate = batch_events / elapsed if elapsed > 0 else 0.0
+        if rate > best:
+            best = rate
+            events = batch_events
+    return {"events_per_sec": round(best, 1), "runs": runs,
+            "events_per_batch": events}
+
+
+def measure_campaign_throughput(trials: int, jobs: int,
+                                base_seed: int = 0) -> dict:
+    """Serial vs ``--jobs N`` campaign trials/second on silo under PCTWM."""
+    program = WORKLOAD_SPECS["silo"]
+    scheduler = SCHEDULER_SPECS["pctwm"]
+    start = time.perf_counter()
+    run_campaign(program, scheduler, trials=trials, base_seed=base_seed,
+                 max_steps=MAX_STEPS)
+    serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    run_campaign_parallel(program, scheduler, trials=trials,
+                          base_seed=base_seed, max_steps=MAX_STEPS,
+                          jobs=jobs)
+    parallel_s = time.perf_counter() - start
+    return {
+        "trials": trials,
+        "serial_trials_per_sec": round(trials / serial_s, 2),
+        f"jobs={jobs}_trials_per_sec": round(trials / parallel_s, 2),
+        "jobs": jobs,
+        "speedup": round(serial_s / parallel_s, 2) if parallel_s else None,
+    }
+
+
+def run_bench(quick: bool = False, seed: int = 0,
+              campaign: bool = True) -> dict:
+    """Measure the full trajectory and return the JSON-ready document."""
+    runs = 12 if quick else 60
+    repeats = 2 if quick else 3
+    engine: Dict[str, Dict[str, dict]] = {}
+    for workload, program_spec in WORKLOAD_SPECS.items():
+        engine[workload] = {}
+        for name, scheduler_spec in SCHEDULER_SPECS.items():
+            cell = measure_events_per_sec(program_spec, scheduler_spec,
+                                          runs=runs, repeats=repeats,
+                                          base_seed=seed)
+            engine[workload][name] = cell
+    doc = {
+        "meta": {
+            "tool": "repro bench",
+            "mode": "quick" if quick else "full",
+            "seed": seed,
+            "environment": environment_fingerprint(),
+        },
+        "engine_events_per_sec": {
+            workload: {
+                name: cell["events_per_sec"]
+                for name, cell in cells.items()
+            }
+            for workload, cells in engine.items()
+        },
+        "baseline_pre_fastpath": PRE_FASTPATH_BASELINE,
+    }
+    if campaign:
+        jobs = min(4, os.cpu_count() or 1)
+        trials = 16 if quick else 48
+        doc["campaign_throughput"] = measure_campaign_throughput(
+            trials=trials, jobs=jobs, base_seed=seed
+        )
+    return doc
+
+
+def check_against_baseline(current: dict, baseline: dict,
+                           tolerance: float = 0.30) -> list:
+    """Regression check: events/sec cells vs the committed trajectory.
+
+    Returns human-readable failure strings for every cell that fell more
+    than ``tolerance`` below the committed number.  Cells present in only
+    one document are skipped (schedulers/workloads may be added over
+    time); improvements never fail.
+    """
+    failures = []
+    committed = baseline.get("engine_events_per_sec", {})
+    measured = current.get("engine_events_per_sec", {})
+    for workload, cells in committed.items():
+        for name, committed_rate in cells.items():
+            rate = measured.get(workload, {}).get(name)
+            if rate is None or not committed_rate:
+                continue
+            floor = committed_rate * (1.0 - tolerance)
+            if rate < floor:
+                failures.append(
+                    f"{workload}/{name}: {rate:.0f} events/s is "
+                    f"{(1 - rate / committed_rate) * 100:.0f}% below the "
+                    f"committed {committed_rate:.0f} "
+                    f"(tolerance {tolerance * 100:.0f}%)"
+                )
+    return failures
+
+
+def render_bench(doc: dict) -> str:
+    """Terminal-friendly summary of a trajectory document."""
+    lines = []
+    env = doc["meta"]["environment"]
+    lines.append(
+        f"engine throughput ({doc['meta']['mode']} mode, "
+        f"python {env['python']}, {env['cpu_count']} cpus)"
+    )
+    baseline = doc.get("baseline_pre_fastpath", {})
+    for workload, cells in doc["engine_events_per_sec"].items():
+        lines.append(f"  {workload}:")
+        for name, rate in cells.items():
+            before = baseline.get(workload, {}).get(name)
+            suffix = ""
+            if before:
+                suffix = f"  (pre-fastpath {before}, {rate / before:.2f}x)"
+            lines.append(f"    {name:<10} {rate:>9.0f} events/s{suffix}")
+    campaign = doc.get("campaign_throughput")
+    if campaign:
+        jobs = campaign["jobs"]
+        lines.append(
+            f"  campaign (silo/pctwm, {campaign['trials']} trials): "
+            f"{campaign['serial_trials_per_sec']} trials/s serial, "
+            f"{campaign[f'jobs={jobs}_trials_per_sec']} trials/s "
+            f"with --jobs {jobs} ({campaign['speedup']}x)"
+        )
+    return "\n".join(lines)
+
+
+def bench_command(out: Optional[str], quick: bool, check: bool,
+                  baseline_path: str, seed: int,
+                  tolerance: float = 0.30) -> int:
+    """Implementation of ``python -m repro bench``; returns exit code."""
+    doc = run_bench(quick=quick, seed=seed, campaign=not check)
+    print(render_bench(doc))
+    if out:
+        path = Path(out)
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+        print(f"trajectory written to {path}")
+    if check:
+        baseline_file = Path(baseline_path)
+        if not baseline_file.exists():
+            print(f"no baseline at {baseline_file}; nothing to check "
+                  "against", file=sys.stderr)
+            return 1
+        baseline = json.loads(baseline_file.read_text())
+        failures = check_against_baseline(doc, baseline,
+                                          tolerance=tolerance)
+        if failures:
+            print("perf regression vs committed trajectory:",
+                  file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(f"perf check OK (within {tolerance * 100:.0f}% of "
+              f"{baseline_file})")
+    return 0

@@ -17,6 +17,8 @@ plus utility commands beyond the artifact:
     python -m repro litmus --trials 200           # run the litmus gallery
     python -m repro campaign msqueue --sanitize sampled --artifacts art/
     python -m repro replay art/trial-000007.json --minimize
+    python -m repro bench                         # write BENCH_engine.json
+    python -m repro bench --quick --check         # CI perf smoke gate
 """
 
 from __future__ import annotations
@@ -179,6 +181,28 @@ def _build_parser() -> argparse.ArgumentParser:
     replay_cmd.add_argument("--out", default=None, metavar="PATH",
                             help="write the minimized trace JSON here")
 
+    bench_cmd = sub.add_parser(
+        "bench",
+        help="measure engine events/sec and write BENCH_engine.json")
+    bench_cmd.add_argument("--quick", action="store_true",
+                           help="small batches for CI smoke runs")
+    bench_cmd.add_argument("--check", action="store_true",
+                           help="compare against the committed trajectory "
+                                "and fail on regressions (skips the "
+                                "campaign-throughput measurement)")
+    bench_cmd.add_argument("--out", default=None, metavar="PATH",
+                           help="write the JSON trajectory here "
+                                "(default: BENCH_engine.json unless "
+                                "--check)")
+    bench_cmd.add_argument("--baseline", default="BENCH_engine.json",
+                           metavar="PATH",
+                           help="committed trajectory --check compares "
+                                "against")
+    bench_cmd.add_argument("--tolerance", type=_positive_float,
+                           default=0.30,
+                           help="allowed fractional slowdown for --check")
+    bench_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+
     report_cmd = sub.add_parser(
         "report", help="regenerate the full evaluation as markdown")
     report_cmd.add_argument("--trials", type=_positive_int, default=100)
@@ -205,6 +229,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_litmus(args)
     if command == "replay":
         return _cmd_replay(args)
+    if command == "bench":
+        from .bench import bench_command
+
+        out = args.out
+        if out is None and not args.check:
+            out = "BENCH_engine.json"
+        return bench_command(out=out, quick=args.quick, check=args.check,
+                             baseline_path=args.baseline, seed=args.seed,
+                             tolerance=args.tolerance)
     if command == "report":
         from .report import write_report
 

@@ -4,12 +4,16 @@ An event is a single dynamic shared-memory access or fence, following the
 axiomatic presentation in Section 4 of the paper.  Each event is a tuple
 ``<id, tid, lab>`` where the label carries the operation kind, the memory
 location, the value read, and the value written.
+
+Events sit on the engine's hot path (one is allocated and inspected per
+executed operation), so the class is ``__slots__``-ed and every kind/order
+predicate is precomputed at construction instead of being derived through
+property calls on each access.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 #: Thread id reserved for the implicit initialization writes.
@@ -30,23 +34,27 @@ class MemoryOrder(enum.IntEnum):
     ACQ_REL = 4
     SEQ_CST = 5
 
-    @property
-    def is_acquire(self) -> bool:
-        """True for ``acq``, ``acq-rel`` and ``sc`` orders (paper: E⊒acq)."""
-        return self in (MemoryOrder.ACQUIRE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST)
+    #: Predicate flags are plain member attributes, filled in below: the
+    #: six members are singletons, so the flags are computed once at import
+    #: instead of via property calls on the engine's hot path.
+    is_acquire: bool
+    is_release: bool
+    is_seq_cst: bool
+    is_atomic: bool
 
-    @property
-    def is_release(self) -> bool:
-        """True for ``rel``, ``acq-rel`` and ``sc`` orders (paper: E⊒rel)."""
-        return self in (MemoryOrder.RELEASE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST)
 
-    @property
-    def is_seq_cst(self) -> bool:
-        return self is MemoryOrder.SEQ_CST
-
-    @property
-    def is_atomic(self) -> bool:
-        return self is not MemoryOrder.NA
+for _order in MemoryOrder:
+    #: True for ``acq``, ``acq-rel`` and ``sc`` orders (paper: E⊒acq).
+    _order.is_acquire = _order in (
+        MemoryOrder.ACQUIRE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST
+    )
+    #: True for ``rel``, ``acq-rel`` and ``sc`` orders (paper: E⊒rel).
+    _order.is_release = _order in (
+        MemoryOrder.RELEASE, MemoryOrder.ACQ_REL, MemoryOrder.SEQ_CST
+    )
+    _order.is_seq_cst = _order is MemoryOrder.SEQ_CST
+    _order.is_atomic = _order is not MemoryOrder.NA
+del _order
 
 
 #: Short aliases used pervasively by programs written in the DSL.
@@ -72,95 +80,122 @@ class EventKind(enum.Enum):
     FENCE = "F"
 
 
-@dataclass(frozen=True)
 class Label:
     """The ``lab = <op, loc, rVal, wVal>`` tuple of an event.
 
     For fences ``loc``, ``rval`` and ``wval`` are ``None`` (the paper's ⊥).
+    A hand-written ``__slots__`` class rather than a dataclass: one label
+    is allocated per executed event, and the hand-rolled constructor is
+    measurably cheaper than the dataclass-generated one.  Immutable after
+    construction, like the frozen dataclass it replaces.
     """
 
-    kind: EventKind
-    order: MemoryOrder
-    loc: Optional[str] = None
-    rval: Optional[object] = None
-    wval: Optional[object] = None
+    __slots__ = ("kind", "order", "loc", "rval", "wval")
+
+    def __init__(self, kind: EventKind, order: MemoryOrder,
+                 loc: Optional[str] = None,
+                 rval: Optional[object] = None,
+                 wval: Optional[object] = None):
+        _set = object.__setattr__
+        _set(self, "kind", kind)
+        _set(self, "order", order)
+        _set(self, "loc", loc)
+        _set(self, "rval", rval)
+        _set(self, "wval", wval)
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"Label is immutable (tried to set {name!r})")
+
+    def replace(self, **changes) -> "Label":
+        """A copy with the given fields swapped (dataclasses.replace-style)."""
+        fields = {slot: getattr(self, slot) for slot in self.__slots__}
+        fields.update(changes)
+        return Label(**fields)
+
+    def _astuple(self):
+        return (self.kind, self.order, self.loc, self.rval, self.wval)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Label):
+            return NotImplemented
+        return self._astuple() == other._astuple()
+
+    def __hash__(self):
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Label(kind={self.kind!r}, order={self.order!r}, "
+            f"loc={self.loc!r}, rval={self.rval!r}, wval={self.wval!r})"
+        )
 
 
-@dataclass(eq=False)
+#: Sentinel for "release chain not stamped"; distinguishes an unstamped
+#: event from a stamped ``None`` (no release source exists).
+_UNSTAMPED = object()
+
+
 class Event:
     """A node of the execution graph.
 
-    Identity is by object (``eq=False``); ``uid`` gives a stable total order
-    of creation which equals the execution order of the generated run.
+    Identity is by object; ``uid`` gives a stable total order of creation
+    which equals the execution order of the generated run.
+
+    Kind and order predicates (``is_read``, ``is_fence``, ...) are plain
+    attributes precomputed from the label at construction: the engine
+    consults them several times per executed event, and attribute loads are
+    an order of magnitude cheaper than property calls.
     """
 
-    uid: int
-    tid: int
-    label: Label
-    #: Index of the event within its own thread (position in po).
-    po_index: int = 0
-    #: For write/RMW events: position in the per-location modification order.
-    mo_index: int = -1
-    #: For read/RMW events: the write event this event reads from.
-    reads_from: Optional["Event"] = None
-    #: Happens-before vector clock, stamped at execution time.
-    clock: Tuple[int, ...] = field(default=())
-    #: Position in the global SC order for seq_cst events, else -1.
-    sc_index: int = -1
+    __slots__ = (
+        "uid", "tid", "label", "po_index", "mo_index", "reads_from",
+        "clock", "sc_index", "lid", "_release_chain",
+        "kind", "order", "loc",
+        "is_read", "is_write", "is_rmw", "is_fence",
+        "is_acquire_fence", "is_release_fence", "is_sc", "is_init",
+        "is_atomic",
+    )
 
-    # -- kind predicates ---------------------------------------------------
-
-    @property
-    def kind(self) -> EventKind:
-        return self.label.kind
-
-    @property
-    def order(self) -> MemoryOrder:
-        return self.label.order
-
-    @property
-    def loc(self) -> Optional[str]:
-        return self.label.loc
-
-    @property
-    def is_read(self) -> bool:
-        """Member of the paper's R = R ∪ U set."""
-        return self.label.kind in (EventKind.READ, EventKind.RMW)
-
-    @property
-    def is_write(self) -> bool:
-        """Member of the paper's W = W ∪ U set."""
-        return self.label.kind in (EventKind.WRITE, EventKind.RMW)
-
-    @property
-    def is_rmw(self) -> bool:
-        return self.label.kind is EventKind.RMW
-
-    @property
-    def is_fence(self) -> bool:
-        return self.label.kind is EventKind.FENCE
-
-    @property
-    def is_acquire_fence(self) -> bool:
-        """Member of F⊒acq."""
-        return self.is_fence and self.order.is_acquire
-
-    @property
-    def is_release_fence(self) -> bool:
-        """Member of F⊒rel."""
-        return self.is_fence and self.order.is_release
-
-    @property
-    def is_sc(self) -> bool:
-        return self.order.is_seq_cst
-
-    @property
-    def is_init(self) -> bool:
-        return self.tid == INIT_TID
-
-    @property
-    def is_atomic(self) -> bool:
-        return self.order.is_atomic
+    def __init__(self, uid: int, tid: int, label: Label,
+                 po_index: int = 0, mo_index: int = -1,
+                 reads_from: Optional["Event"] = None,
+                 clock: Tuple[int, ...] = (), sc_index: int = -1):
+        self.uid = uid
+        self.tid = tid
+        self.label = label
+        #: Index of the event within its own thread (position in po).
+        self.po_index = po_index
+        #: For write/RMW events: position in the location's mo.
+        self.mo_index = mo_index
+        #: For read/RMW events: the write event this event reads from.
+        self.reads_from = reads_from
+        #: Happens-before vector clock, stamped at execution time.
+        self.clock = clock
+        #: Position in the global SC order for seq_cst events, else -1.
+        self.sc_index = sc_index
+        #: Dense location id assigned by the owning graph (-1 = none).
+        self.lid = -1
+        #: Release-chain source memoized by the graph's fast path.
+        self._release_chain = _UNSTAMPED
+        kind = label.kind
+        order = label.order
+        self.kind = kind
+        self.order = order
+        self.loc = label.loc
+        #: Member of the paper's R = R ∪ U set.
+        self.is_read = kind is EventKind.READ or kind is EventKind.RMW
+        #: Member of the paper's W = W ∪ U set.
+        self.is_write = kind is EventKind.WRITE or kind is EventKind.RMW
+        self.is_rmw = kind is EventKind.RMW
+        is_fence = kind is EventKind.FENCE
+        self.is_fence = is_fence
+        #: Member of F⊒acq.
+        self.is_acquire_fence = is_fence and order.is_acquire
+        #: Member of F⊒rel.
+        self.is_release_fence = is_fence and order.is_release
+        self.is_sc = order is MemoryOrder.SEQ_CST
+        self.is_init = tid == INIT_TID
+        self.is_atomic = order is not MemoryOrder.NA
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         lab = self.label

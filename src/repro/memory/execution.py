@@ -27,13 +27,26 @@ from .events import (
     MemoryOrder,
     happens_before,
 )
+from .events import _UNSTAMPED
 from .relations import Relation
 
 
 class ExecutionGraph:
-    """Incremental store of an execution's events and relations."""
+    """Incremental store of an execution's events and relations.
 
-    def __init__(self) -> None:
+    ``fast=True`` (the default) additionally maintains O(1) incremental
+    caches as events are appended: dense integer location ids
+    (``loc_ids`` / ``writes_by_lid``), the per-thread last release fence,
+    and a per-event *release-chain stamp* so
+    :meth:`release_source` is O(1) instead of an O(po) backwards scan.
+    ``fast=False`` keeps the original scan-only behaviour; the scanning
+    algorithm always remains available as
+    :meth:`release_source_reference`, the oracle the differential suite
+    compares the stamps against.
+    """
+
+    def __init__(self, fast: bool = True) -> None:
+        self.fast = fast
         self.events: List[Event] = []
         #: Per-location modification order (paper's mo), densest structure.
         self.writes_by_loc: Dict[str, List[Event]] = defaultdict(list)
@@ -41,6 +54,12 @@ class ExecutionGraph:
         self.events_by_tid: Dict[int, List[Event]] = defaultdict(list)
         #: Global SC order as the list of seq_cst events in execution order.
         self.sc_order: List[Event] = []
+        #: Dense location ids, assigned in initialization order.
+        self.loc_ids: Dict[str, int] = {}
+        #: ``writes_by_lid[loc_ids[loc]] is writes_by_loc[loc]``.
+        self.writes_by_lid: List[List[Event]] = []
+        #: Per-thread po-latest release fence (fast-path sw cache).
+        self._last_release_fence: Dict[int, Event] = {}
         self._uid = 0
 
     # -- construction -------------------------------------------------------
@@ -48,10 +67,49 @@ class ExecutionGraph:
     def _fresh(self, tid: int, label: Label) -> Event:
         event = Event(uid=self._uid, tid=tid, label=label)
         self._uid += 1
-        event.po_index = len(self.events_by_tid[tid])
-        self.events_by_tid[tid].append(event)
+        by_tid = self.events_by_tid[tid]
+        event.po_index = len(by_tid)
+        by_tid.append(event)
         self.events.append(event)
         return event
+
+    def _append_mo(self, event: Event, loc: str) -> None:
+        """Place ``event`` at the mo-tail of ``loc``, assigning its lid."""
+        lid = self.loc_ids.get(loc)
+        if lid is None:
+            lid = len(self.writes_by_lid)
+            self.loc_ids[loc] = lid
+            writes = self.writes_by_loc[loc]
+            self.writes_by_lid.append(writes)
+        else:
+            writes = self.writes_by_lid[lid]
+        event.lid = lid
+        event.mo_index = len(writes)
+        writes.append(event)
+
+    def _stamp_release_chain(self, event: Event) -> None:
+        """Fast path: memoize :meth:`release_source_reference` at creation.
+
+        All inputs of the release-chain computation (the event's order, its
+        po-prefix of fences, its rf source for RMWs) are fixed once the
+        event is appended, so the result can be stamped incrementally:
+        O(1) per event against the reference's O(po) scan.
+        """
+        if event.order.is_release:
+            event._release_chain = event
+            return
+        fence = self._last_release_fence.get(event.tid)
+        if fence is not None:
+            event._release_chain = fence
+            return
+        if event.is_rmw:
+            source = event.reads_from
+            chain = source._release_chain
+            if chain is _UNSTAMPED:
+                chain = self.release_source_reference(source)
+            event._release_chain = chain
+            return
+        event._release_chain = None
 
     def add_init_write(self, loc: str, value: object) -> Event:
         """Record the initialization write for a location.
@@ -62,19 +120,21 @@ class ExecutionGraph:
         """
         label = Label(EventKind.WRITE, MemoryOrder.RELAXED, loc, wval=value)
         event = self._fresh(INIT_TID, label)
-        event.mo_index = len(self.writes_by_loc[loc])
-        self.writes_by_loc[loc].append(event)
+        self._append_mo(event, loc)
+        if self.fast:
+            self._stamp_release_chain(event)
         return event
 
     def add_write(self, tid: int, loc: str, value: object,
                   order: MemoryOrder) -> Event:
         """Append a store event at the mo-tail of ``loc``."""
         event = self._fresh(tid, Label(EventKind.WRITE, order, loc, wval=value))
-        event.mo_index = len(self.writes_by_loc[loc])
-        self.writes_by_loc[loc].append(event)
+        self._append_mo(event, loc)
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
             self.sc_order.append(event)
+        if self.fast:
+            self._stamp_release_chain(event)
         return event
 
     def add_read(self, tid: int, loc: str, source: Event,
@@ -106,11 +166,12 @@ class ExecutionGraph:
         )
         event = self._fresh(tid, label)
         event.reads_from = source
-        event.mo_index = len(self.writes_by_loc[loc])
-        self.writes_by_loc[loc].append(event)
+        self._append_mo(event, loc)
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
             self.sc_order.append(event)
+        if self.fast:
+            self._stamp_release_chain(event)
         return event
 
     def add_fence(self, tid: int, order: MemoryOrder) -> Event:
@@ -118,6 +179,8 @@ class ExecutionGraph:
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
             self.sc_order.append(event)
+        if self.fast and event.is_release_fence:
+            self._last_release_fence[tid] = event
         return event
 
     # -- simple queries -----------------------------------------------------
@@ -128,6 +191,15 @@ class ExecutionGraph:
         if not writes:
             raise KeyError(f"location {loc!r} was never initialized")
         return writes[-1]
+
+    def mo_suffix(self, loc: str, depth: int) -> List[Event]:
+        """The ``depth`` mo-latest writes at ``loc`` in mo order.
+
+        Equivalently: the writes with fewer than ``depth`` ``imm(mo)``
+        successors (Definition 5's history bound), answered O(depth) from
+        the mo tail array.
+        """
+        return self.writes_by_loc[loc][-depth:]
 
     def locations(self) -> Iterable[str]:
         return self.writes_by_loc.keys()
@@ -155,6 +227,18 @@ class ExecutionGraph:
     def release_source(self, write: Event) -> Optional[Event]:
         """The sw source reachable from ``write`` through ``rf+`` chains.
 
+        Fast path: returns the release-chain stamp memoized when the event
+        was appended (O(1)).  Falls back to the reference scan for events
+        the graph did not stamp (``fast=False`` graphs, hand-built events).
+        """
+        chain = write._release_chain
+        if chain is _UNSTAMPED:
+            return self.release_source_reference(write)
+        return chain
+
+    def release_source_reference(self, write: Event) -> Optional[Event]:
+        """Reference oracle for :meth:`release_source` (O(po) scans).
+
         Implements the source side of
         ``sw ≜ [E⊒rel]; ([F]; po)?; rf+; (po; [F])?; [E⊒acq]``:
 
@@ -165,7 +249,8 @@ class ExecutionGraph:
           write it read from (the ``rf+`` closure).
 
         Returns ``None`` when no release source exists, i.e. reading from
-        ``write`` cannot synchronize.
+        ``write`` cannot synchronize.  The differential suite checks this
+        scan against the incremental stamps on every event.
         """
         seen = set()
         current: Optional[Event] = write
@@ -236,13 +321,17 @@ class ExecutionGraph:
         return rel
 
     def sw(self) -> Relation:
-        """Synchronizes-with per RC20 (materialized from rf edges)."""
+        """Synchronizes-with per RC20 (materialized from rf edges).
+
+        Audit path: deliberately uses the scanning reference oracle, not
+        the fast-path stamps, so the sanitizer cross-checks the stamps.
+        """
         rel = Relation()
         for e in self.events:
             w = e.reads_from
             if w is None:
                 continue
-            source = self.release_source(w)
+            source = self.release_source_reference(w)
             if source is None or source.is_init:
                 continue
             if e.order.is_acquire:

@@ -40,17 +40,28 @@ class DataRace:
 class RaceDetector:
     """Tracks last accesses per (location, thread) and reports races."""
 
-    def __init__(self) -> None:
+    def __init__(self, fast: bool = True) -> None:
+        self.fast = fast
         self._last_write: Dict[str, Dict[int, Event]] = defaultdict(dict)
         self._last_read: Dict[str, Dict[int, Event]] = defaultdict(dict)
+        #: Locations that have seen at least one non-atomic access.
+        self._na_locs: set = set()
         self.races: List[DataRace] = []
 
     def on_access(self, event: Event) -> Optional[DataRace]:
         """Record a memory access; return the first race it creates, if any."""
         if event.is_fence or event.loc is None or event.is_init:
             return None
-        race = self._check(event)
         loc = event.loc
+        if not event.is_atomic:
+            self._na_locs.add(loc)
+        if self.fast and event.is_atomic and loc not in self._na_locs:
+            # A race needs a non-atomic side; this access is atomic and no
+            # prior access at loc was non-atomic, so no check can fire —
+            # record the access and skip the per-thread hb scans.
+            race = None
+        else:
+            race = self._check(event)
         if event.is_write:
             self._last_write[loc][event.tid] = event
         if event.is_read:

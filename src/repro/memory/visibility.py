@@ -13,6 +13,15 @@ is *visible* to a read ``r`` by thread ``t`` iff
 
 This is the same visible-write set C11Tester's runtime offers its random
 scheduler; every scheduler in :mod:`repro.core` picks its rf source from it.
+
+Fast path
+    The hb part of the floor — "the mo-latest write at ``x`` that
+    happens-before the reading thread's current point" — is memoized per
+    ``(tid, loc)`` and maintained incrementally: per-thread vector clocks
+    only grow, and mo is append-only, so a revalidation only rescans the
+    writes appended (or newly synchronized) since the last query instead
+    of the whole mo suffix.  ``memoize=False`` keeps the original
+    scan-per-query reference behaviour for the differential suite.
 """
 
 from __future__ import annotations
@@ -20,7 +29,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Tuple
 
-from .events import Event
+from .events import Event, clock_leq
 from .execution import ExecutionGraph
 
 
@@ -44,10 +53,13 @@ class VisibilityTracker:
     floors seq_cst reads.
     """
 
-    def __init__(self, graph: ExecutionGraph) -> None:
+    def __init__(self, graph: ExecutionGraph, memoize: bool = True) -> None:
         self._graph = graph
+        self.memoize = memoize
         self._read_floor: Dict[Tuple[int, str], int] = defaultdict(int)
         self._sc_write_floor: Dict[str, int] = defaultdict(int)
+        #: Per (tid, loc): [writes seen, clock seen, hb-max mo index].
+        self._hb_memo: Dict[Tuple[int, str], list] = {}
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -80,13 +92,52 @@ class VisibilityTracker:
             "sc_write_floors": dict(sorted(self._sc_write_floor.items())),
         }
 
+    def _hb_floor(self, tid: int, loc: str, clock: Tuple[int, ...],
+                  writes: List[Event]) -> int:
+        """mo index of the mo-latest write at ``loc`` hb-before ``clock``.
+
+        Always defined: the initialization write (mo index 0) happens-before
+        every point.  Memoized incrementally: per-thread clocks are
+        pointwise monotone and mo is append-only, so a previously
+        established floor never invalidates — only writes above it need a
+        rescan, newest first, stopping at the first hb hit.
+        """
+        memo = self._hb_memo.get((tid, loc))
+        if memo is not None:
+            known_n, known_clock, known_floor = memo
+            if known_n == len(writes) and known_clock == clock:
+                return known_floor
+            if not clock_leq(known_clock, clock):
+                # Non-monotone query (direct API use with a rewound
+                # clock): the cached floor may overshoot — start over.
+                known_floor = 0
+        else:
+            known_floor = 0
+            memo = self._hb_memo[(tid, loc)] = [0, clock, 0]
+        floor = known_floor
+        for w in reversed(writes):
+            if w.mo_index <= known_floor:
+                break
+            if _hb_point(w, clock):
+                floor = w.mo_index
+                break
+        memo[0] = len(writes)
+        memo[1] = clock
+        memo[2] = floor
+        return floor
+
     def floor(self, tid: int, loc: str, clock: Tuple[int, ...],
               seq_cst: bool = False) -> int:
         """The minimal mo index a read by ``tid`` at ``loc`` may observe."""
         writes = self._graph.writes_by_loc[loc]
         floor = self._read_floor[(tid, loc)]
         if seq_cst:
-            floor = max(floor, self._sc_write_floor[loc])
+            sc_floor = self._sc_write_floor[loc]
+            if sc_floor > floor:
+                floor = sc_floor
+        if self.memoize:
+            hb_floor = self._hb_floor(tid, loc, clock, writes)
+            return hb_floor if hb_floor > floor else floor
         for w in reversed(writes):
             if w.mo_index <= floor:
                 break
@@ -113,8 +164,16 @@ class VisibilityTracker:
         i.e. it is one of the ``h`` mo-latest writes at the location.  The
         intersection with the coherence-visible set is returned in mo order;
         it is never empty because the mo-maximal write is always visible.
+        Answered O(h) from the mo tail array without materializing the
+        full visible suffix.
         """
         if history < 1:
             raise ValueError("history depth must be >= 1")
-        visible = self.visible_writes(tid, loc, clock, seq_cst)
-        return visible[-history:]
+        writes = self._graph.writes_by_loc[loc]
+        if not writes:
+            raise KeyError(f"location {loc!r} was never initialized")
+        floor = self.floor(tid, loc, clock, seq_cst)
+        start = len(writes) - history
+        if floor > start:
+            start = floor
+        return writes[start:]

@@ -77,6 +77,8 @@ class RunResult:
     #: Structured failure dump (deadlock / step budget / wall-clock budget
     #: / sanitizer violation); None for clean runs.
     diagnostics: Optional[dict] = None
+    #: Which execution engine produced the run ("fast" or "reference").
+    engine: str = "fast"
 
     @property
     def inconsistent(self) -> bool:
@@ -88,17 +90,26 @@ class RunResult:
 
 
 class ExecutionState:
-    """Mutable per-run state shared between the executor and scheduler."""
+    """Mutable per-run state shared between the executor and scheduler.
 
-    def __init__(self, program: Program, spin_threshold: int = 8):
+    ``fast=True`` (the default engine) turns on the incremental caches:
+    release-chain stamps in the graph, memoized visibility floors, the
+    race detector's atomic-only shortcut, and the enabled-set cache.
+    ``fast=False`` is the reference path the differential suite compares
+    against — every query recomputes from first principles.
+    """
+
+    def __init__(self, program: Program, spin_threshold: int = 8,
+                 fast: bool = True):
         self.program = program
-        self.graph = ExecutionGraph()
+        self.fast = fast
+        self.graph = ExecutionGraph(fast=fast)
         self.init_writes: Dict[str, Event] = {}
         for loc, init in program.locations.items():
             self.init_writes[loc] = self.graph.add_init_write(loc, init)
         self.threads: List[ThreadState] = program.instantiate()
-        self.visibility = VisibilityTracker(self.graph)
-        self.races = RaceDetector()
+        self.visibility = VisibilityTracker(self.graph, memoize=fast)
+        self.races = RaceDetector(fast=fast)
         self.spins = SpinTracker(spin_threshold)
         n = len(self.threads)
         self.clocks: List[Tuple[int, ...]] = [(0,) * n for _ in range(n)]
@@ -106,6 +117,12 @@ class ExecutionState:
         self.k = 0
         self.k_com = 0
         self._by_name = {t.name: t for t in self.threads}
+        #: Enabled-set cache, invalidated at the start of every step (the
+        #: only points where enabledness can change).
+        self._enabled_cache: Optional[List[int]] = None
+        #: Count of live threads, so ``all_finished`` is O(1) on the fast
+        #: path.  Maintained by :meth:`advance_thread` / :meth:`spawn_thread`.
+        self._unfinished = sum(1 for t in self.threads if not t.finished)
         #: Online coherence auditor, attached by the executor in sanitize
         #: mode (None otherwise; the hot path stays hook-free).
         self.sanitizer: Optional[IncrementalCoherenceChecker] = None
@@ -130,12 +147,35 @@ class ExecutionState:
         self.threads.append(thread)
         self.clocks.append(self.clocks[parent_tid])
         self._by_name[unique] = thread
+        self._enabled_cache = None
+        if not thread.finished:
+            self._unfinished += 1
         return thread
+
+    def advance_thread(self, thread: ThreadState, value) -> None:
+        """Deliver an op result and fetch the thread's next op.
+
+        The single mutation point for enabledness: invalidates the
+        enabled-set cache and keeps the live-thread count for
+        :meth:`all_finished`.
+        """
+        thread.advance(value)
+        self._enabled_cache = None
+        if thread.finished:
+            self._unfinished -= 1
 
     # -- queries used by schedulers -------------------------------------------
 
     def enabled_tids(self) -> List[int]:
-        """Threads that can take a step right now."""
+        """Threads that can take a step right now.
+
+        Fast engine: cached between mutations — the executor invalidates
+        the cache whenever a thread advances, finishes, or spawns, the
+        only points where enabledness can change.  Callers must not
+        mutate the returned list.
+        """
+        if self.fast and self._enabled_cache is not None:
+            return self._enabled_cache
         out = []
         for t in self.threads:
             if t.finished:
@@ -149,6 +189,7 @@ class ExecutionState:
                 if not target.finished:
                     continue
             out.append(t.tid)
+        self._enabled_cache = out
         return out
 
     def peek(self, tid: int) -> Optional[Op]:
@@ -156,6 +197,8 @@ class ExecutionState:
         return self.threads[tid].pending
 
     def all_finished(self) -> bool:
+        if self.fast:
+            return self._unfinished == 0
         return all(t.finished for t in self.threads)
 
     def thread_by_name(self, name: str) -> ThreadState:
@@ -174,7 +217,11 @@ class Executor:
                  max_steps: int = 20000, spin_threshold: int = 8,
                  keep_graph: bool = True,
                  wall_timeout_s: Optional[float] = None,
-                 sanitize: bool = False):
+                 sanitize: bool = False, engine: str = "fast"):
+        if engine not in ("fast", "reference"):
+            raise ValueError(
+                f"engine must be 'fast' or 'reference', got {engine!r}"
+            )
         self.program = program
         self.scheduler = scheduler
         self.max_steps = max_steps
@@ -182,13 +229,19 @@ class Executor:
         self.keep_graph = keep_graph
         self.wall_timeout_s = wall_timeout_s
         self.sanitize = sanitize
+        self.engine = engine
+        self.fast = engine == "fast"
+        #: Declared locations, cached for the per-access membership check.
+        self._locs = program.locations
 
     # -- public API ---------------------------------------------------------
 
     def run(self) -> RunResult:
         """Execute one randomized test run and report the outcome."""
-        state = ExecutionState(self.program, self.spin_threshold)
-        result = RunResult(self.program.name, self.scheduler.name)
+        state = ExecutionState(self.program, self.spin_threshold,
+                               fast=self.fast)
+        result = RunResult(self.program.name, self.scheduler.name,
+                           engine=self.engine)
         if self.sanitize:
             state.sanitizer = IncrementalCoherenceChecker(state.graph)
         self.scheduler.on_run_start(state)
@@ -277,30 +330,23 @@ class Executor:
         thread = state.threads[tid]
         op = thread.pending
         state.steps += 1
-        if isinstance(op, YieldOp):
-            thread.advance(None)
-            return
-        if isinstance(op, JoinOp):
-            self._exec_join(state, thread, op)
-            return
-        if isinstance(op, SpawnOp):
-            self._exec_spawn(state, thread, op)
-            return
-        if is_communication_op(op):
-            state.k_com += 1
-        state.k += 1
-        if isinstance(op, FenceOp):
-            self._exec_fence(state, thread, op)
-        elif isinstance(op, StoreOp):
-            self._exec_store(state, thread, op)
-        elif isinstance(op, LoadOp):
-            self._exec_load(state, thread, op)
-        elif isinstance(op, RmwOp):
-            self._exec_rmw(state, thread, op)
-        elif isinstance(op, CasOp):
-            self._exec_cas(state, thread, op)
-        else:
-            raise ReproError(f"unknown op {op!r}")
+        handler = self._DISPATCH.get(op.__class__)
+        if handler is None:
+            # Exotic op objects (e.g. an op subclass) fall back to the
+            # isinstance chain the dispatch table compiles away.
+            handler = self._dispatch_slow(op)
+        handler(self, state, thread, op)
+
+    def _exec_yield(self, state: ExecutionState, thread: ThreadState,
+                    op: YieldOp) -> None:
+        state.advance_thread(thread, None)
+
+    @classmethod
+    def _dispatch_slow(cls, op: Op):
+        for base, handler in cls._DISPATCH.items():
+            if isinstance(op, base):
+                return handler
+        raise ReproError(f"unknown op {op!r}")
 
     # -- clock helpers ----------------------------------------------------------
 
@@ -328,7 +374,7 @@ class Executor:
             state.sanitizer.on_event(event)
         info.setdefault("op", op)
         self.scheduler.on_event_executed(state, event, info)
-        thread.advance(result)
+        state.advance_thread(thread, result)
         if thread.finished:
             self.scheduler.on_thread_finished(state, thread.tid)
 
@@ -340,7 +386,7 @@ class Executor:
         state.clocks[thread.tid] = clock_join(
             state.clocks[thread.tid], state.clocks[target.tid]
         )
-        thread.advance(target.result)
+        state.advance_thread(thread, target.result)
         if thread.finished:
             self.scheduler.on_thread_finished(state, thread.tid)
 
@@ -348,12 +394,15 @@ class Executor:
                     op: SpawnOp) -> None:
         child = state.spawn_thread(op.body, op.args, op.name, thread.tid)
         self.scheduler.on_thread_created(state, child.tid, thread.tid)
-        thread.advance(child.name)
+        state.advance_thread(thread, child.name)
         if thread.finished:
             self.scheduler.on_thread_finished(state, thread.tid)
 
     def _exec_fence(self, state: ExecutionState, thread: ThreadState,
                     op: FenceOp) -> None:
+        if is_communication_op(op):
+            state.k_com += 1
+        state.k += 1
         tid = thread.tid
         fence_sources: List[Event] = []
         if op.order.is_acquire:
@@ -367,8 +416,12 @@ class Executor:
 
     def _exec_store(self, state: ExecutionState, thread: ThreadState,
                     op: StoreOp) -> None:
+        if op.order.is_seq_cst:
+            state.k_com += 1
+        state.k += 1
         tid = thread.tid
-        self._require_loc(op.loc)
+        if op.loc not in self._locs:
+            self._require_loc(op.loc)
         clock = self._tick(state, tid, [])
         event = state.graph.add_write(tid, op.loc, op.value, op.order)
         event.clock = clock
@@ -377,27 +430,81 @@ class Executor:
 
     def _exec_load(self, state: ExecutionState, thread: ThreadState,
                    op: LoadOp) -> None:
+        state.k_com += 1
+        state.k += 1
         tid = thread.tid
-        self._require_loc(op.loc)
-        candidates = state.visibility.visible_writes(
-            tid, op.loc, state.clocks[tid], seq_cst=op.order.is_seq_cst
-        )
+        loc = op.loc
+        if loc not in self._locs:
+            self._require_loc(loc)
         spinning = state.spins.is_spinning(thread.site_key)
-        ctx = ReadContext(tid=tid, loc=op.loc, order=op.order,
-                          candidates=candidates, op=op, spinning=spinning)
-        source = self.scheduler.choose_read_from(state, ctx)
-        if source not in candidates:
-            raise ReproError(
-                f"{self.scheduler.name} chose rf source outside the "
-                f"visible set: {source!r}"
+        if self.fast:
+            # Lazy candidates: schedulers that need only a fragment of the
+            # visible set (the floor, the tail, the h-bounded suffix)
+            # never materialize the full list.
+            ctx = ReadContext(tid=tid, loc=loc, order=op.order,
+                              op=op, spinning=spinning, state=state)
+            source = self.scheduler.choose_read_from(state, ctx)
+            writes = state.graph.writes_by_loc[loc]
+            index = source.mo_index
+            # O(1) identity validation against the mo array: membership in
+            # the visible suffix ⟺ the event sits at its mo slot and is at
+            # or above the coherence floor.  The mo-maximal write is always
+            # visible, so the floor is only computed (memoized on the
+            # context) for non-maximal sources.
+            nwrites = len(writes)
+            if index < 0 or index >= nwrites \
+                    or writes[index] is not source:
+                raise ReproError(
+                    f"{self.scheduler.name} chose rf source outside the "
+                    f"visible set: {source!r}"
+                )
+            if index != nwrites - 1:
+                floor = ctx._floor
+                if floor < 0:
+                    floor = ctx.floor_index()
+                if index < floor:
+                    raise ReproError(
+                        f"{self.scheduler.name} chose rf source outside "
+                        f"the visible set: {source!r}"
+                    )
+        else:
+            candidates = state.visibility.visible_writes(
+                tid, loc, state.clocks[tid], seq_cst=op.order.is_seq_cst
             )
-        self._finish_read(state, thread, op, op.order, source, spinning,
-                          result=source.label.wval)
+            ctx = ReadContext(tid=tid, loc=loc, order=op.order,
+                              candidates=candidates, op=op,
+                              spinning=spinning)
+            source = self.scheduler.choose_read_from(state, ctx)
+            if source not in candidates:
+                raise ReproError(
+                    f"{self.scheduler.name} chose rf source outside the "
+                    f"visible set: {source!r}"
+                )
+        # Commit the read (previously the separate ``_finish_read`` — the
+        # load path is the hottest in the engine, so it is kept flat).
+        result = source.label.wval
+        sync_source, fence_source = self._sync_sources(
+            state, thread, source, op.order
+        )
+        clock = self._tick(state, tid,
+                           [sync_source] if sync_source else [])
+        event = state.graph.add_read(tid, loc, source, op.order)
+        event.clock = clock
+        state.visibility.note_read(tid, source)
+        state.spins.note(thread.site_key, result)
+        self._commit(state, thread, event, op, result, {
+            "sync_source": sync_source,
+            "release_chain_source": fence_source,
+            "spinning": spinning,
+        })
 
     def _exec_rmw(self, state: ExecutionState, thread: ThreadState,
                   op: RmwOp) -> None:
+        state.k_com += 1
+        state.k += 1
         tid = thread.tid
-        self._require_loc(op.loc)
+        if op.loc not in self._locs:
+            self._require_loc(op.loc)
         source = state.graph.mo_max(op.loc)
         old = source.label.wval
         new = op.update(old)
@@ -419,8 +526,11 @@ class Executor:
 
     def _exec_cas(self, state: ExecutionState, thread: ThreadState,
                   op: CasOp) -> None:
+        state.k_com += 1
+        state.k += 1
         tid = thread.tid
-        self._require_loc(op.loc)
+        if op.loc not in self._locs:
+            self._require_loc(op.loc)
         source = state.graph.mo_max(op.loc)
         old = source.label.wval
         success = old == op.expected
@@ -444,25 +554,6 @@ class Executor:
             "sync_source": sync_source,
             "release_chain_source": fence_source,
             "rmw": True,
-        })
-
-    def _finish_read(self, state: ExecutionState, thread: ThreadState,
-                     op: Op, order: MemoryOrder, source: Event,
-                     spinning: bool, result: Any) -> None:
-        tid = thread.tid
-        sync_source, fence_source = self._sync_sources(
-            state, thread, source, order
-        )
-        clock = self._tick(state, tid,
-                           [sync_source] if sync_source else [])
-        event = state.graph.add_read(tid, op.loc, source, order)
-        event.clock = clock
-        state.visibility.note_read(tid, source)
-        state.spins.note(thread.site_key, result)
-        self._commit(state, thread, event, op, result, {
-            "sync_source": sync_source,
-            "release_chain_source": fence_source,
-            "spinning": spinning,
         })
 
     def _sync_sources(self, state: ExecutionState, thread: ThreadState,
@@ -493,12 +584,25 @@ class Executor:
                 f"{self.program.name!r}"
             )
 
+    #: Exact-type op dispatch (plain functions: ``_step`` passes ``self``
+    #: explicitly).  Subclassed ops fall back to ``_dispatch_slow``.
+    _DISPATCH = {
+        YieldOp: _exec_yield,
+        JoinOp: _exec_join,
+        SpawnOp: _exec_spawn,
+        LoadOp: _exec_load,
+        StoreOp: _exec_store,
+        RmwOp: _exec_rmw,
+        CasOp: _exec_cas,
+        FenceOp: _exec_fence,
+    }
+
 
 def run_once(program: Program, scheduler: Scheduler,
              max_steps: int = 20000, spin_threshold: int = 8,
              keep_graph: bool = True,
              wall_timeout_s: Optional[float] = None,
-             sanitize: bool = False) -> RunResult:
+             sanitize: bool = False, engine: str = "fast") -> RunResult:
     """Convenience wrapper: build an executor and run a single test.
 
     ``wall_timeout_s`` bounds the run's wall-clock time: when the budget
@@ -512,8 +616,17 @@ def run_once(program: Program, scheduler: Scheduler,
     ``result.violations`` (``result.inconsistent``) with a structured
     failure dump in ``result.diagnostics`` — they indicate a bug in the
     *engine*, not the program under test.
+
+    ``engine`` selects the execution engine: ``"fast"`` (default) uses
+    the incremental caches (release-chain stamps, memoized visibility
+    floors, lazy read candidates, array-backed PCTWM views);
+    ``"reference"`` recomputes every query from first principles.  Both
+    engines make identical scheduling and reads-from choices for any
+    seed — the differential suite (``tests/test_fastpath_differential``)
+    enforces trace-for-trace equality.
     """
     executor = Executor(program, scheduler, max_steps=max_steps,
                         spin_threshold=spin_threshold, keep_graph=keep_graph,
-                        wall_timeout_s=wall_timeout_s, sanitize=sanitize)
+                        wall_timeout_s=wall_timeout_s, sanitize=sanitize,
+                        engine=engine)
     return executor.run()

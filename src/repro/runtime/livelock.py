@@ -17,33 +17,51 @@ from typing import Dict, Hashable, Tuple
 
 
 class SpinTracker:
-    """Counts consecutive same-value executions per program point."""
+    """Counts consecutive same-value executions per program point.
+
+    Sites live in one ``site -> [count, last_value]`` dict (one lookup per
+    note instead of three), and ``_hot`` counts sites currently above the
+    threshold so :meth:`is_spinning` — consulted two or three times per
+    scheduler step — is a single attribute check while nothing spins, the
+    overwhelmingly common case.
+    """
 
     def __init__(self, threshold: int = 8):
         if threshold < 1:
             raise ValueError("spin threshold must be >= 1")
         self.threshold = threshold
-        self._counts: Dict[Tuple[int, int], int] = {}
-        self._last_value: Dict[Tuple[int, int], Hashable] = {}
+        self._sites: Dict[Tuple[int, int], list] = {}
+        self._hot = 0
 
     def note(self, site: Tuple[int, int], value: Hashable) -> bool:
         """Record one execution of ``site`` observing ``value``.
 
         Returns True when the site has now exceeded the spin threshold.
         """
+        entry = self._sites.get(site)
+        if entry is None:
+            self._sites[site] = [1, value]
+            return False
         try:
-            same = self._last_value.get(site, _UNSET) == value
+            same = entry[1] == value
         except Exception:  # unhashable / incomparable values never spin
             same = False
         if same:
-            self._counts[site] = self._counts.get(site, 0) + 1
+            entry[0] += 1
+            if entry[0] == self.threshold + 1:
+                self._hot += 1
         else:
-            self._counts[site] = 1
-            self._last_value[site] = value
-        return self._counts[site] > self.threshold
+            if entry[0] > self.threshold:
+                self._hot -= 1
+            entry[0] = 1
+            entry[1] = value
+        return entry[0] > self.threshold
 
     def is_spinning(self, site: Tuple[int, int]) -> bool:
-        return self._counts.get(site, 0) > self.threshold
+        if not self._hot:
+            return False
+        entry = self._sites.get(site)
+        return entry is not None and entry[0] > self.threshold
 
     def snapshot(self, limit: int = 8) -> list:
         """The hottest program points, for failure diagnostics.
@@ -51,24 +69,16 @@ class SpinTracker:
         Returns up to ``limit`` ``{"tid", "site", "count", "spinning"}``
         entries, hottest first.
         """
-        hottest = sorted(self._counts.items(), key=lambda kv: -kv[1])[:limit]
+        hottest = sorted(self._sites.items(), key=lambda kv: -kv[1][0])[:limit]
         return [
-            {"tid": site[0], "site": site[1], "count": count,
-             "spinning": count > self.threshold}
-            for site, count in hottest
+            {"tid": site[0], "site": site[1], "count": entry[0],
+             "spinning": entry[0] > self.threshold}
+            for site, entry in hottest
         ]
 
     def reset(self, site: Tuple[int, int]) -> None:
-        self._counts.pop(site, None)
-        self._last_value.pop(site, None)
+        entry = self._sites.pop(site, None)
+        if entry is not None and entry[0] > self.threshold:
+            self._hot -= 1
 
 
-class _Unset:
-    def __eq__(self, other: object) -> bool:
-        return False
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<unset>"
-
-
-_UNSET = _Unset()

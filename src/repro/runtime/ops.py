@@ -43,6 +43,11 @@ class Op:
 
     uid: int = field(init=False, repr=False, compare=False)
 
+    #: Communication-sink classification, consulted twice per scheduler
+    #: step (see :func:`is_communication_op`): ``True``/``False`` when the
+    #: op kind decides alone, ``"order"`` when the memory order matters.
+    _comm = False
+
     def __post_init__(self) -> None:
         self.uid = next(_op_uids)
 
@@ -52,12 +57,16 @@ class LoadOp(Op):
     loc: str
     order: MemoryOrder = MemoryOrder.SEQ_CST
 
+    _comm = True
+
 
 @dataclass(eq=False)
 class StoreOp(Op):
     loc: str
     value: object = None
     order: MemoryOrder = MemoryOrder.SEQ_CST
+
+    _comm = "store"
 
 
 @dataclass(eq=False)
@@ -71,6 +80,8 @@ class RmwOp(Op):
     loc: str
     update: Callable[[object], object] = field(default=lambda v: v)
     order: MemoryOrder = MemoryOrder.SEQ_CST
+
+    _comm = True
 
 
 @dataclass(eq=False)
@@ -87,10 +98,14 @@ class CasOp(Op):
     success_order: MemoryOrder = MemoryOrder.SEQ_CST
     failure_order: MemoryOrder = MemoryOrder.SEQ_CST
 
+    _comm = True
+
 
 @dataclass(eq=False)
 class FenceOp(Op):
     order: MemoryOrder = MemoryOrder.SEQ_CST
+
+    _comm = "fence"
 
 
 @dataclass(eq=False)
@@ -124,12 +139,13 @@ def is_communication_op(op: Op) -> bool:
 
     A communication event is an SC event, a read (including RMW/CAS), or an
     acquire fence — the possible *sinks* of a ``com`` relation
-    (Definition 3).
+    (Definition 3).  Dispatches on the per-class ``_comm`` flag instead of
+    an isinstance chain: schedulers consult this for every peeked op.
     """
-    if isinstance(op, (LoadOp, RmwOp, CasOp)):
-        return True
-    if isinstance(op, StoreOp):
-        return op.order.is_seq_cst
-    if isinstance(op, FenceOp):
-        return op.order.is_acquire or op.order.is_seq_cst
-    return False
+    comm = op._comm
+    if comm is True or comm is False:
+        return comm
+    order = op.order
+    if comm == "store":
+        return order.is_seq_cst
+    return order.is_acquire or order.is_seq_cst

@@ -17,8 +17,7 @@ views, priority lists) can maintain their bookkeeping.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Tuple, TYPE_CHECKING
+from typing import List, Optional, TYPE_CHECKING
 
 from ..memory.events import Event, MemoryOrder
 
@@ -27,23 +26,98 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .ops import Op
 
 
-@dataclass
 class ReadContext:
-    """Everything a scheduler may consult when choosing an rf source."""
+    """Everything a scheduler may consult when choosing an rf source.
 
-    tid: int
-    loc: str
-    order: MemoryOrder
-    #: Coherence-visible candidate writes, in mo order.  Never empty; the
-    #: mo-maximal write is always present.  For RMW/CAS this is the single
-    #: mo-maximal write (atomicity).
-    candidates: List[Event]
-    #: The op being executed (identity lets PCTWM recognize reordered ops).
-    op: "Op"
-    #: True when the spin heuristic flagged this program point.
-    spinning: bool = False
-    #: True for the read side of an RMW or CAS.
-    is_rmw: bool = False
+    The candidate set is computed lazily: most schedulers only need a
+    fragment of it (the mo-maximal write, the coherence floor, or the
+    ``h`` mo-latest writes), and materializing the full visible suffix per
+    read is O(writes-at-loc) work the fast path avoids.  Accessing
+    ``candidates`` materializes (and caches) the full list, so schedulers
+    that want the whole set behave exactly as before.
+    """
+
+    __slots__ = ("tid", "loc", "order", "op", "spinning", "is_rmw",
+                 "_candidates", "_state", "_floor")
+
+    def __init__(self, tid: int, loc: str, order: MemoryOrder,
+                 candidates: Optional[List[Event]] = None,
+                 op: "Op" = None, spinning: bool = False,
+                 is_rmw: bool = False,
+                 state: "ExecutionState" = None):
+        self.tid = tid
+        self.loc = loc
+        self.order = order
+        #: The op being executed (identity lets PCTWM recognize reordered
+        #: ops).
+        self.op = op
+        #: True when the spin heuristic flagged this program point.
+        self.spinning = spinning
+        #: True for the read side of an RMW or CAS.
+        self.is_rmw = is_rmw
+        self._candidates = candidates
+        self._state = state
+        self._floor = -1
+        if candidates is None and state is None:
+            raise ValueError(
+                "ReadContext needs either an explicit candidate list or "
+                "an execution state to compute one from"
+            )
+
+    @property
+    def candidates(self) -> List[Event]:
+        """Coherence-visible candidate writes, in mo order.  Never empty;
+        the mo-maximal write is always present.  For RMW/CAS this is the
+        single mo-maximal write (atomicity)."""
+        if self._candidates is None:
+            state = self._state
+            self._candidates = state.visibility.visible_writes(
+                self.tid, self.loc, state.clocks[self.tid],
+                seq_cst=self.order.is_seq_cst,
+            )
+        return self._candidates
+
+    # -- O(1)/O(h) fragments of the candidate set ---------------------------
+
+    def latest(self) -> Event:
+        """The mo-maximal write (``candidates[-1]``) without the full list."""
+        if self._candidates is not None:
+            return self._candidates[-1]
+        return self._state.graph.writes_by_loc[self.loc][-1]
+
+    def floor_index(self) -> int:
+        """The mo index of the coherence floor (``candidates[0]``).
+
+        Memoized for the context's lifetime (one read): the executor's
+        rf validation and a scheduler's floor clamp both need it.
+        """
+        if self._floor >= 0:
+            return self._floor
+        if self._candidates is not None:
+            self._floor = self._candidates[0].mo_index
+            return self._floor
+        state = self._state
+        self._floor = state.visibility.floor(
+            self.tid, self.loc, state.clocks[self.tid],
+            seq_cst=self.order.is_seq_cst,
+        )
+        return self._floor
+
+    def floor_event(self) -> Event:
+        """The mo-minimal visible write (``candidates[0]``)."""
+        if self._candidates is not None:
+            return self._candidates[0]
+        return self._state.graph.writes_by_loc[self.loc][self.floor_index()]
+
+    def bounded(self, history: int) -> List[Event]:
+        """The visible writes within history depth (``candidates[-h:]``)."""
+        if self._candidates is not None:
+            return self._candidates[-history:]
+        state = self._state
+        return state.visibility.bounded_visible_writes(
+            self.tid, self.loc, state.clocks[self.tid], history,
+            seq_cst=self.order.is_seq_cst,
+        )
 
 
 class Scheduler:

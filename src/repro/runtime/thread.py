@@ -25,6 +25,9 @@ class ThreadState:
         self.pending: Optional[Op] = None
         #: Code site (bytecode offset) of the pending op, for spin detection.
         self.pending_site: int = -1
+        #: Stable identity of the pending op's program point, kept in sync
+        #: with ``pending_site`` (precomputed: consulted 2-3x per step).
+        self.site_key: Tuple[int, int] = (tid, -1)
         self.finished = False
         self.result: Any = None
         #: sw sources recorded by relaxed reads, consumed by acquire fences.
@@ -61,11 +64,7 @@ class ThreadState:
         self.pending = op
         frame = self._gen.gi_frame
         self.pending_site = frame.f_lasti if frame is not None else -1
-
-    @property
-    def site_key(self) -> Tuple[int, int]:
-        """Stable identity of the pending op's program point."""
-        return (self.tid, self.pending_site)
+        self.site_key = (self.tid, self.pending_site)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "done" if self.finished else f"pending={self.pending!r}"

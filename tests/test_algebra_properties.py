@@ -1,0 +1,208 @@
+"""Property tests for the relation algebra and the view semilattice.
+
+Two families of laws back the fast path's correctness argument:
+
+* :class:`repro.memory.relations.Relation` — the Section 4 closure
+  algebra used by the consistency auditor.  Transitive closure must be
+  idempotent, ``imm`` must be a section of it on finite partial orders
+  (the Hasse-diagram round trip), and forward-edge relations must be
+  acyclic while any closed cycle must be caught.
+
+* ``View.join`` — Definition 1's per-location mo-max join.  It must be
+  a join-semilattice (commutative, associative, idempotent) and
+  monotone in mo, and the array-backed :class:`FastView` must agree
+  with the dict-backed reference *and* with a plain
+  :func:`repro.memory.events.clock_join` on the mo-index vectors —
+  that vector-clock equivalence is exactly why the fast engine may
+  represent views as flat integer arrays.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.views import FastView, View
+from repro.memory.events import RLX, clock_join
+from repro.memory.execution import ExecutionGraph
+from repro.memory.relations import Relation, imm
+
+# -- relation algebra -------------------------------------------------------
+
+NODES = st.integers(0, 7)
+
+edges = st.lists(st.tuples(NODES, NODES), max_size=24)
+
+#: Edges pointing strictly "forward" form a DAG by construction.
+dag_edges = st.lists(
+    st.tuples(NODES, NODES).map(sorted).filter(lambda e: e[0] != e[1])
+    .map(tuple),
+    max_size=24,
+)
+
+
+@given(edges)
+@settings(max_examples=200, deadline=None)
+def test_transitive_closure_idempotent(es):
+    t = Relation(es).transitive()
+    assert t.transitive() == t
+
+
+@given(dag_edges)
+@settings(max_examples=200, deadline=None)
+def test_imm_transitive_round_trip(es):
+    """On a finite partial order, imm is the Hasse diagram: its
+    transitive closure recovers the full order."""
+    t = Relation(es).transitive()
+    assert imm(t).transitive() == t
+
+
+@given(dag_edges)
+@settings(max_examples=200, deadline=None)
+def test_forward_edges_are_acyclic(es):
+    r = Relation(es)
+    assert r.is_acyclic()
+    assert r.transitive().is_irreflexive()
+
+
+@given(dag_edges.filter(lambda es: len(es) > 0))
+@settings(max_examples=200, deadline=None)
+def test_closing_a_cycle_is_detected(es):
+    r = Relation(es)
+    a, b = es[0]
+    r.add(b, a)  # es[0] goes forward, so this closes a cycle
+    assert not r.is_acyclic()
+    assert not r.transitive().is_irreflexive()
+
+
+@given(edges, edges)
+@settings(max_examples=100, deadline=None)
+def test_compose_absorbed_by_transitive(es1, es2):
+    """B⁺ ; B⁺ ⊆ B⁺: transitivity stated through composition."""
+    t = Relation(es1 + es2).transitive()
+    for edge in t.compose(t).edges():
+        assert edge in t
+
+
+# -- view semilattice -------------------------------------------------------
+
+LOCS = ("X", "Y", "Z")
+WRITES_PER_LOC = 5
+
+
+def build_graph() -> ExecutionGraph:
+    g = ExecutionGraph()
+    for loc in LOCS:
+        g.add_init_write(loc, 0)
+    for loc in LOCS:
+        for value in range(1, WRITES_PER_LOC):
+            g.add_write(0, loc, value, RLX)
+    return g
+
+
+GRAPH = build_graph()
+INIT = {loc: GRAPH.writes_by_loc[loc][0] for loc in LOCS}
+
+vectors = st.lists(
+    st.integers(0, WRITES_PER_LOC - 1),
+    min_size=len(LOCS), max_size=len(LOCS),
+)
+
+
+def dict_view(vec) -> View:
+    view = View(INIT)
+    for loc, index in zip(LOCS, vec):
+        view.set(loc, GRAPH.writes_by_loc[loc][index])
+    return view
+
+
+def fast_view(vec) -> FastView:
+    view = FastView(GRAPH)
+    for loc, index in zip(LOCS, vec):
+        view.set(loc, GRAPH.writes_by_loc[loc][index])
+    return view
+
+
+def joined(make, a, b):
+    out = make(a)
+    out.join(make(b))
+    return out
+
+
+@given(vectors, vectors)
+@settings(max_examples=200, deadline=None)
+def test_join_commutative(a, b):
+    for make in (dict_view, fast_view):
+        assert joined(make, a, b) == joined(make, b, a)
+
+
+@given(vectors, vectors, vectors)
+@settings(max_examples=200, deadline=None)
+def test_join_associative(a, b, c):
+    for make in (dict_view, fast_view):
+        left = joined(make, a, b)
+        left.join(make(c))
+        right = joined(make, b, c)
+        other = make(a)
+        other.join(right)
+        assert left == other
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_join_idempotent(a):
+    for make in (dict_view, fast_view):
+        assert joined(make, a, a) == make(a)
+
+
+@given(vectors, vectors)
+@settings(max_examples=200, deadline=None)
+def test_join_is_pointwise_mo_max(a, b):
+    """Monotonicity: the join holds the mo-max of both inputs per loc."""
+    for make in (dict_view, fast_view):
+        view = joined(make, a, b)
+        for loc, ia, ib in zip(LOCS, a, b):
+            assert view.get(loc).mo_index == max(ia, ib)
+            assert view.get(loc).mo_index >= ia
+            assert view.get(loc).mo_index >= ib
+
+
+@given(vectors, vectors)
+@settings(max_examples=200, deadline=None)
+def test_fast_view_join_is_clock_join(a, b):
+    """FastView.join on mo-index vectors IS the vector-clock join."""
+    view = joined(fast_view, a, b)
+    expected = clock_join(tuple(a), tuple(b))
+    assert tuple(view._mo) == expected
+
+
+@given(vectors, vectors)
+@settings(max_examples=200, deadline=None)
+def test_fast_view_agrees_with_reference_view(a, b):
+    fast = joined(fast_view, a, b)
+    ref = joined(dict_view, a, b)
+    assert fast == ref  # FastView.__eq__ compares entries against View
+    for loc in LOCS:
+        assert fast.get(loc) is ref.get(loc)
+
+
+@given(vectors, vectors)
+@settings(max_examples=100, deadline=None)
+def test_join_loc_matches_full_join_on_singletons(a, b):
+    """join_loc is join restricted to one location."""
+    for loc, index in zip(LOCS, b):
+        event = GRAPH.writes_by_loc[loc][index]
+        for make in (dict_view, fast_view):
+            via_loc = make(a)
+            via_loc.join_loc(loc, event)
+            assert via_loc.get(loc).mo_index == max(a[LOCS.index(loc)], index)
+
+
+@given(vectors)
+@settings(max_examples=100, deadline=None)
+def test_copy_is_independent_snapshot(a):
+    for make in (dict_view, fast_view):
+        view = make(a)
+        snap = view.copy()
+        view.set("X", GRAPH.writes_by_loc["X"][WRITES_PER_LOC - 1])
+        assert snap.get("X").mo_index == a[0]

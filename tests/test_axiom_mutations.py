@@ -9,7 +9,6 @@ checker that passes consistent graphs but misses seeded violations would
 make ``--sanitize`` useless.
 """
 
-from dataclasses import replace
 
 import pytest
 
@@ -63,7 +62,7 @@ class TestSeededViolations:
         w1 = graph.writes_by_loc["X"][1]
         assert read.reads_from is graph.writes_by_loc["X"][2]
         read.reads_from = w1
-        read.label = replace(read.label, rval=w1.label.wval)
+        read.label = read.label.replace(rval=w1.label.wval)
         axioms = _axioms(graph)
         assert "read-coherence" in axioms
         assert "rf" not in axioms  # the value was fixed up: rf stays sane
@@ -103,7 +102,7 @@ class TestSeededViolations:
         init = graph.writes_by_loc["X"][0]
         assert rmw.reads_from is not init
         rmw.reads_from = init
-        rmw.label = replace(rmw.label, rval=init.label.wval)
+        rmw.label = rmw.label.replace(rval=init.label.wval)
         axioms = _axioms(graph)
         assert "atomicity" in axioms
 
@@ -133,7 +132,7 @@ class TestSeededViolations:
         """A read whose value differs from its rf source: rf ill-formed."""
         graph = _run(_store_store_load())
         (read,) = _reads_of(graph, "X")
-        read.label = replace(read.label, rval=read.label.rval + 41)
+        read.label = read.label.replace(rval=read.label.rval + 41)
         axioms = _axioms(graph)
         assert "rf" in axioms
 

@@ -1,0 +1,72 @@
+"""Golden regression: PCTWM litmus hit rates are pinned exactly.
+
+``scripts/regen_golden_rates.py`` records the exact number of
+bug-finding runs for SB/MP/LB/IRIW over a (d, h) sweep with fixed
+seeds.  PCTWM's choices are a pure function of the seed and the
+engine's candidate/priority queries, so the counts must reproduce
+byte-exactly — any drift means a scheduling-visible behaviour change
+(intended changes regenerate the golden file and review the diff).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "litmus_rates.json"
+
+
+def load_regen_module():
+    spec = importlib.util.spec_from_file_location(
+        "regen_golden_rates",
+        REPO_ROOT / "scripts" / "regen_golden_rates.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def recomputed():
+    return load_regen_module().compute_golden()
+
+
+def test_golden_file_shape(golden):
+    assert golden["meta"]["scheduler"] == "pctwm"
+    assert set(golden["rates"]) == {"SB", "MP", "LB", "IRIW"}
+    for cells in golden["rates"].values():
+        assert len(cells) == 9  # d in 1..3 x h in 1..3
+        assert all(isinstance(hits, int) for hits in cells.values())
+
+
+def test_hit_rates_reproduce_exactly(golden, recomputed):
+    assert recomputed["meta"] == golden["meta"], (
+        "grid parameters changed: regenerate tests/golden/litmus_rates.json"
+    )
+    for name, cells in golden["rates"].items():
+        assert recomputed["rates"][name] == cells, (
+            f"{name} hit counts drifted from the golden file; if the "
+            "change is intentional run scripts/regen_golden_rates.py "
+            "and review the diff"
+        )
+
+
+def test_rates_are_discriminative(golden):
+    """The golden grid is not degenerate: SB is found often, and the
+    harder shapes behave as the substrate predicts (IRIW needs d >= 2;
+    LB's weak outcome is unreachable for an interleaving-based engine)."""
+    rates = golden["rates"]
+    assert all(hits > 0 for hits in rates["SB"].values())
+    assert any(hits > 0 for hits in rates["MP"].values())
+    assert rates["IRIW"]["d=1,h=1"] == 0
+    assert any(hits > 0 for hits in rates["IRIW"].values())
+    assert all(hits == 0 for hits in rates["LB"].values())
