@@ -76,6 +76,13 @@ class SchedulerSpec:
     name: str
     params: Mapping[str, Any] = field(default_factory=dict)
 
+    #: Registry schedulers rebuild all per-run state in ``on_run_start``
+    #: and inherit ``Scheduler.reseed``, so one instance may be reseeded
+    #: and reused across trials with seed-for-seed identical results.
+    #: Arbitrary user factories (closures) make no such promise, so the
+    #: campaign fast path only reuses instances built from a spec.
+    supports_reuse = True
+
     def __post_init__(self) -> None:
         if self.name not in SCHEDULER_REGISTRY:
             known = ", ".join(sorted(SCHEDULER_REGISTRY))

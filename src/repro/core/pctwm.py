@@ -39,7 +39,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from ..memory.events import Event
-from ..runtime.ops import is_communication_op
 from ..runtime.scheduler import ReadContext
 from .priorities import PriorityScheduler
 from .views import FastView, View
@@ -84,6 +83,12 @@ class PCTWMScheduler(PriorityScheduler):
         #: after the snapshot, so sharing is safe).
         self._bag_cache: Dict = {}
         self._fast = True
+        #: Whether this instance uses the base read-update rule; when an
+        #: ablation overrides ``_apply_read_update``, ``on_event_executed``
+        #: dispatches to it instead of the inlined base logic.
+        self._base_read_update = (
+            type(self)._apply_read_update is PCTWMScheduler._apply_read_update
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -108,9 +113,20 @@ class PCTWMScheduler(PriorityScheduler):
         # suite enforces this).
         self._fast = getattr(state, "fast", True) and hasattr(state, "graph")
         if self._fast:
-            self._views = {
-                t.tid: FastView(state.graph) for t in state.threads
-            }
+            # Reuse last run's FastViews when the campaign runner pooled
+            # the execution state (same graph object, freshly reset):
+            # reset() rewinds each view to all-init in place instead of
+            # reallocating the index vectors every trial.
+            prior = self._views
+            views = {}
+            for t in state.threads:
+                view = prior.get(t.tid)
+                if type(view) is FastView and view._graph is state.graph:
+                    view.reset()
+                else:
+                    view = FastView(state.graph)
+                views[t.tid] = view
+            self._views = views
         else:
             self._views = {
                 t.tid: View(state.init_writes) for t in state.threads
@@ -128,21 +144,53 @@ class PCTWMScheduler(PriorityScheduler):
     # -- Algorithm 1: thread selection ---------------------------------------
 
     def choose_thread(self, state) -> int:
+        # Runs once per step — the highest-priority scan, the spin check,
+        # and the isCommunicationEvent predicate are inlined (each was a
+        # call per step; semantics identical to the helpers they mirror).
+        priorities = self._priorities
+        counted = self._counted
+        threads = state.threads
+        spins = state.spins
+        fast = self._fast
         while True:
-            tid = self.highest_priority_enabled(state)
-            diverted = self.divert_if_spinning(state, tid)
-            if diverted is not None:
-                return diverted
-            op = state.peek(tid)
-            if op is not None and is_communication_op(op) \
-                    and op.uid not in self._counted:
-                self._counted.add(op.uid)
-                self._i += 1
-                slot = self._slot_by_count.get(self._i)
-                if slot is not None:
-                    self.lower_priority(tid, slot)
-                    self._reordered.add(op.uid)
-                    continue
+            enabled = state._enabled_cache if fast else None
+            if enabled is None:
+                enabled = state.enabled_tids()
+            tid = -1
+            best_p = None
+            for t in enabled:
+                p = priorities[t]
+                if best_p is None or p > best_p:
+                    tid, best_p = t, p
+            if not fast or spins._hot:
+                # Fast engine: SpinTracker's hot counter is 0 until some
+                # site crosses the spin threshold, so the divert call can
+                # be skipped entirely (is_spinning would be False for
+                # every site).  Duck-typed states fall back to the
+                # unconditional call.
+                diverted = self.divert_if_spinning(state, tid)
+                if diverted is not None:
+                    return diverted
+            op = threads[tid].pending
+            if op is not None and op.uid not in counted:
+                comm = op._comm
+                if comm is True:
+                    is_comm = True
+                elif comm is False:
+                    is_comm = False
+                elif comm == "store":
+                    is_comm = op.order.is_seq_cst
+                else:  # "fence"
+                    order = op.order
+                    is_comm = order.is_acquire or order.is_seq_cst
+                if is_comm:
+                    counted.add(op.uid)
+                    self._i += 1
+                    slot = self._slot_by_count.get(self._i)
+                    if slot is not None:
+                        self.lower_priority(tid, slot)
+                        self._reordered.add(op.uid)
+                        continue
             return tid
 
     # -- Algorithm 2: read behaviour -------------------------------------------
@@ -165,7 +213,7 @@ class PCTWMScheduler(PriorityScheduler):
         synchronizes, so the set computed for one sink read stays valid
         until a write lands at the location (or the clock moves).
         """
-        state = getattr(ctx, "_state", None)
+        state = ctx._state
         if not self._fast or state is None:
             return self.rng.choice(ctx.candidates[-self.history:])
         key = (ctx.tid, ctx.loc)
@@ -195,13 +243,19 @@ class PCTWMScheduler(PriorityScheduler):
         in case a program mixes paradigms the view does not model (e.g.
         values learned through thread join).
         """
-        entry = view.get(ctx.loc)
-        if self._fast:
-            state = getattr(ctx, "_state", None)
-            if state is not None and entry.mo_index \
-                    == len(state.graph.writes_by_loc[ctx.loc]) - 1:
+        state = ctx._state
+        if self._fast and state is not None:
+            # Inlined FastView.get over the dense lid (one loc_ids lookup
+            # for both the entry and the mo-tail check).
+            graph = state.graph
+            lid = graph.loc_ids[ctx.loc]
+            writes = graph.writes_by_lid[lid]
+            entry = writes[view._mo[lid]]
+            if entry.mo_index == len(writes) - 1:
                 # The mo-maximal write is always at or above the floor.
                 return entry
+        else:
+            entry = view.get(ctx.loc)
         floor = ctx.floor_event()
         if entry.mo_index < floor.mo_index:
             return floor
@@ -210,22 +264,50 @@ class PCTWMScheduler(PriorityScheduler):
     # -- Algorithm 2: view updates ------------------------------------------------
 
     def on_event_executed(self, state, event: Event, info: dict) -> None:
+        # Runs once per executed event; the read-update helper is inlined
+        # (``_apply_read_update`` remains as the documented reference of
+        # the same logic for subclasses that override it).
         tid = event.tid
         view = self._views[tid]
+        bags = self._bags
         op = info.get("op")
         if event.is_sc and (event.is_write or event.is_fence):
             # SC reads joined their predecessor's bag in choose_read_from.
             if self._last_sc is not None:
-                view.join(self._bags.get(self._last_sc.uid))
+                view.join(bags.get(self._last_sc.uid))
         if event.is_read:
-            self._apply_read_update(state, view, event, op, info)
+            if not self._base_read_update:
+                # An ablation subclass overrides the read-update rule.
+                self._apply_read_update(state, view, event, op, info)
+                source = None
+            else:
+                # Inlined _apply_read_update (Algorithm 2 lines 13-18).
+                source = event.reads_from
+            if source is not None:
+                external = (
+                    (op is not None and op.uid in self._reordered)
+                    or info.get("spinning", False)
+                    or info.get("rmw", False)
+                )
+                if external or view.get(event.loc) is not source:
+                    sync = info.get("sync_source")
+                    if sync is not None:
+                        # Line 14: sw formed — join the source's whole bag.
+                        view.join(bags.get(sync.uid))
+                        view.join_loc(event.loc, source)
+                    else:
+                        # Line 16: relaxed external read — this loc only.
+                        bag = bags.get(source.uid)
+                        if bag is not None:
+                            view.join_loc(event.loc, bag.get(event.loc))
+                        view.join_loc(event.loc, source)
         if event.is_write:
             # Lines 4-5: the thread now holds its own write for this loc.
             view.set(event.loc, event)
         if event.is_acquire_fence:
             # Lines 20-23: join the bags of every sw source.
             for source in info.get("fence_sync_sources", ()):
-                view.join(self._bags.get(source.uid))
+                view.join(bags.get(source.uid))
         # Release fences (line 25): no update.
         # Line 26: snapshot the view as this event's bag.  On the fast
         # path consecutive events that left the view untouched share one
@@ -239,9 +321,9 @@ class PCTWMScheduler(PriorityScheduler):
             else:
                 bag = view.copy()
                 self._bag_cache[tid] = (view, version, bag)
-            self._bags[event.uid] = bag
+            bags[event.uid] = bag
         else:
-            self._bags[event.uid] = view.copy()
+            bags[event.uid] = view.copy()
         if event.is_sc:
             self._last_sc = event
         if op is not None:

@@ -168,6 +168,15 @@ class FastView:
         """Snapshot for use as an event's bag (flat array copy)."""
         return FastView(self._graph, self._mo.copy())
 
+    def reset(self) -> None:
+        """Back to the all-initialization view, reusing the index vector.
+
+        Used by schedulers that pool their per-thread views across runs
+        against a pooled (reset) execution graph.
+        """
+        self._mo[:] = [0] * len(self._graph.writes_by_lid)
+        self.version = 0
+
     def items(self) -> Iterator[Tuple[str, Event]]:
         """Explicit (non-default) entries."""
         writes_by_lid = self._graph.writes_by_lid

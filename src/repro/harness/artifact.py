@@ -15,10 +15,14 @@ to re-execute that exact trial anywhere:
   events, thread-local views) collected at failure time.
 
 Artifacts are JSON files written by the worker that observed the failure
-(inside :func:`repro.harness.campaign.run_trial`), so they survive the
-``ProcessPoolExecutor`` boundary, SIGKILL, and checkpoint/resume.  The
-``repro replay <artifact>`` CLI re-executes one deterministically and
-verifies the outcome matches the recording.
+(inside :class:`repro.harness.campaign.TrialRunner`), so they survive the
+``ProcessPoolExecutor`` boundary, SIGKILL, and checkpoint/resume.  Under
+the default ``record_mode="on_failure"`` the decision trace comes from a
+deterministic re-execution of the failing trial (byte-identical to what
+always-on recording captures, without taxing clean trials); all other
+fields describe the original run.  The ``repro replay <artifact>`` CLI
+re-executes one deterministically and verifies the outcome matches the
+recording.
 """
 
 from __future__ import annotations

@@ -6,9 +6,10 @@ campaign throughput, and writes the result as a machine-readable JSON
 trajectory (``BENCH_engine.json``) with an environment fingerprint.
 
 The committed file doubles as a regression gate: ``repro bench --check``
-re-measures and fails when any (workload, scheduler) cell falls more
-than ``tolerance`` below the committed number — the CI perf-smoke job
-runs exactly that in ``--quick`` mode.
+re-measures and fails when any (workload, scheduler) cell — or the
+serial campaign trials/second — falls more than ``tolerance`` below the
+committed number; the CI perf-smoke job runs exactly that in ``--quick``
+mode.
 
 Methodology: each cell runs a short warmup, then takes the *best* of
 ``repeats`` timed batches (best-of defends against scheduler noise and
@@ -19,6 +20,7 @@ already amortized over dozens of runs).
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import sys
@@ -65,6 +67,17 @@ PRE_FASTPATH_BASELINE = {
              "pctwm": 42964, "pos": 52905},
 }
 
+#: Campaign trials/second (silo/pctwm, full mode) measured at the last
+#: commit before the campaign fast path landed (cold per-trial
+#: scheduler/program/executor construction, always-on recording, per-line
+#: journal writes).  Kept for the same reason as the engine baseline: the
+#: committed trajectory always shows the before/after of the fast-path
+#: work under ``campaign_fastpath``.
+PRE_CAMPAIGN_FASTPATH_BASELINE = {
+    "trials": 48,
+    "serial_trials_per_sec": 449.99,
+}
+
 
 def environment_fingerprint() -> dict:
     """Enough platform detail to judge whether two runs are comparable."""
@@ -107,19 +120,30 @@ def measure_events_per_sec(program_spec: ProgramSpec,
 
 
 def measure_campaign_throughput(trials: int, jobs: int,
-                                base_seed: int = 0) -> dict:
-    """Serial vs ``--jobs N`` campaign trials/second on silo under PCTWM."""
+                                base_seed: int = 0,
+                                repeats: int = 2) -> dict:
+    """Serial vs ``--jobs N`` campaign trials/second on silo under PCTWM.
+
+    Same methodology as the engine cells: a warmup campaign first, then
+    the best of ``repeats`` timed campaigns per mode.
+    """
     program = WORKLOAD_SPECS["silo"]
     scheduler = SCHEDULER_SPECS["pctwm"]
-    start = time.perf_counter()
-    run_campaign(program, scheduler, trials=trials, base_seed=base_seed,
-                 max_steps=MAX_STEPS)
-    serial_s = time.perf_counter() - start
-    start = time.perf_counter()
-    run_campaign_parallel(program, scheduler, trials=trials,
-                          base_seed=base_seed, max_steps=MAX_STEPS,
-                          jobs=jobs)
-    parallel_s = time.perf_counter() - start
+    run_campaign(program, scheduler, trials=max(trials // 4, 1),
+                 base_seed=base_seed + trials, max_steps=MAX_STEPS)
+    serial_s = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_campaign(program, scheduler, trials=trials,
+                     base_seed=base_seed, max_steps=MAX_STEPS)
+        serial_s = min(serial_s, time.perf_counter() - start)
+    parallel_s = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_campaign_parallel(program, scheduler, trials=trials,
+                              base_seed=base_seed, max_steps=MAX_STEPS,
+                              jobs=jobs)
+        parallel_s = min(parallel_s, time.perf_counter() - start)
     return {
         "trials": trials,
         "serial_trials_per_sec": round(trials / serial_s, 2),
@@ -161,9 +185,22 @@ def run_bench(quick: bool = False, seed: int = 0,
     if campaign:
         jobs = min(4, os.cpu_count() or 1)
         trials = 16 if quick else 48
-        doc["campaign_throughput"] = measure_campaign_throughput(
+        throughput = measure_campaign_throughput(
             trials=trials, jobs=jobs, base_seed=seed
         )
+        doc["campaign_throughput"] = throughput
+        before = PRE_CAMPAIGN_FASTPATH_BASELINE["serial_trials_per_sec"]
+        doc["campaign_fastpath"] = {
+            "before": dict(PRE_CAMPAIGN_FASTPATH_BASELINE),
+            "after": {
+                "trials": throughput["trials"],
+                "serial_trials_per_sec":
+                    throughput["serial_trials_per_sec"],
+            },
+            "speedup": round(
+                throughput["serial_trials_per_sec"] / before, 2
+            ),
+        }
     return doc
 
 
@@ -192,6 +229,19 @@ def check_against_baseline(current: dict, baseline: dict,
                     f"committed {committed_rate:.0f} "
                     f"(tolerance {tolerance * 100:.0f}%)"
                 )
+    committed_rate = (baseline.get("campaign_throughput") or {}
+                      ).get("serial_trials_per_sec")
+    rate = (current.get("campaign_throughput") or {}
+            ).get("serial_trials_per_sec")
+    if committed_rate and rate is not None:
+        floor = committed_rate * (1.0 - tolerance)
+        if rate < floor:
+            failures.append(
+                f"campaign serial: {rate:.0f} trials/s is "
+                f"{(1 - rate / committed_rate) * 100:.0f}% below the "
+                f"committed {committed_rate:.0f} "
+                f"(tolerance {tolerance * 100:.0f}%)"
+            )
     return failures
 
 
@@ -221,6 +271,14 @@ def render_bench(doc: dict) -> str:
             f"{campaign[f'jobs={jobs}_trials_per_sec']} trials/s "
             f"with --jobs {jobs} ({campaign['speedup']}x)"
         )
+        fastpath = doc.get("campaign_fastpath")
+        if fastpath:
+            lines.append(
+                f"  campaign fast path: "
+                f"{fastpath['before']['serial_trials_per_sec']} -> "
+                f"{fastpath['after']['serial_trials_per_sec']} trials/s "
+                f"serial ({fastpath['speedup']}x)"
+            )
     return "\n".join(lines)
 
 
@@ -228,7 +286,7 @@ def bench_command(out: Optional[str], quick: bool, check: bool,
                   baseline_path: str, seed: int,
                   tolerance: float = 0.30) -> int:
     """Implementation of ``python -m repro bench``; returns exit code."""
-    doc = run_bench(quick=quick, seed=seed, campaign=not check)
+    doc = run_bench(quick=quick, seed=seed)
     print(render_bench(doc))
     if out:
         path = Path(out)

@@ -9,10 +9,26 @@ Trial ``i`` is seeded by ``derive_trial_seed(base_seed, i)`` — a
 splitmix-style derivation that makes trial streams independent across
 nearby base seeds and identical between the serial path here and the
 sharded parallel path in :mod:`repro.harness.parallel`.
+
+Fast path
+    Campaign trials share far more than they differ in: the same program,
+    the same scheduler family, the same engine configuration.
+    :class:`TrialRunner` exploits that — one warm scheduler instance
+    reseeded per trial (registry specs only), one program object
+    re-instantiated per run, one pooled :class:`ExecutionState` reset in
+    place between trials — and records decision traces *on failure only*
+    by deterministically re-executing the failing trial
+    (``record_mode="on_failure"``).  Aggregation streams through
+    :class:`CampaignAccumulator`, whose fold is order-independent and
+    memory-bounded.  All of it is seed-for-seed identical to the
+    one-object-web-per-trial slow path; the equivalence suite pins this.
 """
 
 from __future__ import annotations
 
+import gc
+import heapq
+import math
 import os
 import sys
 import time
@@ -23,10 +39,11 @@ from ..core.c11tester import C11TesterScheduler
 from ..core.naive import NaiveRandomScheduler
 from ..core.pct import PCTScheduler
 from ..core.pctwm import PCTWMScheduler
-from ..runtime.executor import RunResult, run_once
+from ..runtime.executor import (ExecutionState, Executor, RunResult,
+                                run_once)
 from ..runtime.program import Program
 from ..runtime.scheduler import Scheduler
-from .seeding import derive_trial_seed
+from .seeding import derive_trial_seed, sample_rank
 
 ProgramFactory = Callable[[], Program]
 SchedulerFactory = Callable[[int], Scheduler]
@@ -35,12 +52,28 @@ SchedulerFactory = Callable[[int], Scheduler]
 #: still counted but not sampled (long campaigns must stay bounded).
 ERROR_SAMPLE_LIMIT = 8
 
+#: How many per-trial times ``CampaignResult.run_times_s`` retains.  Up
+#: to this many trials the sample is the full population; beyond it, a
+#: deterministic uniform reservoir (bottom-k by :func:`sample_rank`).
+#: Exact mean/RSD always come from the aggregate sums, never the sample.
+RUN_TIME_SAMPLE_LIMIT = 1024
+
 #: ``--sanitize sampled`` checks every Nth trial (indices 0, N, 2N, ...),
 #: bounding the sanitizer's overhead while still auditing the campaign.
 SANITIZE_SAMPLE_STRIDE = 10
 
 #: Valid values for the campaign ``sanitize`` knob.
 SANITIZE_MODES = ("off", "sampled", "all")
+
+#: Valid values for the campaign ``record_mode`` knob (meaningful only
+#: with an artifact directory).  ``"on_failure"`` runs trials without the
+#: recording wrapper and deterministically re-executes failing trials to
+#: capture their traces; ``"always"`` records every trial as it runs.
+RECORD_MODES = ("on_failure", "always")
+
+#: With the cyclic collector disabled during a campaign loop, collect
+#: manually every this many trials to bound floating garbage.
+GC_COLLECT_STRIDE = 512
 
 
 def sanitize_this_trial(sanitize: str, index: int) -> bool:
@@ -68,8 +101,16 @@ class CampaignResult:
     total_steps: int = 0
     total_events: int = 0
     elapsed_s: float = 0.0
-    #: Per-run elapsed times, for Table 4's RSD column.
+    #: Bounded deterministic sample of per-run elapsed times, in trial
+    #: order — the full population while ``completed`` stays within
+    #: :data:`RUN_TIME_SAMPLE_LIMIT`, a uniform reservoir beyond it.
+    #: Exact aggregate statistics live in ``time_sum_s``/``time_sq_sum_s``
+    #: (see :attr:`avg_run_time_s` / :attr:`run_time_rsd_pct`).
     run_times_s: List[float] = field(default_factory=list)
+    #: Exact sum of per-trial elapsed times over *all* completed trials.
+    time_sum_s: float = 0.0
+    #: Exact sum of squared per-trial elapsed times (for the RSD).
+    time_sq_sum_s: float = 0.0
     #: Per-run application-defined operation counts (Silo throughput).
     operations: int = 0
     #: Worker processes used (1 = serial execution).
@@ -116,6 +157,30 @@ class CampaignResult:
     @property
     def avg_time_ms(self) -> float:
         return 1000.0 * self.elapsed_s / self.trials if self.trials else 0.0
+
+    @property
+    def avg_run_time_s(self) -> float:
+        """Exact mean per-trial time, independent of the bounded sample."""
+        return self.time_sum_s / self.completed if self.completed else 0.0
+
+    @property
+    def run_time_rsd_pct(self) -> float:
+        """Relative standard deviation of per-trial times, in percent.
+
+        Computed from the exact aggregate sums (population std / mean),
+        so it covers every completed trial even when ``run_times_s`` is
+        a bounded sample.
+        """
+        n = self.completed
+        if n < 2:
+            return 0.0
+        mean = self.time_sum_s / n
+        if mean <= 0.0:
+            return 0.0
+        variance = self.time_sq_sum_s / n - mean * mean
+        if variance <= 0.0:
+            return 0.0
+        return 100.0 * math.sqrt(variance) / mean
 
     @property
     def ops_per_second(self) -> float:
@@ -165,6 +230,117 @@ class TrialRecord:
     artifact: Optional[str] = None
 
 
+class CampaignAccumulator:
+    """Order-independent, memory-bounded streaming fold of trial records.
+
+    Counters and time sums are plain commutative additions; the bounded
+    collections are deterministic functions of the record *set*:
+
+    * ``run_times_s`` keeps the :data:`RUN_TIME_SAMPLE_LIMIT` trials with
+      the smallest :func:`sample_rank` (a uniform reservoir);
+    * error and violation samples keep the :data:`ERROR_SAMPLE_LIMIT`
+      lowest-indexed offenders — exactly "the first N in trial order",
+      however the records actually arrived.
+
+    Folding the same records in any order therefore finalizes into the
+    identical :class:`CampaignResult`, which is what keeps serial,
+    sharded-parallel, retried, and checkpoint-resumed campaigns
+    bit-identical while shard results stream in as they finish.
+    """
+
+    def __init__(self) -> None:
+        self.completed = 0
+        self.hits = 0
+        self.inconclusive = 0
+        self.total_steps = 0
+        self.total_events = 0
+        self.operations = 0
+        self.errors = 0
+        self.timeouts = 0
+        self.inconsistent = 0
+        self.time_sum_s = 0.0
+        self.time_sq_sum_s = 0.0
+        #: Min-heap of ``(-rank, index, elapsed)``: the root is the
+        #: largest-rank member, i.e. the one a better candidate evicts.
+        self._times: list = []
+        #: Min-heap of ``(-index, summary)``: root = highest index.
+        self._error_samples: list = []
+        #: Min-heap of ``(-index, violation tuple)`` per offending trial.
+        self._violation_samples: list = []
+        #: ``(index, path)`` pairs; sorted once at finalize.
+        self._artifacts: list = []
+
+    def add(self, record: TrialRecord) -> None:
+        """Fold one trial record (any order, idempotent per index)."""
+        self.completed += 1
+        elapsed = record.elapsed_s
+        self.time_sum_s += elapsed
+        self.time_sq_sum_s += elapsed * elapsed
+        entry = (-sample_rank(record.index), record.index, elapsed)
+        if len(self._times) < RUN_TIME_SAMPLE_LIMIT:
+            heapq.heappush(self._times, entry)
+        elif entry > self._times[0]:
+            heapq.heapreplace(self._times, entry)
+        if record.artifact:
+            self._artifacts.append((record.index, record.artifact))
+        if record.error is not None:
+            self.errors += 1
+            sample = (-record.index, f"trial {record.index}: {record.error}")
+            if len(self._error_samples) < ERROR_SAMPLE_LIMIT:
+                heapq.heappush(self._error_samples, sample)
+            elif sample > self._error_samples[0]:
+                heapq.heapreplace(self._error_samples, sample)
+            return
+        if record.inconsistent:
+            self.inconsistent += 1
+            if record.violations:
+                sample = (-record.index, tuple(record.violations))
+                if len(self._violation_samples) < ERROR_SAMPLE_LIMIT:
+                    heapq.heappush(self._violation_samples, sample)
+                elif sample > self._violation_samples[0]:
+                    heapq.heapreplace(self._violation_samples, sample)
+        if record.bug_found:
+            self.hits += 1
+        if record.limit_exceeded:
+            self.inconclusive += 1
+        if record.timed_out:
+            self.timeouts += 1
+        self.total_steps += record.steps
+        self.total_events += record.k
+        self.operations += record.operations
+
+    def finalize(self, result: CampaignResult) -> None:
+        """Materialize the aggregate into ``result`` (idempotent)."""
+        result.completed = self.completed
+        result.hits = self.hits
+        result.inconclusive = self.inconclusive
+        result.total_steps = self.total_steps
+        result.total_events = self.total_events
+        result.operations = self.operations
+        result.errors = self.errors
+        result.timeouts = self.timeouts
+        result.inconsistent = self.inconsistent
+        result.time_sum_s = self.time_sum_s
+        result.time_sq_sum_s = self.time_sq_sum_s
+        result.run_times_s = [
+            elapsed for _, _, elapsed
+            in sorted(self._times, key=lambda entry: entry[1])
+        ]
+        result.error_samples = [
+            text for _, text
+            in sorted(self._error_samples, key=lambda entry: -entry[0])
+        ]
+        violations: List[str] = []
+        for neg_index, texts in sorted(self._violation_samples,
+                                       key=lambda entry: -entry[0]):
+            for text in texts:
+                if len(violations) >= ERROR_SAMPLE_LIMIT:
+                    break
+                violations.append(f"trial {-neg_index}: {text}")
+        result.violation_samples = violations
+        result.artifacts = [path for _, path in sorted(self._artifacts)]
+
+
 def summarize_exception(exc: BaseException) -> str:
     """One-line fault summary: exception type, message, innermost frame."""
     site = ""
@@ -180,6 +356,236 @@ def summarize_exception(exc: BaseException) -> str:
     return f"{type(exc).__name__}: {message}{site}"
 
 
+class TrialRunner:
+    """Executes campaign trials with warm, reusable per-worker state.
+
+    One runner serves many trials of the same campaign and keeps the
+    expensive invariants alive between them:
+
+    * **Scheduler**: when the factory declares ``supports_reuse`` (true
+      of registry :class:`~repro.core.factory.SchedulerSpec`), one
+      instance is constructed and :meth:`~repro.runtime.scheduler
+      .Scheduler.reseed`-ed per trial; otherwise a fresh instance per
+      trial, exactly as before.
+    * **Program**: factories declaring ``supports_reuse`` (registry
+      :class:`~repro.workloads.registry.ProgramSpec`) build the program
+      once; ``instantiate()`` re-primes fresh generator threads per run.
+    * **Execution state**: the graph and trackers are pooled and reset
+      in place between runs instead of reallocated (safe because
+      campaigns never keep run graphs).
+    * **Recording**: with ``record_mode="on_failure"`` (default) trials
+      run without the recording wrapper; a failing trial is re-executed
+      deterministically with recording enabled, so the artifact is
+      identical to what ``"always"`` would have captured — without
+      taxing the overwhelmingly common clean trial.
+
+    Every reuse lever is seed-for-seed neutral: a runner's records match
+    :func:`run_trial` outcomes field for field (timings aside).
+    """
+
+    def __init__(self, program_factory: ProgramFactory,
+                 scheduler_factory: SchedulerFactory,
+                 base_seed: int, max_steps: int = 20000,
+                 count_operations: Optional[
+                     Callable[[RunResult], int]] = None,
+                 trial_timeout_s: Optional[float] = None,
+                 sanitize: str = "off",
+                 artifact_dir: Optional[str] = None,
+                 spin_threshold: int = 8,
+                 record_mode: str = "on_failure"):
+        if sanitize not in SANITIZE_MODES:
+            raise ValueError(
+                f"sanitize must be one of {SANITIZE_MODES}, got {sanitize!r}")
+        if record_mode not in RECORD_MODES:
+            raise ValueError(
+                f"record_mode must be one of {RECORD_MODES}, "
+                f"got {record_mode!r}")
+        self.program_factory = program_factory
+        self.scheduler_factory = scheduler_factory
+        self.base_seed = base_seed
+        self.max_steps = max_steps
+        self.count_operations = count_operations
+        self.trial_timeout_s = trial_timeout_s
+        self.sanitize = sanitize
+        self.artifact_dir = artifact_dir
+        self.spin_threshold = spin_threshold
+        self.record_mode = record_mode
+        self._reuse_scheduler = bool(
+            getattr(scheduler_factory, "supports_reuse", False))
+        self._reuse_program = bool(
+            getattr(program_factory, "supports_reuse", False))
+        self._scheduler: Optional[Scheduler] = None
+        self._program: Optional[Program] = None
+        self._state: Optional[ExecutionState] = None
+        self._executor: Optional[Executor] = None
+
+    # -- warm components -----------------------------------------------------
+
+    def _checkout_scheduler(self, trial_seed: int) -> Scheduler:
+        if not self._reuse_scheduler:
+            return self.scheduler_factory(trial_seed)
+        if self._scheduler is None:
+            self._scheduler = self.scheduler_factory(trial_seed)
+        else:
+            self._scheduler.reseed(trial_seed)
+        return self._scheduler
+
+    def _checkout_program(self) -> Program:
+        if not self._reuse_program:
+            return self.program_factory()
+        if self._program is None:
+            self._program = self.program_factory()
+        return self._program
+
+    def _execute(self, program: Program, scheduler: Scheduler,
+                 sanitize_run: bool) -> RunResult:
+        executor = self._executor
+        if executor is None or executor.program is not program:
+            executor = self._executor = Executor(
+                program, scheduler, max_steps=self.max_steps,
+                spin_threshold=self.spin_threshold, keep_graph=False,
+                wall_timeout_s=self.trial_timeout_s, sanitize=sanitize_run,
+            )
+        else:
+            executor.scheduler = scheduler
+            executor.sanitize = sanitize_run
+        state = self._state
+        if state is None or state.program is not program:
+            state = self._state = ExecutionState(
+                program, self.spin_threshold, fast=True)
+        else:
+            state.reset(program)
+        return executor.run(state)
+
+    # -- one trial -----------------------------------------------------------
+
+    def run(self, index: int) -> TrialRecord:
+        """Run campaign trial ``index`` — the unit shared by serial and
+        parallel campaigns, so both execute bit-identical work.
+
+        Fault containment, sanitizer sampling, and artifact policy are
+        those of :func:`run_trial` (which delegates here).
+        """
+        trial_seed = derive_trial_seed(self.base_seed, index)
+        sanitize_run = sanitize_this_trial(self.sanitize, index)
+        recorder = None
+        run: Optional[RunResult] = None
+        error: Optional[str] = None
+        operations = 0
+        t0 = time.perf_counter()
+        try:
+            scheduler = self._checkout_scheduler(trial_seed)
+            if self.artifact_dir is not None \
+                    and self.record_mode == "always":
+                from ..replay.recording import RecordingScheduler
+
+                scheduler = recorder = RecordingScheduler(scheduler)
+            run = self._execute(self._checkout_program(), scheduler,
+                                sanitize_run)
+            operations = self.count_operations(run) \
+                if self.count_operations else 0
+        except Exception as exc:
+            error = summarize_exception(exc)
+            run = None
+        elapsed = time.perf_counter() - t0
+        if error is not None:
+            record = TrialRecord(
+                index=index,
+                bug_found=False,
+                limit_exceeded=False,
+                steps=0,
+                k=0,
+                elapsed_s=elapsed,
+                error=error,
+            )
+        else:
+            record = TrialRecord(
+                index=index,
+                bug_found=run.bug_found,
+                limit_exceeded=run.limit_exceeded,
+                steps=run.steps,
+                k=run.k,
+                elapsed_s=elapsed,
+                operations=operations,
+                timed_out=run.timed_out,
+                inconsistent=run.inconsistent,
+                violations=list(run.violations),
+            )
+        if self.artifact_dir is not None:
+            record.artifact = self._emit_artifact(
+                index, trial_seed, sanitize_run, recorder, run, error)
+        return record
+
+    # -- record-on-failure ---------------------------------------------------
+
+    def _emit_artifact(self, index: int, trial_seed: int,
+                       sanitize_run: bool, recorder,
+                       run: Optional[RunResult],
+                       error: Optional[str]) -> Optional[str]:
+        """Write the trial's replayable artifact, if its outcome merits one.
+
+        Best-effort and outside the timed region: a full disk or an
+        unwritable directory must not fail the trial.
+        """
+        from .artifact import classify_outcome
+
+        if classify_outcome(run, error) is None:
+            return None
+        try:
+            if recorder is None:
+                recorder = self._record_failure(trial_seed, sanitize_run, run)
+                if recorder is None:
+                    return None
+            return _write_artifact(
+                self.artifact_dir, self.program_factory,
+                self.scheduler_factory, recorder, run, error,
+                base_seed=self.base_seed, index=index,
+                trial_seed=trial_seed, max_steps=self.max_steps,
+                spin_threshold=self.spin_threshold,
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            print(f"warning: trial {index}: could not write artifact: "
+                  f"{summarize_exception(exc)}", file=sys.stderr)
+            return None
+
+    def _record_failure(self, trial_seed: int, sanitize_run: bool,
+                        first_run: Optional[RunResult]):
+        """Deterministically re-execute a failing trial with recording on.
+
+        Fresh scheduler and program instances (never the warm ones)
+        replay the identical decision sequence — schedulers are
+        seed-deterministic and recording consumes no randomness — so the
+        captured trace is byte-identical to what ``record_mode="always"``
+        would have produced on the first execution.  All artifact
+        *metadata* still comes from the first run; only the decision
+        trace comes from this re-run.
+
+        A timed-out first run re-executes with its observed step count as
+        the step budget and no wall clock, reproducing the same decision
+        prefix without racing the clock again.  A first run that raised
+        raises again at the same decision; the trace up to the raise is
+        kept.  Returns ``None`` when the scheduler factory itself fails
+        (then no trace can exist, matching always-record behaviour).
+        """
+        from ..replay.recording import RecordingScheduler
+
+        try:
+            recorder = RecordingScheduler(self.scheduler_factory(trial_seed))
+        except Exception:
+            return None
+        max_steps = self.max_steps
+        if first_run is not None and first_run.timed_out:
+            max_steps = first_run.steps
+        try:
+            run_once(self.program_factory(), recorder, max_steps=max_steps,
+                     keep_graph=False, wall_timeout_s=None,
+                     spin_threshold=self.spin_threshold,
+                     sanitize=sanitize_run)
+        except Exception:
+            pass  # the first run's error reproduces at the same point
+        return recorder
+
+
 def run_trial(program_factory: ProgramFactory,
               scheduler_factory: SchedulerFactory,
               base_seed: int, index: int, max_steps: int = 20000,
@@ -188,9 +594,9 @@ def run_trial(program_factory: ProgramFactory,
               sanitize: str = "off",
               artifact_dir: Optional[str] = None,
               spin_threshold: int = 8,
+              record_mode: str = "on_failure",
               ) -> TrialRecord:
-    """Run campaign trial ``index`` — the unit shared by serial and
-    parallel campaigns, so both execute bit-identical work.
+    """Run a single campaign trial with a throwaway :class:`TrialRunner`.
 
     Faults are *contained*: any exception escaping the workload, the
     scheduler, or the engine (``ReproError``, ``ProgramDefinitionError``,
@@ -203,73 +609,18 @@ def run_trial(program_factory: ProgramFactory,
     :data:`SANITIZE_SAMPLE_STRIDE`-th trial) the run additionally audits
     its execution graph against the C11 consistency axioms; violations
     mark the record ``inconsistent`` without aborting anything.  With
-    ``artifact_dir`` set, the trial records its decision trace and any
-    bug/error/timeout/inconsistent outcome is serialized as a replayable
-    JSON artifact in that directory (written here, in the worker, so it
-    survives the process boundary).
-
-    Timing covers scheduler construction *and* program construction plus
-    the run itself, so per-trial cost comparisons between schedulers and
-    workloads are symmetric.
+    ``artifact_dir`` set, any bug/error/timeout/inconsistent outcome is
+    serialized as a replayable JSON artifact in that directory (written
+    here, in the worker, so it survives the process boundary); see
+    :data:`RECORD_MODES` for when the decision trace is captured.
     """
-    trial_seed = derive_trial_seed(base_seed, index)
-    recorder = None
-    run: Optional[RunResult] = None
-    error: Optional[str] = None
-    operations = 0
-    t0 = time.perf_counter()
-    try:
-        scheduler = scheduler_factory(trial_seed)
-        if artifact_dir is not None:
-            from ..replay.recording import RecordingScheduler
-
-            scheduler = recorder = RecordingScheduler(scheduler)
-        run = run_once(program_factory(), scheduler, max_steps=max_steps,
-                       keep_graph=False, wall_timeout_s=trial_timeout_s,
-                       spin_threshold=spin_threshold,
-                       sanitize=sanitize_this_trial(sanitize, index))
-        operations = count_operations(run) if count_operations else 0
-    except Exception as exc:
-        error = summarize_exception(exc)
-        run = None
-    elapsed = time.perf_counter() - t0
-    if error is not None:
-        record = TrialRecord(
-            index=index,
-            bug_found=False,
-            limit_exceeded=False,
-            steps=0,
-            k=0,
-            elapsed_s=elapsed,
-            error=error,
-        )
-    else:
-        record = TrialRecord(
-            index=index,
-            bug_found=run.bug_found,
-            limit_exceeded=run.limit_exceeded,
-            steps=run.steps,
-            k=run.k,
-            elapsed_s=elapsed,
-            operations=operations,
-            timed_out=run.timed_out,
-            inconsistent=run.inconsistent,
-            violations=list(run.violations),
-        )
-    if recorder is not None:
-        # Artifact writing is best-effort and outside the timed region:
-        # a full disk or unwritable directory must not fail the trial.
-        try:
-            record.artifact = _write_artifact(
-                artifact_dir, program_factory, scheduler_factory,
-                recorder, run, error,
-                base_seed=base_seed, index=index, trial_seed=trial_seed,
-                max_steps=max_steps, spin_threshold=spin_threshold,
-            )
-        except Exception as exc:  # pragma: no cover - defensive
-            print(f"warning: trial {index}: could not write artifact: "
-                  f"{summarize_exception(exc)}", file=sys.stderr)
-    return record
+    return TrialRunner(
+        program_factory, scheduler_factory, base_seed,
+        max_steps=max_steps, count_operations=count_operations,
+        trial_timeout_s=trial_timeout_s, sanitize=sanitize,
+        artifact_dir=artifact_dir, spin_threshold=spin_threshold,
+        record_mode=record_mode,
+    ).run(index)
 
 
 def _write_artifact(artifact_dir: str, program_factory: ProgramFactory,
@@ -312,33 +663,19 @@ def _write_artifact(artifact_dir: str, program_factory: ProgramFactory,
 
 
 def fold_trial(result: CampaignResult, record: TrialRecord) -> None:
-    """Accumulate one trial into the campaign aggregate (trial order)."""
-    result.run_times_s.append(record.elapsed_s)
-    result.completed += 1
-    if record.artifact:
-        result.artifacts.append(record.artifact)
-    if record.error is not None:
-        result.errors += 1
-        if len(result.error_samples) < ERROR_SAMPLE_LIMIT:
-            result.error_samples.append(
-                f"trial {record.index}: {record.error}")
-        return
-    if record.inconsistent:
-        result.inconsistent += 1
-        for violation in record.violations:
-            if len(result.violation_samples) >= ERROR_SAMPLE_LIMIT:
-                break
-            result.violation_samples.append(
-                f"trial {record.index}: {violation}")
-    if record.bug_found:
-        result.hits += 1
-    if record.limit_exceeded:
-        result.inconclusive += 1
-    if record.timed_out:
-        result.timeouts += 1
-    result.total_steps += record.steps
-    result.total_events += record.k
-    result.operations += record.operations
+    """Accumulate one trial into the campaign aggregate.
+
+    Compatibility wrapper over :class:`CampaignAccumulator`: the
+    accumulator rides along on the result object and the aggregate
+    fields are re-finalized after every fold, so incremental callers
+    observe up-to-date totals.  Hot paths fold into an accumulator
+    directly and finalize once.
+    """
+    acc = getattr(result, "_accumulator", None)
+    if acc is None:
+        acc = result._accumulator = CampaignAccumulator()
+    acc.add(record)
+    acc.finalize(result)
 
 
 def resolve_campaign_names(program_factory: ProgramFactory,
@@ -381,6 +718,7 @@ def run_campaign(program_factory: ProgramFactory,
                  sanitize: str = "off",
                  artifact_dir: Optional[str] = None,
                  spin_threshold: int = 8,
+                 record_mode: str = "on_failure",
                  ) -> CampaignResult:
     """Run ``trials`` independent randomized tests and aggregate.
 
@@ -390,13 +728,17 @@ def run_campaign(program_factory: ProgramFactory,
     audits trial graphs against the consistency axioms (``"sampled"``:
     every :data:`SANITIZE_SAMPLE_STRIDE`-th trial; ``"all"``: every
     trial); ``artifact_dir`` makes failing trials emit replayable bug
-    artifacts there.
+    artifacts there (``record_mode`` selects how their traces are
+    captured).
+
+    Trials execute on one warm :class:`TrialRunner` with the cyclic
+    garbage collector paused (collected every
+    :data:`GC_COLLECT_STRIDE` trials) — seed-for-seed identical
+    outcomes to running each trial in isolation, at a fraction of the
+    per-trial overhead.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
-    if sanitize not in SANITIZE_MODES:
-        raise ValueError(
-            f"sanitize must be one of {SANITIZE_MODES}, got {sanitize!r}")
     program_name, sched_name = resolve_campaign_names(
         program_factory, scheduler_factory, base_seed, scheduler_name)
     result = CampaignResult(
@@ -404,15 +746,28 @@ def run_campaign(program_factory: ProgramFactory,
         scheduler=sched_name,
         trials=trials,
     )
+    runner = TrialRunner(
+        program_factory, scheduler_factory, base_seed,
+        max_steps=max_steps, count_operations=count_operations,
+        trial_timeout_s=trial_timeout_s, sanitize=sanitize,
+        artifact_dir=artifact_dir, spin_threshold=spin_threshold,
+        record_mode=record_mode,
+    )
+    acc = CampaignAccumulator()
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
     start = time.perf_counter()
-    for i in range(trials):
-        fold_trial(result, run_trial(
-            program_factory, scheduler_factory, base_seed, i,
-            max_steps=max_steps, count_operations=count_operations,
-            trial_timeout_s=trial_timeout_s, sanitize=sanitize,
-            artifact_dir=artifact_dir, spin_threshold=spin_threshold,
-        ))
+    try:
+        for i in range(trials):
+            acc.add(runner.run(i))
+            if (i + 1) % GC_COLLECT_STRIDE == 0:
+                gc.collect()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     result.elapsed_s = time.perf_counter() - start
+    acc.finalize(result)
     return result
 
 

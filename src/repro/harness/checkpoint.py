@@ -153,11 +153,19 @@ class TrialJournal:
         return done
 
     def append(self, records: Iterable[TrialRecord]) -> None:
-        """Journal completed trials durably (flush + fsync)."""
+        """Journal completed trials durably (flush + fsync).
+
+        The shard's lines are serialized into one buffer and written with
+        a single write/flush/fsync, so journal cost is per *shard*, not
+        per trial, and never re-serializes previously appended state.
+        """
         if self._fh is None:
             raise ValueError("journal is not open; call start() first")
-        for record in records:
-            self._write_line(_record_to_obj(record))
+        lines = [json.dumps(_record_to_obj(record), sort_keys=True)
+                 for record in records]
+        if not lines:
+            return
+        self._fh.write("\n".join(lines) + "\n")
         self._sync()
 
     def close(self) -> None:

@@ -164,6 +164,13 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "for every trial that finds a bug, "
                                    "errors, times out, or is flagged "
                                    "inconsistent")
+    campaign_cmd.add_argument("--record-mode", default="on_failure",
+                              choices=("on_failure", "always"),
+                              help="how artifact traces are captured: "
+                                   "'on_failure' (default) re-executes "
+                                   "failing trials deterministically with "
+                                   "recording on; 'always' records every "
+                                   "trial as it runs")
 
     litmus_cmd = sub.add_parser(
         "litmus", help="run the litmus gallery under every scheduler")
@@ -187,9 +194,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_cmd.add_argument("--quick", action="store_true",
                            help="small batches for CI smoke runs")
     bench_cmd.add_argument("--check", action="store_true",
-                           help="compare against the committed trajectory "
-                                "and fail on regressions (skips the "
-                                "campaign-throughput measurement)")
+                           help="compare engine and campaign throughput "
+                                "against the committed trajectory and "
+                                "fail on regressions")
     bench_cmd.add_argument("--out", default=None, metavar="PATH",
                            help="write the JSON trajectory here "
                                 "(default: BENCH_engine.json unless "
@@ -388,6 +395,7 @@ def _cmd_campaign(args) -> int:
             start_method=args.start_method,
             sanitize=args.sanitize,
             artifact_dir=args.artifacts,
+            record_mode=args.record_mode,
         )
     except ValueError as exc:
         print(f"error: {exc}")

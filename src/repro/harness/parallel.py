@@ -13,10 +13,17 @@ and *supervises* the shards so one fault cannot destroy a campaign:
   ``derive_trial_seed(base_seed, i)``, so the aggregate counts are
   bit-identical to the serial path regardless of worker count, chunking,
   or how often a shard had to be retried.
-* **Merging is deterministic.**  Shards report per-trial records; the
-  parent folds them in trial order, so ``hits``, ``inconclusive``,
-  ``total_steps``, ``total_events`` and ``run_times_s`` match a serial
-  campaign exactly.
+* **Workers are warm.**  The pool initializer materializes one
+  :class:`~repro.harness.campaign.TrialRunner` per worker process —
+  program, scheduler, and pooled execution state built once — and each
+  IPC round then ships only a tuple of trial indices, not a pickled
+  factory bundle.
+* **Merging is deterministic and streaming.**  Shard records fold into
+  a :class:`~repro.harness.campaign.CampaignAccumulator` as each shard
+  finishes; the fold is order-independent, so ``hits``,
+  ``inconclusive``, ``total_steps``, ``total_events`` and
+  ``run_times_s`` match a serial campaign exactly while the parent
+  holds only bounded aggregate state.
 * **Faults are contained at three levels.**  A trial that raises or
   exhausts its wall-clock budget becomes an ``error``/``timeout``
   record inside the worker (:func:`repro.harness.campaign.run_trial`).
@@ -41,25 +48,27 @@ and *supervises* the shards so one fault cannot destroy a campaign:
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
 import sys
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.executor import RunResult
 from .campaign import (
+    GC_COLLECT_STRIDE,
+    CampaignAccumulator,
     CampaignResult,
     ProgramFactory,
     SchedulerFactory,
     TrialRecord,
-    fold_trial,
+    TrialRunner,
     resolve_campaign_names,
     run_campaign,
-    run_trial,
 )
 from .checkpoint import TrialJournal
 
@@ -96,6 +105,19 @@ class ShardSpec:
     sanitize: str = "off"
     artifact_dir: Optional[str] = None
     spin_threshold: int = 8
+    record_mode: str = "on_failure"
+
+    def make_runner(self) -> TrialRunner:
+        """A warm trial runner configured like this shard."""
+        return TrialRunner(
+            self.program_factory, self.scheduler_factory, self.base_seed,
+            max_steps=self.max_steps,
+            count_operations=self.count_operations,
+            trial_timeout_s=self.trial_timeout_s, sanitize=self.sanitize,
+            artifact_dir=self.artifact_dir,
+            spin_threshold=self.spin_threshold,
+            record_mode=self.record_mode,
+        )
 
 
 @dataclass
@@ -150,19 +172,48 @@ def print_progress(progress: CampaignProgress) -> None:
 
 
 def _run_shard(shard: ShardSpec) -> ShardResult:
-    """Worker entry point: run one slice of trials."""
+    """Cold shard entry point: build a runner, run one slice of trials.
+
+    Used for in-process (degraded) execution and by callers that hold a
+    full :class:`ShardSpec`; pooled workers use the warm
+    :func:`_init_worker` / :func:`_run_shard_warm` pair instead.
+    """
     t0 = time.perf_counter()
-    records = [
-        run_trial(shard.program_factory, shard.scheduler_factory,
-                  shard.base_seed, index, max_steps=shard.max_steps,
-                  count_operations=shard.count_operations,
-                  trial_timeout_s=shard.trial_timeout_s,
-                  sanitize=shard.sanitize,
-                  artifact_dir=shard.artifact_dir,
-                  spin_threshold=shard.spin_threshold)
-        for index in shard.indices
-    ]
+    runner = shard.make_runner()
+    records = [runner.run(index) for index in shard.indices]
     return ShardResult(shard.indices[0], records, time.perf_counter() - t0)
+
+
+#: Per-worker-process warm state, materialized once by :func:`_init_worker`.
+_WORKER_RUNNER: Optional[TrialRunner] = None
+_WORKER_TRIALS_SINCE_GC = 0
+
+
+def _init_worker(config: ShardSpec) -> None:
+    """Pool initializer: materialize the worker's warm trial runner.
+
+    Runs once per worker process, so the factories are unpickled and the
+    program/scheduler/execution-state pool built a single time; every
+    subsequent IPC round only ships trial indices.  The cyclic collector
+    is paused for the worker's lifetime (trial loops collect manually,
+    see :func:`_run_shard_warm`).
+    """
+    global _WORKER_RUNNER, _WORKER_TRIALS_SINCE_GC
+    _WORKER_RUNNER = config.make_runner()
+    _WORKER_TRIALS_SINCE_GC = 0
+    gc.disable()
+
+
+def _run_shard_warm(indices: Tuple[int, ...]) -> ShardResult:
+    """Warm shard entry point: run trial ``indices`` on the pool runner."""
+    global _WORKER_TRIALS_SINCE_GC
+    t0 = time.perf_counter()
+    records = [_WORKER_RUNNER.run(index) for index in indices]
+    _WORKER_TRIALS_SINCE_GC += len(indices)
+    if _WORKER_TRIALS_SINCE_GC >= GC_COLLECT_STRIDE:
+        _WORKER_TRIALS_SINCE_GC = 0
+        gc.collect()
+    return ShardResult(indices[0], records, time.perf_counter() - t0)
 
 
 def shard_bounds(trials: int, jobs: int,
@@ -222,7 +273,9 @@ class _ShardSupervisor:
     def __init__(self, shards: Sequence[ShardSpec], jobs: int,
                  ctx, max_retries: int, retry_backoff_s: float,
                  journal: Optional[TrialJournal],
-                 on_progress: Callable[[ShardResult], None]):
+                 on_progress: Callable[[ShardResult], None],
+                 accumulator: CampaignAccumulator,
+                 worker_config: ShardSpec):
         self.pending: Dict[int, ShardSpec] = {
             s.indices[0]: s for s in shards}
         self.failures: Dict[int, int] = {key: 0 for key in self.pending}
@@ -232,7 +285,15 @@ class _ShardSupervisor:
         self.retry_backoff_s = retry_backoff_s
         self.journal = journal
         self.on_progress = on_progress
-        self.outcomes: List[ShardResult] = []
+        #: Streaming fold target: shard records are folded the moment a
+        #: shard completes and never retained — the parent's memory is
+        #: bounded by the accumulator, not by the campaign size.
+        self.accumulator = accumulator
+        #: Indices-free shard config the pool initializer materializes
+        #: once per worker process (the warm path).
+        self.worker_config = worker_config
+        #: ``(first trial index, wall seconds)`` per completed shard.
+        self.shard_walls: List[Tuple[int, float]] = []
         self.interrupted = False
 
     def run(self) -> None:
@@ -247,9 +308,11 @@ class _ShardSupervisor:
 
     def _complete(self, key: int, outcome: ShardResult) -> None:
         del self.pending[key]
-        self.outcomes.append(outcome)
+        self.shard_walls.append((outcome.start, outcome.wall_s))
         if self.journal is not None:
             self.journal.append(outcome.records)
+        for record in outcome.records:
+            self.accumulator.add(record)
         self.on_progress(outcome)
 
     def _runnable(self) -> Dict[int, ShardSpec]:
@@ -283,10 +346,11 @@ class _ShardSupervisor:
     def _run_pool_round(self, runnable: Dict[int, ShardSpec]) -> List[int]:
         """One pool lifetime; returns the shard keys that were lost."""
         executor = ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(runnable)), mp_context=self.ctx)
+            max_workers=min(self.jobs, len(runnable)), mp_context=self.ctx,
+            initializer=_init_worker, initargs=(self.worker_config,))
         clean = False
         try:
-            futures = {executor.submit(_run_shard, spec): key
+            futures = {executor.submit(_run_shard_warm, spec.indices): key
                        for key, spec in runnable.items()}
             lost: List[int] = []
             for future in as_completed(futures):
@@ -342,6 +406,7 @@ def run_campaign_parallel(
         sanitize: str = "off",
         artifact_dir: Optional[str] = None,
         spin_threshold: int = 8,
+        record_mode: str = "on_failure",
 ) -> CampaignResult:
     """Run a campaign sharded over ``jobs`` worker processes.
 
@@ -349,7 +414,8 @@ def run_campaign_parallel(
     aggregate counts and the per-trial ``run_times_s`` ordering do not
     depend on ``jobs``, chunking, worker crashes, or checkpoint/resume
     (individual timings naturally vary; wall-clock ``trial_timeout_s``
-    budgets are inherently timing-dependent).  With ``jobs <= 1`` the
+    budgets are inherently timing-dependent).  With ``jobs <= 1`` — or
+    fewer trials than workers, where pool startup would dominate — the
     campaign runs in-process, so callers can thread a jobs parameter
     through unconditionally.
 
@@ -377,7 +443,7 @@ def run_campaign_parallel(
         raise ValueError("trials must be >= 1")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
-    if jobs <= 1 and checkpoint is None:
+    if (jobs <= 1 or trials < jobs) and checkpoint is None:
         result = run_campaign(
             program_factory, scheduler_factory, trials=trials,
             base_seed=base_seed, max_steps=max_steps,
@@ -385,7 +451,7 @@ def run_campaign_parallel(
             count_operations=count_operations,
             trial_timeout_s=trial_timeout_s,
             sanitize=sanitize, artifact_dir=artifact_dir,
-            spin_threshold=spin_threshold,
+            spin_threshold=spin_threshold, record_mode=record_mode,
         )
         if progress is not None:
             progress(CampaignProgress(trials, trials, result.elapsed_s))
@@ -414,11 +480,12 @@ def run_campaign_parallel(
     result.resumed_trials = len(done)
 
     remaining = [i for i in range(trials) if i not in done]
+    worker_config = ShardSpec(
+        program_factory, scheduler_factory, base_seed, (), max_steps,
+        count_operations, trial_timeout_s, sanitize, artifact_dir,
+        spin_threshold, record_mode)
     shards = [
-        ShardSpec(program_factory, scheduler_factory, base_seed,
-                  tuple(remaining[start:stop]), max_steps,
-                  count_operations, trial_timeout_s,
-                  sanitize, artifact_dir, spin_threshold)
+        replace(worker_config, indices=tuple(remaining[start:stop]))
         for start, stop in shard_bounds(len(remaining), max(jobs, 1),
                                         chunks_per_job)
         if stop > start
@@ -440,9 +507,17 @@ def run_campaign_parallel(
                 resumed_trials=len(done),
             ))
 
+    # Streaming, order-independent fold: resumed records seed the
+    # accumulator, fresh shard records fold in as each shard completes
+    # (inside the supervisor), and finalize() materializes aggregates
+    # identical to a serial in-order campaign.
+    accumulator = CampaignAccumulator()
+    for record in done.values():
+        accumulator.add(record)
+
     supervisor = _ShardSupervisor(
         shards, jobs, _pool_context(start_method), max_retries,
-        retry_backoff_s, journal, on_progress)
+        retry_backoff_s, journal, on_progress, accumulator, worker_config)
     try:
         if shards:
             supervisor.run()
@@ -454,15 +529,9 @@ def run_campaign_parallel(
         if journal is not None:
             journal.close()
 
-    # Deterministic merge: fold resumed + fresh records in trial order.
-    records = list(done.values())
-    for outcome in supervisor.outcomes:
-        records.extend(outcome.records)
-    records.sort(key=lambda r: r.index)
-    for record in records:
-        fold_trial(result, record)
-    supervisor.outcomes.sort(key=lambda o: o.start)
-    result.shard_times_s = [o.wall_s for o in supervisor.outcomes]
+    result.shard_times_s = [
+        wall for _, wall in sorted(supervisor.shard_walls)]
     result.interrupted = supervisor.interrupted
     result.elapsed_s = time.perf_counter() - start_time
+    accumulator.finalize(result)
     return result

@@ -25,6 +25,10 @@ import hashlib
 #: seed streams from the same base seed if they ever need to.
 _DOMAIN = b"repro.campaign.trial"
 
+#: Separate domain for the run-time reservoir sample, so sample
+#: membership is uncorrelated with the trial seeds themselves.
+_SAMPLE_DOMAIN = b"repro.campaign.sample"
+
 
 def derive_trial_seed(base_seed: int, trial_index: int) -> int:
     """The seed of trial ``trial_index`` in a campaign over ``base_seed``.
@@ -36,5 +40,20 @@ def derive_trial_seed(base_seed: int, trial_index: int) -> int:
     if trial_index < 0:
         raise ValueError("trial_index must be >= 0")
     payload = b"%s:%d:%d" % (_DOMAIN, base_seed, trial_index)
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def sample_rank(trial_index: int) -> int:
+    """Deterministic 64-bit reservoir rank of a trial index.
+
+    Keeping the bottom-k trials by this rank yields a uniform sample of
+    any trial population that is identical no matter the order trials
+    are folded in — the property that keeps serial, sharded, and resumed
+    campaigns' bounded ``run_times_s`` samples bit-identical.
+    """
+    if trial_index < 0:
+        raise ValueError("trial_index must be >= 0")
+    payload = b"%s:%d" % (_SAMPLE_DOMAIN, trial_index)
     digest = hashlib.blake2b(payload, digest_size=8).digest()
     return int.from_bytes(digest, "big")

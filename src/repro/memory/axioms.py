@@ -113,7 +113,7 @@ def check_rf_wellformed(graph: ExecutionGraph) -> List[AxiomViolation]:
                 out.append(AxiomViolation("rf", f"{e!r} has no rf source"))
             elif not w.is_write or w.loc != e.loc:
                 out.append(AxiomViolation("rf", f"{e!r} reads from {w!r}"))
-            elif w.label.wval != e.label.rval:
+            elif w.wval != e.rval:
                 out.append(
                     AxiomViolation("rf", f"{e!r} value differs from {w!r}")
                 )

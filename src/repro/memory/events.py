@@ -150,7 +150,7 @@ class Event:
     __slots__ = (
         "uid", "tid", "label", "po_index", "mo_index", "reads_from",
         "clock", "sc_index", "lid", "_release_chain",
-        "kind", "order", "loc",
+        "kind", "order", "loc", "rval", "wval",
         "is_read", "is_write", "is_rmw", "is_fence",
         "is_acquire_fence", "is_release_fence", "is_sc", "is_init",
         "is_atomic",
@@ -182,6 +182,11 @@ class Event:
         self.kind = kind
         self.order = order
         self.loc = label.loc
+        #: Read/written values, mirrored out of the label: the engine's
+        #: hottest consumer (``rf`` value propagation) needs them without
+        #: the extra ``label`` indirection.
+        self.rval = label.rval
+        self.wval = label.wval
         #: Member of the paper's R = R ∪ U set.
         self.is_read = kind is EventKind.READ or kind is EventKind.RMW
         #: Member of the paper's W = W ∪ U set.
@@ -209,6 +214,95 @@ class Event:
                 parts.append(f"w={lab.wval}")
             body = f"{'.'.join(parts)}@{lab.order.name.lower()}"
         return f"<e{self.uid} t{self.tid} {body}>"
+
+
+class _HotEvent(Event):
+    """Engine-internal event family with constant-folded predicates.
+
+    The execution graph allocates one event per executed operation, and
+    every kind/order predicate of that event is a pure function of the
+    ``(kind, order)`` pair — so the fast constructors use one generated
+    subclass per pair (see :func:`_specialize`) where the predicates,
+    ``kind`` and ``order`` are *class attributes* instead of per-instance
+    stores.  That cuts the constructor to the genuinely per-event fields
+    and drops the label allocation: ``label`` is rebuilt on demand (cold
+    paths only — artifacts, diagnostics, axiom audits, repr).
+
+    Reads behave identically to a plain :class:`Event`; instances are
+    still ``isinstance(e, Event)``.
+    """
+
+    __slots__ = ("_label",)
+
+    def __init__(self, uid: int, tid: int, loc: Optional[str],
+                 rval: Optional[object], wval: Optional[object],
+                 po_index: int):
+        self.uid = uid
+        self.tid = tid
+        self.loc = loc
+        self.rval = rval
+        self.wval = wval
+        self.po_index = po_index
+        self.mo_index = -1
+        self.reads_from = None
+        self.clock = ()
+        self.sc_index = -1
+        self.lid = -1
+        self._release_chain = _UNSTAMPED
+
+    @property
+    def label(self) -> Label:
+        try:
+            return self._label
+        except AttributeError:
+            lab = Label(self.kind, self.order, self.loc, self.rval,
+                        self.wval)
+            self._label = lab
+            return lab
+
+    @label.setter
+    def label(self, lab: Label) -> None:
+        # Label replacement is a test-only mutation hook (axiom-seeding
+        # suites bend rf values); keep the mirrored fields coherent.
+        self._label = lab
+        self.loc = lab.loc
+        self.rval = lab.rval
+        self.wval = lab.wval
+
+
+def _specialize(kind: EventKind, order: MemoryOrder,
+                init: bool = False) -> type:
+    """One :class:`_HotEvent` subclass for a ``(kind, order)`` pair."""
+    is_fence = kind is EventKind.FENCE
+    ns = {
+        "__slots__": (),
+        "kind": kind,
+        "order": order,
+        "is_read": kind is EventKind.READ or kind is EventKind.RMW,
+        "is_write": kind is EventKind.WRITE or kind is EventKind.RMW,
+        "is_rmw": kind is EventKind.RMW,
+        "is_fence": is_fence,
+        "is_acquire_fence": is_fence and order.is_acquire,
+        "is_release_fence": is_fence and order.is_release,
+        "is_sc": order is MemoryOrder.SEQ_CST,
+        "is_init": init,
+        "is_atomic": order is not MemoryOrder.NA,
+    }
+    name = "_Event_{}{}_{}".format("INIT_" if init else "", kind.name,
+                                   order.name)
+    cls = type(name, (_HotEvent,), ns)
+    globals()[name] = cls  # importable by name, so instances pickle
+    return cls
+
+
+#: Per-order constructor tables used by the execution graph's hot path.
+READ_EVENT = {o: _specialize(EventKind.READ, o) for o in MemoryOrder}
+WRITE_EVENT = {o: _specialize(EventKind.WRITE, o) for o in MemoryOrder}
+RMW_EVENT = {o: _specialize(EventKind.RMW, o) for o in MemoryOrder}
+FENCE_EVENT = {o: _specialize(EventKind.FENCE, o) for o in MemoryOrder}
+#: Initialization writes (``INIT_TID``): mo-origin, relaxed, ``is_init``.
+INIT_WRITE_EVENT = _specialize(EventKind.WRITE, MemoryOrder.RELAXED,
+                               init=True)
 
 
 def clock_leq(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:

@@ -22,9 +22,14 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from .events import (
     Event,
     EventKind,
+    FENCE_EVENT,
     INIT_TID,
+    INIT_WRITE_EVENT,
     Label,
     MemoryOrder,
+    READ_EVENT,
+    RMW_EVENT,
+    WRITE_EVENT,
     happens_before,
 )
 from .events import _UNSTAMPED
@@ -60,6 +65,23 @@ class ExecutionGraph:
         self.writes_by_lid: List[List[Event]] = []
         #: Per-thread po-latest release fence (fast-path sw cache).
         self._last_release_fence: Dict[int, Event] = {}
+        self._uid = 0
+
+    def reset(self) -> None:
+        """Empty the graph in place for reuse by the next run.
+
+        Campaigns allocate one graph per trial; clearing the containers
+        instead keeps the dicts' hash tables (and the object itself) warm
+        across trials.  Equivalent to a freshly constructed graph with the
+        same ``fast`` flag.
+        """
+        self.events.clear()
+        self.writes_by_loc.clear()
+        self.events_by_tid.clear()
+        self.sc_order.clear()
+        self.loc_ids.clear()
+        self.writes_by_lid.clear()
+        self._last_release_fence.clear()
         self._uid = 0
 
     # -- construction -------------------------------------------------------
@@ -111,6 +133,12 @@ class ExecutionGraph:
             return
         event._release_chain = None
 
+    # The ``add_*`` constructors inline ``_fresh`` and build specialized
+    # ``(kind, order)`` event classes (see ``events._specialize``): one
+    # event is allocated per executed operation, so the generic
+    # Label+Event construction pair was the single largest allocation
+    # cost in the engine.
+
     def add_init_write(self, loc: str, value: object) -> Event:
         """Record the initialization write for a location.
 
@@ -118,8 +146,12 @@ class ExecutionGraph:
         happen-before every other event (paper: "memory locations are
         initialized at the start of the execution").
         """
-        label = Label(EventKind.WRITE, MemoryOrder.RELAXED, loc, wval=value)
-        event = self._fresh(INIT_TID, label)
+        by_tid = self.events_by_tid[INIT_TID]
+        event = INIT_WRITE_EVENT(self._uid, INIT_TID, loc, None, value,
+                                 len(by_tid))
+        self._uid += 1
+        by_tid.append(event)
+        self.events.append(event)
         self._append_mo(event, loc)
         if self.fast:
             self._stamp_release_chain(event)
@@ -128,7 +160,12 @@ class ExecutionGraph:
     def add_write(self, tid: int, loc: str, value: object,
                   order: MemoryOrder) -> Event:
         """Append a store event at the mo-tail of ``loc``."""
-        event = self._fresh(tid, Label(EventKind.WRITE, order, loc, wval=value))
+        by_tid = self.events_by_tid[tid]
+        event = WRITE_EVENT[order](self._uid, tid, loc, None, value,
+                                   len(by_tid))
+        self._uid += 1
+        by_tid.append(event)
+        self.events.append(event)
         self._append_mo(event, loc)
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
@@ -144,9 +181,13 @@ class ExecutionGraph:
             raise ValueError(
                 f"rf source {source!r} is at {source.loc}, not {loc}"
             )
-        label = Label(EventKind.READ, order, loc, rval=source.label.wval)
-        event = self._fresh(tid, label)
+        by_tid = self.events_by_tid[tid]
+        event = READ_EVENT[order](self._uid, tid, loc, source.wval, None,
+                                  len(by_tid))
         event.reads_from = source
+        self._uid += 1
+        by_tid.append(event)
+        self.events.append(event)
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
             self.sc_order.append(event)
@@ -161,11 +202,13 @@ class ExecutionGraph:
         ``source`` so that the atomicity axiom ``fr;mo = ∅`` holds (see
         :meth:`repro.memory.axioms.check_atomicity`).
         """
-        label = Label(
-            EventKind.RMW, order, loc, rval=source.label.wval, wval=new_value
-        )
-        event = self._fresh(tid, label)
+        by_tid = self.events_by_tid[tid]
+        event = RMW_EVENT[order](self._uid, tid, loc, source.wval,
+                                 new_value, len(by_tid))
         event.reads_from = source
+        self._uid += 1
+        by_tid.append(event)
+        self.events.append(event)
         self._append_mo(event, loc)
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
@@ -175,7 +218,12 @@ class ExecutionGraph:
         return event
 
     def add_fence(self, tid: int, order: MemoryOrder) -> Event:
-        event = self._fresh(tid, Label(EventKind.FENCE, order))
+        by_tid = self.events_by_tid[tid]
+        event = FENCE_EVENT[order](self._uid, tid, None, None, None,
+                                   len(by_tid))
+        self._uid += 1
+        by_tid.append(event)
+        self.events.append(event)
         if order.is_seq_cst:
             event.sc_index = len(self.sc_order)
             self.sc_order.append(event)

@@ -48,6 +48,13 @@ class RaceDetector:
         self._na_locs: set = set()
         self.races: List[DataRace] = []
 
+    def reset(self) -> None:
+        """Forget all recorded accesses and races (per-run reuse)."""
+        self._last_write.clear()
+        self._last_read.clear()
+        self._na_locs.clear()
+        self.races.clear()
+
     def on_access(self, event: Event) -> Optional[DataRace]:
         """Record a memory access; return the first race it creates, if any."""
         if event.is_fence or event.loc is None or event.is_init:

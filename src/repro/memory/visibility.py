@@ -61,6 +61,12 @@ class VisibilityTracker:
         #: Per (tid, loc): [writes seen, clock seen, hb-max mo index].
         self._hb_memo: Dict[Tuple[int, str], list] = {}
 
+    def reset(self) -> None:
+        """Drop all floors and memos for reuse by the next run."""
+        self._read_floor.clear()
+        self._sc_write_floor.clear()
+        self._hb_memo.clear()
+
     # -- bookkeeping ---------------------------------------------------------
 
     def note_read(self, tid: int, source: Event) -> None:

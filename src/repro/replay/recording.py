@@ -33,6 +33,10 @@ class RecordingScheduler(Scheduler):
         self.name = f"record({inner.name})"
         self.trace = Trace(scheduler=inner.name)
 
+    def reseed(self, seed=None) -> None:
+        """Forward to the wrapped scheduler (recording consumes no RNG)."""
+        self.inner.reseed(seed)
+
     def on_run_start(self, state) -> None:
         self.trace = Trace(program=state.program.name,
                            scheduler=self.inner.name)
@@ -45,18 +49,31 @@ class RecordingScheduler(Scheduler):
 
     def choose_read_from(self, state, ctx: ReadContext) -> Event:
         source = self.inner.choose_read_from(state, ctx)
-        try:
-            index = ctx.candidates.index(source)
-        except ValueError:
-            raise ReproError(
-                f"{self.inner.name} chose a source outside the candidate "
-                "list; cannot record"
-            )
+        candidates = ctx.candidates
+        # Candidate lists are contiguous mo slices (the coherence-visible
+        # suffix), so the recorded index is the mo-distance from the first
+        # candidate — O(1) instead of a list scan.  The identity check
+        # falls back to scanning for exotic hand-built contexts.
+        index = source.mo_index - candidates[0].mo_index if candidates else -1
+        if not 0 <= index < len(candidates) \
+                or candidates[index] is not source:
+            try:
+                index = list(candidates).index(source)
+            except ValueError:
+                raise ReproError(
+                    f"{self.inner.name} chose a source outside the "
+                    "candidate list; cannot record"
+                )
         self.trace.record_read(index)
         return source
 
     def on_event_executed(self, state, event, info) -> None:
         self.inner.on_event_executed(state, event, info)
+
+    def on_thread_created(self, state, tid, parent_tid) -> None:
+        # Not forwarding this hook would desync any priority/view-keeping
+        # inner scheduler the moment the program spawns a thread.
+        self.inner.on_thread_created(state, tid, parent_tid)
 
     def on_thread_finished(self, state, tid) -> None:
         self.inner.on_thread_finished(state, tid)

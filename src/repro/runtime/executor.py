@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..memory.axioms import IncrementalCoherenceChecker, check_consistency
-from ..memory.events import Event, MemoryOrder, clock_join
+from ..memory.events import Event, MemoryOrder, _UNSTAMPED, clock_join
 from ..memory.execution import ExecutionGraph
 from ..memory.races import DataRace, RaceDetector
 from ..memory.visibility import VisibilityTracker
@@ -127,6 +127,37 @@ class ExecutionState:
         #: mode (None otherwise; the hot path stays hook-free).
         self.sanitizer: Optional[IncrementalCoherenceChecker] = None
 
+    def reset(self, program: Optional[Program] = None) -> None:
+        """Rebuild per-run state in place for the next trial.
+
+        Equivalent to constructing a fresh ``ExecutionState`` with the
+        same ``fast`` flag and spin threshold, but reuses the graph, the
+        trackers, and their dict capacity.  Campaign runners keep one
+        pooled state per worker and reset it between trials instead of
+        reallocating the whole object web; only safe when the previous
+        run's graph is no longer referenced (``keep_graph=False``).
+        """
+        if program is not None:
+            self.program = program
+        program = self.program
+        self.graph.reset()
+        self.init_writes.clear()
+        for loc, init in program.locations.items():
+            self.init_writes[loc] = self.graph.add_init_write(loc, init)
+        self.threads = program.instantiate()
+        self.visibility.reset()
+        self.races.reset()
+        self.spins.clear()
+        n = len(self.threads)
+        self.clocks = [(0,) * n for _ in range(n)]
+        self.steps = 0
+        self.k = 0
+        self.k_com = 0
+        self._by_name = {t.name: t for t in self.threads}
+        self._enabled_cache = None
+        self._unfinished = sum(1 for t in self.threads if not t.finished)
+        self.sanitizer = None
+
     def spawn_thread(self, body, args, name: Optional[str],
                      parent_tid: int) -> ThreadState:
         """Create a runtime thread (SpawnOp); returns its primed state.
@@ -180,7 +211,7 @@ class ExecutionState:
         for t in self.threads:
             if t.finished:
                 continue
-            if isinstance(t.pending, JoinOp):
+            if t.pending_is_join:
                 target = self._by_name.get(t.pending.thread_name)
                 if target is None:
                     raise ProgramDefinitionError(
@@ -233,17 +264,30 @@ class Executor:
         self.fast = engine == "fast"
         #: Declared locations, cached for the per-access membership check.
         self._locs = program.locations
+        #: Pooled ReadContext for the fast load path: one read context is
+        #: live at a time (contexts never outlive their read), so the
+        #: executor reuses a single instance instead of allocating one
+        #: per load.
+        self._ctx = ReadContext(0, "", MemoryOrder.RELAXED, candidates=())
 
     # -- public API ---------------------------------------------------------
 
-    def run(self) -> RunResult:
-        """Execute one randomized test run and report the outcome."""
-        state = ExecutionState(self.program, self.spin_threshold,
-                               fast=self.fast)
+    def run(self, state: Optional[ExecutionState] = None) -> RunResult:
+        """Execute one randomized test run and report the outcome.
+
+        ``state`` may be a pooled :class:`ExecutionState` that has been
+        :meth:`~ExecutionState.reset` for this executor's program; campaign
+        runners pass one to reuse the graph and trackers across trials.
+        Callers that keep the result's graph alive (``keep_graph=True``)
+        must not pool.
+        """
+        if state is None:
+            state = ExecutionState(self.program, self.spin_threshold,
+                                   fast=self.fast)
         result = RunResult(self.program.name, self.scheduler.name,
                            engine=self.engine)
-        if self.sanitize:
-            state.sanitizer = IncrementalCoherenceChecker(state.graph)
+        state.sanitizer = IncrementalCoherenceChecker(state.graph) \
+            if self.sanitize else None
         self.scheduler.on_run_start(state)
         try:
             self._loop(state, result)
@@ -260,18 +304,29 @@ class Executor:
         deadline = None
         if self.wall_timeout_s is not None:
             deadline = time.perf_counter() + self.wall_timeout_s
+        # The hottest loop in the library: every per-step attribute lookup
+        # and call layer is hoisted or inlined (the former ``_step`` body
+        # lives at the bottom of the loop).
+        scheduler = self.scheduler
+        choose_thread = scheduler.choose_thread
+        dispatch = self._DISPATCH
+        threads = state.threads
+        max_steps = self.max_steps
+        fast = state.fast
         while True:
-            if state.all_finished():
+            if (state._unfinished == 0) if fast else state.all_finished():
                 self._run_final_checks(state, result)
                 return
-            enabled = state.enabled_tids()
+            enabled = state._enabled_cache if fast else None
+            if enabled is None:
+                enabled = state.enabled_tids()
             if not enabled:
                 result.bug_found = True
                 result.bug_kind = "deadlock"
                 result.bug_message = "no enabled thread but program not done"
                 result.diagnostics = collect_failure_diagnostics(state)
                 return
-            if state.steps >= self.max_steps:
+            if state.steps >= max_steps:
                 result.limit_exceeded = True
                 result.diagnostics = collect_failure_diagnostics(state)
                 return
@@ -281,12 +336,18 @@ class Executor:
                 result.timed_out = True
                 result.diagnostics = collect_failure_diagnostics(state)
                 return
-            tid = self.scheduler.choose_thread(state)
+            tid = choose_thread(state)
             if tid not in enabled:
                 raise ReproError(
-                    f"{self.scheduler.name} chose disabled thread {tid}"
+                    f"{scheduler.name} chose disabled thread {tid}"
                 )
-            self._step(state, tid)
+            thread = threads[tid]
+            op = thread.pending
+            state.steps += 1
+            handler = dispatch.get(op.__class__)
+            if handler is None:
+                handler = self._dispatch_slow(op)
+            handler(self, state, thread, op)
 
     def _run_final_checks(self, state: ExecutionState,
                           result: RunResult) -> None:
@@ -352,11 +413,17 @@ class Executor:
 
     @staticmethod
     def _tick(state: ExecutionState, tid: int,
-              joins: List[Event]) -> Tuple[int, ...]:
+              join: Optional[Event]) -> Tuple[int, ...]:
+        """Bump ``tid``'s clock, first absorbing ``join``'s (if any).
+
+        Takes a single optional join source — the common case — so the
+        per-event list allocation the old ``joins`` parameter forced is
+        gone; :meth:`_exec_fence` (multiple sources) joins its sources
+        into the thread clock before calling.
+        """
         clock = state.clocks[tid]
-        for src in joins:
-            if not src.is_init:
-                clock = clock_join(clock, src.clock)
+        if join is not None and not join.is_init:
+            clock = clock_join(clock, join.clock)
         bumped = list(clock)
         if len(bumped) <= tid:
             # Spawned threads carry their parent's (shorter) clock; pad to
@@ -372,11 +439,20 @@ class Executor:
         state.races.on_access(event)
         if state.sanitizer is not None:
             state.sanitizer.on_event(event)
-        info.setdefault("op", op)
+        info["op"] = op
         self.scheduler.on_event_executed(state, event, info)
-        state.advance_thread(thread, result)
+        # Inlined advance_thread: one event commits per step, so the
+        # wrapper call was pure hot-path overhead.  The enabled set only
+        # changes when a thread finishes or its new pending op is a join
+        # (memory ops never block), so the cache survives the common
+        # op-to-op advance.
+        thread.advance(result)
         if thread.finished:
+            state._enabled_cache = None
+            state._unfinished -= 1
             self.scheduler.on_thread_finished(state, thread.tid)
+        elif thread.pending_is_join:
+            state._enabled_cache = None
 
     # -- op execution -------------------------------------------------------------
 
@@ -408,7 +484,12 @@ class Executor:
         if op.order.is_acquire:
             fence_sources = list(thread.pending_sync_sources)
             thread.pending_sync_sources.clear()
-        clock = self._tick(state, tid, fence_sources)
+        clock = state.clocks[tid]
+        for src in fence_sources:
+            if not src.is_init:
+                clock = clock_join(clock, src.clock)
+        state.clocks[tid] = clock
+        clock = self._tick(state, tid, None)
         event = state.graph.add_fence(tid, op.order)
         event.clock = clock
         self._commit(state, thread, event, op, None,
@@ -416,34 +497,85 @@ class Executor:
 
     def _exec_store(self, state: ExecutionState, thread: ThreadState,
                     op: StoreOp) -> None:
-        if op.order.is_seq_cst:
+        # Second-hottest handler; ``_tick``, ``note_write`` and
+        # ``_commit`` are inlined as in ``_exec_load``.
+        order = op.order
+        if order.is_seq_cst:
             state.k_com += 1
-        state.k += 1
-        tid = thread.tid
-        if op.loc not in self._locs:
-            self._require_loc(op.loc)
-        clock = self._tick(state, tid, [])
-        event = state.graph.add_write(tid, op.loc, op.value, op.order)
-        event.clock = clock
-        state.visibility.note_write(event)
-        self._commit(state, thread, event, op, None, {})
-
-    def _exec_load(self, state: ExecutionState, thread: ThreadState,
-                   op: LoadOp) -> None:
-        state.k_com += 1
         state.k += 1
         tid = thread.tid
         loc = op.loc
         if loc not in self._locs:
             self._require_loc(loc)
-        spinning = state.spins.is_spinning(thread.site_key)
+        # Inlined _tick (stores never join another clock).
+        bumped = list(state.clocks[tid])
+        if len(bumped) <= tid:
+            bumped.extend([0] * (tid + 1 - len(bumped)))
+        bumped[tid] += 1
+        clock = tuple(bumped)
+        state.clocks[tid] = clock
+        event = state.graph.add_write(tid, loc, op.value, order)
+        event.clock = clock
+        # Inlined visibility.note_write (seq_cst write floor).
+        if order.is_seq_cst:
+            sc_floor = state.visibility._sc_write_floor
+            if event.mo_index > sc_floor[loc]:
+                sc_floor[loc] = event.mo_index
+        # Inlined _commit, with the race detector's atomic-only shortcut
+        # folded in: an atomic access at a location with no non-atomic
+        # history can't race, so only the last-access table is updated.
+        races = state.races
+        if races.fast and order.is_atomic and loc not in races._na_locs:
+            races._last_write[loc][tid] = event
+        else:
+            races.on_access(event)
+        if state.sanitizer is not None:
+            state.sanitizer.on_event(event)
+        scheduler = self.scheduler
+        scheduler.on_event_executed(state, event, {"op": op})
+        thread.advance(None)
+        if thread.finished:
+            state._enabled_cache = None
+            state._unfinished -= 1
+            scheduler.on_thread_finished(state, thread.tid)
+        elif thread.pending_is_join:
+            state._enabled_cache = None
+
+    def _exec_load(self, state: ExecutionState, thread: ThreadState,
+                   op: LoadOp) -> None:
+        # The hottest handler in the engine (~3 of 4 steps on the bench
+        # workloads are loads): the per-read helpers — the spin check,
+        # ``_sync_sources``, ``_tick``, ``note_read`` and ``_commit`` —
+        # are inlined, and the fast engine reuses one pooled ReadContext
+        # instead of allocating one per read (contexts never outlive the
+        # read: schedulers may keep the candidate *list* but not the
+        # context object).
+        state.k_com += 1
+        state.k += 1
+        tid = thread.tid
+        loc = op.loc
+        order = op.order
+        if loc not in self._locs:
+            self._require_loc(loc)
+        spins = state.spins
+        site_key = thread.site_key
+        spinning = spins.is_spinning(site_key) if spins._hot else False
+        scheduler = self.scheduler
         if self.fast:
             # Lazy candidates: schedulers that need only a fragment of the
             # visible set (the floor, the tail, the h-bounded suffix)
             # never materialize the full list.
-            ctx = ReadContext(tid=tid, loc=loc, order=op.order,
-                              op=op, spinning=spinning, state=state)
-            source = self.scheduler.choose_read_from(state, ctx)
+            ctx = self._ctx
+            ctx.tid = tid
+            ctx.loc = loc
+            ctx.order = order
+            ctx.op = op
+            ctx.spinning = spinning
+            ctx.is_rmw = False
+            ctx._candidates = None
+            ctx._state = state
+            ctx._floor = -1
+            source = scheduler.choose_read_from(state, ctx)
             writes = state.graph.writes_by_loc[loc]
             index = source.mo_index
             # O(1) identity validation against the mo array: membership in
@@ -455,7 +587,7 @@ class Executor:
             if index < 0 or index >= nwrites \
                     or writes[index] is not source:
                 raise ReproError(
-                    f"{self.scheduler.name} chose rf source outside the "
+                    f"{scheduler.name} chose rf source outside the "
                     f"visible set: {source!r}"
                 )
             if index != nwrites - 1:
@@ -464,97 +596,169 @@ class Executor:
                     floor = ctx.floor_index()
                 if index < floor:
                     raise ReproError(
-                        f"{self.scheduler.name} chose rf source outside "
+                        f"{scheduler.name} chose rf source outside "
                         f"the visible set: {source!r}"
                     )
         else:
             candidates = state.visibility.visible_writes(
-                tid, loc, state.clocks[tid], seq_cst=op.order.is_seq_cst
+                tid, loc, state.clocks[tid], seq_cst=order.is_seq_cst
             )
-            ctx = ReadContext(tid=tid, loc=loc, order=op.order,
+            ctx = ReadContext(tid=tid, loc=loc, order=order,
                               candidates=candidates, op=op,
                               spinning=spinning)
-            source = self.scheduler.choose_read_from(state, ctx)
+            source = scheduler.choose_read_from(state, ctx)
             if source not in candidates:
                 raise ReproError(
-                    f"{self.scheduler.name} chose rf source outside the "
+                    f"{scheduler.name} chose rf source outside the "
                     f"visible set: {source!r}"
                 )
         # Commit the read (previously the separate ``_finish_read`` — the
         # load path is the hottest in the engine, so it is kept flat).
-        result = source.label.wval
-        sync_source, fence_source = self._sync_sources(
-            state, thread, source, op.order
-        )
-        clock = self._tick(state, tid,
-                           [sync_source] if sync_source else [])
-        event = state.graph.add_read(tid, loc, source, op.order)
+        result = source.wval
+        # Inlined _sync_sources.
+        sync_source = fence_source = None
+        if not source.is_init:
+            chain = source._release_chain
+            if chain is _UNSTAMPED:
+                chain = state.graph.release_source_reference(source)
+            if chain is not None:
+                if order.is_acquire:
+                    sync_source = fence_source = chain
+                else:
+                    thread.pending_sync_sources.append(chain)
+                    fence_source = chain
+        # Inlined _tick.
+        clock = state.clocks[tid]
+        if sync_source is not None and not sync_source.is_init:
+            clock = clock_join(clock, sync_source.clock)
+        bumped = list(clock)
+        if len(bumped) <= tid:
+            bumped.extend([0] * (tid + 1 - len(bumped)))
+        bumped[tid] += 1
+        clock = tuple(bumped)
+        state.clocks[tid] = clock
+        event = state.graph.add_read(tid, loc, source, order)
         event.clock = clock
-        state.visibility.note_read(tid, source)
-        state.spins.note(thread.site_key, result)
-        self._commit(state, thread, event, op, result, {
+        # Inlined visibility.note_read: raise the read-coherence floor.
+        read_floor = state.visibility._read_floor
+        key = (tid, loc)
+        if source.mo_index > read_floor[key]:
+            read_floor[key] = source.mo_index
+        spins.note(site_key, result)
+        # Inlined _commit (race-detector shortcut as in _exec_store).
+        races = state.races
+        if races.fast and order.is_atomic and loc not in races._na_locs:
+            races._last_read[loc][tid] = event
+        else:
+            races.on_access(event)
+        if state.sanitizer is not None:
+            state.sanitizer.on_event(event)
+        scheduler.on_event_executed(state, event, {
+            "op": op,
             "sync_source": sync_source,
             "release_chain_source": fence_source,
             "spinning": spinning,
         })
+        thread.advance(result)
+        if thread.finished:
+            state._enabled_cache = None
+            state._unfinished -= 1
+            scheduler.on_thread_finished(state, thread.tid)
+        elif thread.pending_is_join:
+            state._enabled_cache = None
+
+    def _rmw_commit(self, state: ExecutionState, thread: ThreadState,
+                    source: Event, event: Event, old, result,
+                    sync_source: Optional[Event],
+                    fence_source: Optional[Event], op: Op,
+                    tid: int) -> None:
+        """Shared tail of the RMW/CAS handlers (read floor + commit)."""
+        # Inlined visibility.note_read.
+        read_floor = state.visibility._read_floor
+        key = (tid, source.loc)
+        if source.mo_index > read_floor[key]:
+            read_floor[key] = source.mo_index
+        state.spins.note(thread.site_key, old)
+        # Same race-detector shortcut as _exec_store.
+        races = state.races
+        loc = source.loc
+        if races.fast and event.is_atomic and loc not in races._na_locs:
+            races._last_write[loc][tid] = event
+            races._last_read[loc][tid] = event
+        else:
+            races.on_access(event)
+        if state.sanitizer is not None:
+            state.sanitizer.on_event(event)
+        scheduler = self.scheduler
+        scheduler.on_event_executed(state, event, {
+            "op": op,
+            "sync_source": sync_source,
+            "release_chain_source": fence_source,
+            "rmw": True,
+        })
+        thread.advance(result)
+        if thread.finished:
+            state._enabled_cache = None
+            state._unfinished -= 1
+            scheduler.on_thread_finished(state, thread.tid)
+        elif thread.pending_is_join:
+            state._enabled_cache = None
 
     def _exec_rmw(self, state: ExecutionState, thread: ThreadState,
                   op: RmwOp) -> None:
         state.k_com += 1
         state.k += 1
         tid = thread.tid
-        if op.loc not in self._locs:
-            self._require_loc(op.loc)
-        source = state.graph.mo_max(op.loc)
-        old = source.label.wval
+        loc = op.loc
+        if loc not in self._locs:
+            self._require_loc(loc)
+        source = state.graph.writes_by_loc[loc][-1]
+        old = source.wval
         new = op.update(old)
+        order = op.order
         sync_source, fence_source = self._sync_sources(
-            state, thread, source, op.order
+            state, thread, source, order
         )
-        clock = self._tick(state, tid,
-                           [sync_source] if sync_source else [])
-        event = state.graph.add_rmw(tid, op.loc, source, new, op.order)
+        clock = self._tick(state, tid, sync_source)
+        event = state.graph.add_rmw(tid, loc, source, new, order)
         event.clock = clock
-        state.visibility.note_read(tid, source)
-        state.visibility.note_write(event)
-        state.spins.note(thread.site_key, old)
-        self._commit(state, thread, event, op, old, {
-            "sync_source": sync_source,
-            "release_chain_source": fence_source,
-            "rmw": True,
-        })
+        if order.is_seq_cst:
+            sc_floor = state.visibility._sc_write_floor
+            if event.mo_index > sc_floor[loc]:
+                sc_floor[loc] = event.mo_index
+        self._rmw_commit(state, thread, source, event, old, old,
+                         sync_source, fence_source, op, tid)
 
     def _exec_cas(self, state: ExecutionState, thread: ThreadState,
                   op: CasOp) -> None:
         state.k_com += 1
         state.k += 1
         tid = thread.tid
-        if op.loc not in self._locs:
-            self._require_loc(op.loc)
-        source = state.graph.mo_max(op.loc)
-        old = source.label.wval
+        loc = op.loc
+        if loc not in self._locs:
+            self._require_loc(loc)
+        source = state.graph.writes_by_loc[loc][-1]
+        old = source.wval
         success = old == op.expected
         order = op.success_order if success else op.failure_order
         sync_source, fence_source = self._sync_sources(
             state, thread, source, order
         )
-        clock = self._tick(state, tid,
-                           [sync_source] if sync_source else [])
+        clock = self._tick(state, tid, sync_source)
         if success:
-            event = state.graph.add_rmw(tid, op.loc, source, op.desired,
+            event = state.graph.add_rmw(tid, loc, source, op.desired,
                                         op.success_order)
-            state.visibility.note_write(event)
+            if op.success_order.is_seq_cst:
+                sc_floor = state.visibility._sc_write_floor
+                if event.mo_index > sc_floor[loc]:
+                    sc_floor[loc] = event.mo_index
         else:
-            event = state.graph.add_read(tid, op.loc, source,
+            event = state.graph.add_read(tid, loc, source,
                                          op.failure_order)
         event.clock = clock
-        state.visibility.note_read(tid, source)
-        state.spins.note(thread.site_key, old)
-        self._commit(state, thread, event, op, (success, old), {
-            "sync_source": sync_source,
-            "release_chain_source": fence_source,
-            "rmw": True,
-        })
+        self._rmw_commit(state, thread, source, event, old,
+                         (success, old), sync_source, fence_source, op,
+                         tid)
 
     def _sync_sources(self, state: ExecutionState, thread: ThreadState,
                       source: Event, order: MemoryOrder,

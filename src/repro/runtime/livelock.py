@@ -81,4 +81,9 @@ class SpinTracker:
         if entry is not None and entry[0] > self.threshold:
             self._hot -= 1
 
+    def clear(self) -> None:
+        """Forget every site (per-run reuse of the tracker)."""
+        self._sites.clear()
+        self._hot = 0
+
 

@@ -18,7 +18,6 @@ Programs normally construct these through the handles in
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..memory.events import MemoryOrder
@@ -27,8 +26,9 @@ from ..memory.events import MemoryOrder
 #: which CPython recycles as soon as an op object is garbage-collected.
 _op_uids = itertools.count(1)
 
+_SC = MemoryOrder.SEQ_CST
 
-@dataclass(eq=False)
+
 class Op:
     """Base operation; identity is by instance (ops are single-use).
 
@@ -39,37 +39,63 @@ class Op:
     keying on ``id(op)`` is unsound because ops are garbage-collected
     after they execute and CPython reuses their addresses, so a stale id
     could silently alias a brand-new op.
+
+    Hand-rolled ``__slots__`` classes rather than dataclasses: one op is
+    allocated per executed operation (and one per *iteration* of a spin
+    loop), so the generated ``__init__`` -> ``__post_init__`` call pair
+    was measurable campaign overhead.
     """
 
-    uid: int = field(init=False, repr=False, compare=False)
+    __slots__ = ("uid",)
 
     #: Communication-sink classification, consulted twice per scheduler
     #: step (see :func:`is_communication_op`): ``True``/``False`` when the
-    #: op kind decides alone, ``"order"`` when the memory order matters.
+    #: op kind decides alone, ``"store"``/``"fence"`` when the memory
+    #: order matters.
     _comm = False
 
-    def __post_init__(self) -> None:
+    def __init__(self) -> None:
         self.uid = next(_op_uids)
 
+    def _fields(self):
+        return ()
 
-@dataclass(eq=False)
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v!r}" for k, v in self._fields())
+        return f"{type(self).__name__}({body})"
+
+
 class LoadOp(Op):
-    loc: str
-    order: MemoryOrder = MemoryOrder.SEQ_CST
+    __slots__ = ("loc", "order")
 
     _comm = True
 
+    def __init__(self, loc: str, order: MemoryOrder = _SC):
+        self.uid = next(_op_uids)
+        self.loc = loc
+        self.order = order
 
-@dataclass(eq=False)
+    def _fields(self):
+        return (("loc", self.loc), ("order", self.order))
+
+
 class StoreOp(Op):
-    loc: str
-    value: object = None
-    order: MemoryOrder = MemoryOrder.SEQ_CST
+    __slots__ = ("loc", "value", "order")
 
     _comm = "store"
 
+    def __init__(self, loc: str, value: object = None,
+                 order: MemoryOrder = _SC):
+        self.uid = next(_op_uids)
+        self.loc = loc
+        self.value = value
+        self.order = order
 
-@dataclass(eq=False)
+    def _fields(self):
+        return (("loc", self.loc), ("value", self.value),
+                ("order", self.order))
+
+
 class RmwOp(Op):
     """Unconditional atomic update: new value = ``update(old)``.
 
@@ -77,14 +103,23 @@ class RmwOp(Op):
     read side observes the mo-maximal write.
     """
 
-    loc: str
-    update: Callable[[object], object] = field(default=lambda v: v)
-    order: MemoryOrder = MemoryOrder.SEQ_CST
+    __slots__ = ("loc", "update", "order")
 
     _comm = True
 
+    def __init__(self, loc: str,
+                 update: Callable[[object], object] = lambda v: v,
+                 order: MemoryOrder = _SC):
+        self.uid = next(_op_uids)
+        self.loc = loc
+        self.update = update
+        self.order = order
 
-@dataclass(eq=False)
+    def _fields(self):
+        return (("loc", self.loc), ("update", self.update),
+                ("order", self.order))
+
+
 class CasOp(Op):
     """Compare-and-swap.  Result is ``(success, old_value)``.
 
@@ -92,23 +127,42 @@ class CasOp(Op):
     degenerates to a read with ``failure_order`` (paper Section 4).
     """
 
-    loc: str
-    expected: object = None
-    desired: object = None
-    success_order: MemoryOrder = MemoryOrder.SEQ_CST
-    failure_order: MemoryOrder = MemoryOrder.SEQ_CST
+    __slots__ = ("loc", "expected", "desired", "success_order",
+                 "failure_order")
 
     _comm = True
 
+    def __init__(self, loc: str, expected: object = None,
+                 desired: object = None,
+                 success_order: MemoryOrder = _SC,
+                 failure_order: MemoryOrder = _SC):
+        self.uid = next(_op_uids)
+        self.loc = loc
+        self.expected = expected
+        self.desired = desired
+        self.success_order = success_order
+        self.failure_order = failure_order
 
-@dataclass(eq=False)
+    def _fields(self):
+        return (("loc", self.loc), ("expected", self.expected),
+                ("desired", self.desired),
+                ("success_order", self.success_order),
+                ("failure_order", self.failure_order))
+
+
 class FenceOp(Op):
-    order: MemoryOrder = MemoryOrder.SEQ_CST
+    __slots__ = ("order",)
 
     _comm = "fence"
 
+    def __init__(self, order: MemoryOrder = _SC):
+        self.uid = next(_op_uids)
+        self.order = order
 
-@dataclass(eq=False)
+    def _fields(self):
+        return (("order", self.order),)
+
+
 class SpawnOp(Op):
     """Create a new thread at runtime; result is the child's name.
 
@@ -117,21 +171,37 @@ class SpawnOp(Op):
     ``pthread_create`` semantics.
     """
 
-    body: Callable[..., object] = field(default=lambda: iter(()))
-    args: tuple = ()
-    name: Optional[str] = None
+    __slots__ = ("body", "args", "name")
+
+    def __init__(self, body: Callable[..., object] = lambda: iter(()),
+                 args: tuple = (), name: Optional[str] = None):
+        self.uid = next(_op_uids)
+        self.body = body
+        self.args = args
+        self.name = name
+
+    def _fields(self):
+        return (("body", self.body), ("args", self.args),
+                ("name", self.name))
 
 
-@dataclass(eq=False)
 class JoinOp(Op):
     """Block until the named thread finishes; result is its return value."""
 
-    thread_name: str = ""
+    __slots__ = ("thread_name",)
+
+    def __init__(self, thread_name: str = ""):
+        self.uid = next(_op_uids)
+        self.thread_name = thread_name
+
+    def _fields(self):
+        return (("thread_name", self.thread_name),)
 
 
-@dataclass(eq=False)
 class YieldOp(Op):
     """A pure scheduling point (no memory event)."""
+
+    __slots__ = ()
 
 
 def is_communication_op(op: Op) -> bool:

@@ -128,6 +128,19 @@ class Scheduler:
     def __init__(self, seed: Optional[int] = None):
         self.rng = random.Random(seed)
 
+    def reseed(self, seed: Optional[int] = None) -> None:
+        """Re-arm the RNG for a fresh run, as if newly constructed.
+
+        ``random.Random(n)`` and ``rng.seed(n)`` produce identical streams,
+        so a reseeded scheduler is seed-for-seed equivalent to a fresh
+        instance provided all other per-run state is rebuilt in
+        ``on_run_start`` — true of every scheduler in the registry (see
+        ``SchedulerSpec.supports_reuse``).  Campaign runners use this to
+        keep one warm scheduler instance per worker instead of
+        constructing one per trial.
+        """
+        self.rng.seed(seed)
+
     # -- lifecycle ----------------------------------------------------------
 
     def on_run_start(self, state: "ExecutionState") -> None:

@@ -11,7 +11,7 @@ from typing import Any, Generator, List, Optional, Tuple
 
 from ..memory.events import Event
 from .errors import ReproError
-from .ops import Op
+from .ops import JoinOp, Op
 
 
 class ThreadState:
@@ -23,6 +23,11 @@ class ThreadState:
         self.name = name
         self._gen = generator
         self.pending: Optional[Op] = None
+        #: Whether ``pending`` is a JoinOp — the only op kind whose
+        #: enabledness depends on *another* thread.  Stamped once per
+        #: advance so the enabled-set computation avoids a per-thread
+        #: isinstance check per step.
+        self.pending_is_join: bool = False
         #: Code site (bytecode offset) of the pending op, for spin detection.
         self.pending_site: int = -1
         #: Stable identity of the pending op's program point, kept in sync
@@ -39,20 +44,20 @@ class ThreadState:
         self._advance_gen(None)
 
     def advance(self, send_value: Any) -> None:
-        """Deliver the result of the executed pending op; fetch the next."""
+        """Deliver the result of the executed pending op; fetch the next.
+
+        One flat method (the former ``advance`` -> ``_advance_gen`` pair):
+        it runs once per executed event, so the extra call layer was pure
+        overhead.
+        """
         if self.finished:
             raise ReproError(f"thread {self.name!r} already finished")
         self.events_executed += 1
-        self._advance_gen(send_value)
-
-    def _advance_gen(self, value: Any) -> None:
         try:
-            if value is None and self.pending is None:
-                op = next(self._gen)
-            else:
-                op = self._gen.send(value)
+            op = self._gen.send(send_value)
         except StopIteration as stop:
             self.pending = None
+            self.pending_is_join = False
             self.finished = True
             self.result = stop.value
             return
@@ -62,6 +67,30 @@ class ThreadState:
                 "did you forget to call .load()/.store()?"
             )
         self.pending = op
+        self.pending_is_join = isinstance(op, JoinOp)
+        frame = self._gen.gi_frame
+        self.pending_site = frame.f_lasti if frame is not None else -1
+        self.site_key = (self.tid, self.pending_site)
+
+    def _advance_gen(self, value: Any) -> None:
+        try:
+            if value is None and self.pending is None:
+                op = next(self._gen)
+            else:
+                op = self._gen.send(value)
+        except StopIteration as stop:
+            self.pending = None
+            self.pending_is_join = False
+            self.finished = True
+            self.result = stop.value
+            return
+        if not isinstance(op, Op):
+            raise ReproError(
+                f"thread {self.name!r} yielded {op!r}, expected an Op; "
+                "did you forget to call .load()/.store()?"
+            )
+        self.pending = op
+        self.pending_is_join = isinstance(op, JoinOp)
         frame = self._gen.gi_frame
         self.pending_site = frame.f_lasti if frame is not None else -1
         self.site_key = (self.tid, self.pending_site)

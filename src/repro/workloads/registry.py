@@ -131,6 +131,13 @@ class ProgramSpec:
     kind: str = "benchmark"
     params: Mapping[str, Any] = field(default_factory=dict)
 
+    #: Registry programs keep all per-run state inside their generator
+    #: thread bodies, so one built :class:`Program` may be instantiated
+    #: run after run.  The campaign fast path uses this to build the
+    #: program once per worker instead of once per trial; arbitrary
+    #: factory closures make no such promise and are rebuilt every time.
+    supports_reuse = True
+
     def __post_init__(self) -> None:
         resolve_program_factory(self.kind, self.name)  # fail fast
         object.__setattr__(self, "params", dict(self.params))

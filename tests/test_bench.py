@@ -61,6 +61,22 @@ def test_improvements_never_fail():
     assert check_against_baseline(current, baseline) == []
 
 
+def test_check_gates_campaign_throughput():
+    baseline = make_doc(60000.0)
+    baseline["campaign_throughput"] = {"serial_trials_per_sec": 500.0}
+    current = make_doc(60000.0)
+    current["campaign_throughput"] = {"serial_trials_per_sec": 300.0}
+    failures = check_against_baseline(current, baseline, tolerance=0.30)
+    assert len(failures) == 1
+    assert "campaign serial" in failures[0]
+    current["campaign_throughput"]["serial_trials_per_sec"] = 400.0
+    assert check_against_baseline(current, baseline,
+                                  tolerance=0.30) == []
+    del current["campaign_throughput"]  # nothing measured -> skipped
+    assert check_against_baseline(current, baseline,
+                                  tolerance=0.30) == []
+
+
 def test_render_mentions_speedup_vs_pre_fastpath():
     text = render_bench(make_doc(62358.0))
     assert "silo" in text
@@ -89,3 +105,17 @@ def test_committed_trajectory_shows_fastpath_win():
     after = doc["engine_events_per_sec"]["silo"]["pctwm"]
     before = doc["baseline_pre_fastpath"]["silo"]["pctwm"]
     assert after >= 1.5 * before
+
+
+def test_committed_trajectory_shows_campaign_fastpath_win():
+    """The campaign fast path's before/after is recorded under
+    ``campaign_fastpath`` and shows a real serial-throughput win."""
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+    doc = json.loads(path.read_text())
+    fastpath = doc["campaign_fastpath"]
+    before = fastpath["before"]["serial_trials_per_sec"]
+    after = fastpath["after"]["serial_trials_per_sec"]
+    assert after > before
+    assert fastpath["speedup"] >= 1.1
