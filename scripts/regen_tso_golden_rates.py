@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Regenerate the golden TSO litmus hit-rate file.
+
+The x86-TSO twin of ``regen_golden_rates.py``: runs the probabilistic
+schedulers over the SB/MP/LB litmus shapes on the TSO backend with fixed
+seeds and records the *exact* hit counts in
+``tests/golden/tso_litmus_rates.json``.  Under TSO only W->R reordering
+exists, so SB's weak outcome must be reachable (delayed flushes) while
+MP's and LB's must not — the golden file pins both the reachability
+facts and the exact per-seed counts.
+
+Two sections:
+
+* ``rates``  — PCTWM hit counts over the (d, h) grid, per litmus;
+* ``schedulers`` — SB hit counts for every TSO-supported scheduler,
+  pinning that each one can schedule flush delays into the SB window.
+
+Regenerate (and review the diff!) only when a change is *supposed* to
+alter TSO scheduling behaviour:
+
+    PYTHONPATH=src python scripts/regen_tso_golden_rates.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (  # noqa: E402
+    NaiveRandomScheduler,
+    PCTScheduler,
+    PCTWMScheduler,
+)
+from repro.core.pos import POSScheduler  # noqa: E402
+from repro.litmus import ALL_LITMUS  # noqa: E402
+from repro.memory import resolve_model  # noqa: E402
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "tso_litmus_rates.json"
+
+#: The shapes whose TSO verdicts matter most: SB exhibits the one
+#: reordering x86 allows; MP and LB require reorderings it forbids.
+PROGRAMS = ("SB", "MP", "LB")
+DEPTHS = (1, 2, 3)
+HISTORIES = (1, 2, 3)
+K_COM = 8
+TRIALS = 40
+MAX_STEPS = 2000
+
+#: Every scheduler the TSO model supports, on SB.
+SCHEDULER_MAKERS = {
+    "naive": lambda seed: NaiveRandomScheduler(seed=seed),
+    "pct": lambda seed: PCTScheduler(2, 16, seed=seed),
+    "pctwm": lambda seed: PCTWMScheduler(2, K_COM, 2, seed=seed),
+    "pos": lambda seed: POSScheduler(seed=seed),
+}
+SCHEDULER_TRIALS = 60
+
+
+def compute_golden() -> dict:
+    """Exact TSO hit counts over the fixed grids (deterministic)."""
+    model = resolve_model("tso")
+    rates: dict = {}
+    for name in PROGRAMS:
+        factory = ALL_LITMUS[name]
+        cells: dict = {}
+        for depth in DEPTHS:
+            for history in HISTORIES:
+                hits = sum(
+                    model.run_once(
+                        factory(),
+                        PCTWMScheduler(depth, K_COM, history, seed=seed),
+                        max_steps=MAX_STEPS, keep_graph=False,
+                    ).bug_found
+                    for seed in range(TRIALS)
+                )
+                cells[f"d={depth},h={history}"] = hits
+        rates[name] = cells
+    sb_factory = ALL_LITMUS["SB"]
+    schedulers = {
+        sched_name: sum(
+            model.run_once(
+                sb_factory(), make(seed),
+                max_steps=MAX_STEPS, keep_graph=False,
+            ).bug_found
+            for seed in range(SCHEDULER_TRIALS)
+        )
+        for sched_name, make in SCHEDULER_MAKERS.items()
+    }
+    return {
+        "meta": {
+            "model": "tso",
+            "scheduler": "pctwm",
+            "k_com": K_COM,
+            "trials": TRIALS,
+            "max_steps": MAX_STEPS,
+            "seeds": f"range({TRIALS})",
+            "scheduler_trials": SCHEDULER_TRIALS,
+        },
+        "rates": rates,
+        "schedulers": schedulers,
+    }
+
+
+def main() -> None:
+    golden = compute_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"wrote {GOLDEN_PATH}")
+    for name, cells in golden["rates"].items():
+        row = " ".join(f"{cell}:{hits}" for cell, hits in cells.items())
+        print(f"  {name}: {row}")
+    row = " ".join(f"{name}:{hits}"
+                   for name, hits in golden["schedulers"].items())
+    print(f"  SB per scheduler: {row}")
+
+
+if __name__ == "__main__":
+    main()

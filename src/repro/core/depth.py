@@ -34,16 +34,35 @@ class ParameterEstimate:
 
 def estimate_parameters(program: Program, runs: int = 5,
                         seed: Optional[int] = 0,
-                        max_steps: int = 20000) -> ParameterEstimate:
-    """Average event counts over ``runs`` random executions."""
+                        max_steps: int = 20000,
+                        model: str = "c11") -> ParameterEstimate:
+    """Average event counts over ``runs`` random executions.
+
+    Instrumented runs execute under ``model``.  The default keeps the
+    artifact's estimator (C11Tester random walks); other backends count
+    their own communication events — under TSO ``k_com`` counts flush
+    commits — using the naive random scheduler, which every model
+    supports.
+    """
     if runs < 1:
         raise ValueError("need at least one estimation run")
+    if model == "c11":
+        def make_sched(i):
+            return C11TesterScheduler(seed=None if seed is None else seed + i)
+        run = run_once
+    else:
+        from ..memory.model import resolve_model
+        from .naive import NaiveRandomScheduler
+
+        def make_sched(i):
+            return NaiveRandomScheduler(
+                seed=None if seed is None else seed + i)
+        run = resolve_model(model).run_once
     total_k = 0
     total_kcom = 0
     for i in range(runs):
-        sched = C11TesterScheduler(seed=None if seed is None else seed + i)
-        result = run_once(program, sched, max_steps=max_steps,
-                          keep_graph=False)
+        result = run(program, make_sched(i), max_steps=max_steps,
+                     keep_graph=False)
         total_k += result.k
         total_kcom += result.k_com
     return ParameterEstimate(

@@ -119,6 +119,9 @@ class BugArtifact:
     max_steps: int
     spin_threshold: int
     trace: Trace
+    #: Memory-model backend the trial executed under ("c11" | "tso");
+    #: replay re-executes on the same backend.
+    model: str = "c11"
     steps: int = 0
     bug_kind: Optional[str] = None
     bug_message: Optional[str] = None
@@ -141,6 +144,7 @@ class BugArtifact:
                 "trial_seed": self.trial_seed,
                 "max_steps": self.max_steps,
                 "spin_threshold": self.spin_threshold,
+                "model": self.model,
             })
 
     # -- serialization -------------------------------------------------------
@@ -157,6 +161,7 @@ class BugArtifact:
             "base_seed": self.base_seed,
             "max_steps": self.max_steps,
             "spin_threshold": self.spin_threshold,
+            "model": self.model,
             "steps": self.steps,
             "bug_kind": self.bug_kind,
             "bug_message": self.bug_message,
@@ -185,6 +190,7 @@ class BugArtifact:
             max_steps=int(raw.get("max_steps", 20000)),
             spin_threshold=int(raw.get("spin_threshold", 8)),
             trace=Trace.from_obj(raw["trace"]),
+            model=raw.get("model", "c11"),
             steps=int(raw.get("steps", 0)),
             bug_kind=raw.get("bug_kind"),
             bug_message=raw.get("bug_message"),
@@ -231,7 +237,8 @@ class ReplayReport:
         lines = [
             f"artifact: {self.artifact.outcome} in "
             f"{self.artifact.program} / {self.artifact.scheduler} "
-            f"(trial {self.artifact.trial_index}, "
+            f"(model {self.artifact.model}, "
+            f"trial {self.artifact.trial_index}, "
             f"seed {self.artifact.trial_seed}, "
             f"fingerprint {self.artifact.fingerprint})",
             f"replay outcome: {self.outcome} -> "
@@ -279,10 +286,12 @@ def replay_artifact(artifact: BugArtifact, program_factory=None,
     ``minimize=True`` a matching ``bug`` artifact's trace is additionally
     shrunk via :func:`repro.replay.minimize.minimize_trace`.
     """
+    from ..memory.model import resolve_model
     from ..replay.recording import ReplayScheduler
     from .campaign import summarize_exception
 
     factory = _build_program_factory(artifact, program_factory)
+    model = resolve_model(artifact.model)
     max_steps = artifact.max_steps
     if artifact.outcome == "timeout" and artifact.steps:
         max_steps = artifact.steps
@@ -290,9 +299,10 @@ def replay_artifact(artifact: BugArtifact, program_factory=None,
     result: Optional[RunResult] = None
     error: Optional[str] = None
     try:
-        result = run_once(factory(), scheduler, max_steps=max_steps,
-                          spin_threshold=artifact.spin_threshold,
-                          sanitize=artifact.outcome == "inconsistent")
+        result = model.run_once(
+            factory(), scheduler, max_steps=max_steps,
+            spin_threshold=artifact.spin_threshold,
+            sanitize=artifact.outcome == "inconsistent")
     except Exception as exc:
         error = summarize_exception(exc)
     outcome = classify_outcome(result, error)
@@ -308,7 +318,8 @@ def replay_artifact(artifact: BugArtifact, program_factory=None,
         from ..replay.minimize import minimize_trace
 
         report.minimized = minimize_trace(factory, artifact.trace,
-                                          max_steps=artifact.max_steps)
+                                          max_steps=artifact.max_steps,
+                                          model=artifact.model)
     return report
 
 

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 from ..core.factory import SchedulerSpec
+from ..memory.model import resolve_model
 from ..runtime import run_once
 from ..workloads.registry import ProgramSpec
 from .campaign import run_campaign
@@ -44,6 +45,17 @@ SCHEDULER_SPECS: Dict[str, SchedulerSpec] = {
                                      "history": 2}),
     "pos": SchedulerSpec("pos"),
 }
+
+#: The scheduler cells measured under the TSO backend — the c11tester
+#: baseline manipulates rf nondeterminism, which TSO does not have.
+TSO_SCHEDULER_SPECS: Dict[str, SchedulerSpec] = {
+    name: spec for name, spec in SCHEDULER_SPECS.items()
+    if name != "c11tester"
+}
+
+#: Suffix appended to a workload key for its TSO engine cells in
+#: ``engine_events_per_sec`` (e.g. ``"silo@tso"``).
+TSO_CELL_SUFFIX = "@tso"
 
 #: The two largest application models: enough events per run that the
 #: per-run setup cost does not dominate the events/sec signal.
@@ -93,12 +105,14 @@ def environment_fingerprint() -> dict:
 def measure_events_per_sec(program_spec: ProgramSpec,
                            scheduler_spec: SchedulerSpec,
                            runs: int, repeats: int,
-                           base_seed: int = 0) -> dict:
+                           base_seed: int = 0,
+                           model: str = "c11") -> dict:
     """Best-of-``repeats`` events/second over batches of ``runs`` runs."""
+    run = run_once if model == "c11" else resolve_model(model).run_once
     seed = base_seed
     for _ in range(max(runs // 4, 1)):  # warmup: JIT-free, but cache-warm
-        run_once(program_spec.build(), scheduler_spec(seed),
-                 keep_graph=False, max_steps=MAX_STEPS)
+        run(program_spec.build(), scheduler_spec(seed),
+            keep_graph=False, max_steps=MAX_STEPS)
         seed += 1
     best = 0.0
     events = 0
@@ -106,8 +120,8 @@ def measure_events_per_sec(program_spec: ProgramSpec,
         batch_events = 0
         start = time.perf_counter()
         for _ in range(runs):
-            result = run_once(program_spec.build(), scheduler_spec(seed),
-                              keep_graph=False, max_steps=MAX_STEPS)
+            result = run(program_spec.build(), scheduler_spec(seed),
+                         keep_graph=False, max_steps=MAX_STEPS)
             batch_events += result.k
             seed += 1
         elapsed = time.perf_counter() - start
@@ -154,18 +168,35 @@ def measure_campaign_throughput(trials: int, jobs: int,
 
 
 def run_bench(quick: bool = False, seed: int = 0,
-              campaign: bool = True) -> dict:
-    """Measure the full trajectory and return the JSON-ready document."""
+              campaign: bool = True,
+              models: tuple = ("c11", "tso")) -> dict:
+    """Measure the full trajectory and return the JSON-ready document.
+
+    ``models`` selects which memory-model engines get cells: the C11
+    cells keep their historical workload keys; TSO cells live under
+    ``<workload>@tso`` in the same table, so the ``--check`` gate covers
+    both engines with one mechanism.
+    """
     runs = 12 if quick else 60
     repeats = 2 if quick else 3
     engine: Dict[str, Dict[str, dict]] = {}
-    for workload, program_spec in WORKLOAD_SPECS.items():
-        engine[workload] = {}
-        for name, scheduler_spec in SCHEDULER_SPECS.items():
-            cell = measure_events_per_sec(program_spec, scheduler_spec,
-                                          runs=runs, repeats=repeats,
-                                          base_seed=seed)
-            engine[workload][name] = cell
+    if "c11" in models:
+        for workload, program_spec in WORKLOAD_SPECS.items():
+            engine[workload] = {}
+            for name, scheduler_spec in SCHEDULER_SPECS.items():
+                cell = measure_events_per_sec(program_spec, scheduler_spec,
+                                              runs=runs, repeats=repeats,
+                                              base_seed=seed)
+                engine[workload][name] = cell
+    if "tso" in models:
+        for workload, program_spec in WORKLOAD_SPECS.items():
+            key = workload + TSO_CELL_SUFFIX
+            engine[key] = {}
+            for name, scheduler_spec in TSO_SCHEDULER_SPECS.items():
+                cell = measure_events_per_sec(program_spec, scheduler_spec,
+                                              runs=runs, repeats=repeats,
+                                              base_seed=seed, model="tso")
+                engine[key][name] = cell
     doc = {
         "meta": {
             "tool": "repro bench",
@@ -284,9 +315,10 @@ def render_bench(doc: dict) -> str:
 
 def bench_command(out: Optional[str], quick: bool, check: bool,
                   baseline_path: str, seed: int,
-                  tolerance: float = 0.30) -> int:
+                  tolerance: float = 0.30, model: str = "all") -> int:
     """Implementation of ``python -m repro bench``; returns exit code."""
-    doc = run_bench(quick=quick, seed=seed)
+    models = ("c11", "tso") if model == "all" else (model,)
+    doc = run_bench(quick=quick, seed=seed, models=models)
     print(render_bench(doc))
     if out:
         path = Path(out)

@@ -39,6 +39,7 @@ from ..core.c11tester import C11TesterScheduler
 from ..core.naive import NaiveRandomScheduler
 from ..core.pct import PCTScheduler
 from ..core.pctwm import PCTWMScheduler
+from ..memory.model import resolve_model
 from ..runtime.executor import (ExecutionState, Executor, RunResult,
                                 run_once)
 from ..runtime.program import Program
@@ -392,7 +393,8 @@ class TrialRunner:
                  sanitize: str = "off",
                  artifact_dir: Optional[str] = None,
                  spin_threshold: int = 8,
-                 record_mode: str = "on_failure"):
+                 record_mode: str = "on_failure",
+                 model: str = "c11"):
         if sanitize not in SANITIZE_MODES:
             raise ValueError(
                 f"sanitize must be one of {SANITIZE_MODES}, got {sanitize!r}")
@@ -400,6 +402,8 @@ class TrialRunner:
             raise ValueError(
                 f"record_mode must be one of {RECORD_MODES}, "
                 f"got {record_mode!r}")
+        self.model = model
+        self._model = resolve_model(model)
         self.program_factory = program_factory
         self.scheduler_factory = scheduler_factory
         self.base_seed = base_seed
@@ -441,7 +445,7 @@ class TrialRunner:
                  sanitize_run: bool) -> RunResult:
         executor = self._executor
         if executor is None or executor.program is not program:
-            executor = self._executor = Executor(
+            executor = self._executor = self._model.make_executor(
                 program, scheduler, max_steps=self.max_steps,
                 spin_threshold=self.spin_threshold, keep_graph=False,
                 wall_timeout_s=self.trial_timeout_s, sanitize=sanitize_run,
@@ -451,7 +455,7 @@ class TrialRunner:
             executor.sanitize = sanitize_run
         state = self._state
         if state is None or state.program is not program:
-            state = self._state = ExecutionState(
+            state = self._state = self._model.make_state(
                 program, self.spin_threshold, fast=True)
         else:
             state.reset(program)
@@ -541,7 +545,7 @@ class TrialRunner:
                 self.scheduler_factory, recorder, run, error,
                 base_seed=self.base_seed, index=index,
                 trial_seed=trial_seed, max_steps=self.max_steps,
-                spin_threshold=self.spin_threshold,
+                spin_threshold=self.spin_threshold, model=self.model,
             )
         except Exception as exc:  # pragma: no cover - defensive
             print(f"warning: trial {index}: could not write artifact: "
@@ -577,10 +581,11 @@ class TrialRunner:
         if first_run is not None and first_run.timed_out:
             max_steps = first_run.steps
         try:
-            run_once(self.program_factory(), recorder, max_steps=max_steps,
-                     keep_graph=False, wall_timeout_s=None,
-                     spin_threshold=self.spin_threshold,
-                     sanitize=sanitize_run)
+            self._model.run_once(
+                self.program_factory(), recorder, max_steps=max_steps,
+                keep_graph=False, wall_timeout_s=None,
+                spin_threshold=self.spin_threshold,
+                sanitize=sanitize_run)
         except Exception:
             pass  # the first run's error reproduces at the same point
         return recorder
@@ -595,6 +600,7 @@ def run_trial(program_factory: ProgramFactory,
               artifact_dir: Optional[str] = None,
               spin_threshold: int = 8,
               record_mode: str = "on_failure",
+              model: str = "c11",
               ) -> TrialRecord:
     """Run a single campaign trial with a throwaway :class:`TrialRunner`.
 
@@ -619,7 +625,7 @@ def run_trial(program_factory: ProgramFactory,
         max_steps=max_steps, count_operations=count_operations,
         trial_timeout_s=trial_timeout_s, sanitize=sanitize,
         artifact_dir=artifact_dir, spin_threshold=spin_threshold,
-        record_mode=record_mode,
+        record_mode=record_mode, model=model,
     ).run(index)
 
 
@@ -628,7 +634,7 @@ def _write_artifact(artifact_dir: str, program_factory: ProgramFactory,
                     recorder, run: Optional[RunResult],
                     error: Optional[str], *, base_seed: int, index: int,
                     trial_seed: int, max_steps: int,
-                    spin_threshold: int) -> Optional[str]:
+                    spin_threshold: int, model: str = "c11") -> Optional[str]:
     """Serialize a failed trial as a replayable artifact; None if clean."""
     from .artifact import (BugArtifact, artifact_path, classify_outcome,
                            program_spec_dict, scheduler_spec_dict)
@@ -648,6 +654,7 @@ def _write_artifact(artifact_dir: str, program_factory: ProgramFactory,
         base_seed=base_seed,
         max_steps=max_steps,
         spin_threshold=spin_threshold,
+        model=model,
         trace=trace,
         steps=run.steps if run is not None else 0,
         bug_kind=run.bug_kind if run is not None else None,
@@ -719,6 +726,7 @@ def run_campaign(program_factory: ProgramFactory,
                  artifact_dir: Optional[str] = None,
                  spin_threshold: int = 8,
                  record_mode: str = "on_failure",
+                 model: str = "c11",
                  ) -> CampaignResult:
     """Run ``trials`` independent randomized tests and aggregate.
 
@@ -729,7 +737,9 @@ def run_campaign(program_factory: ProgramFactory,
     every :data:`SANITIZE_SAMPLE_STRIDE`-th trial; ``"all"``: every
     trial); ``artifact_dir`` makes failing trials emit replayable bug
     artifacts there (``record_mode`` selects how their traces are
-    captured).
+    captured).  ``model`` selects the memory-model backend every trial
+    executes under (``"c11"`` default, ``"tso"``); artifacts record it
+    so replay picks the same backend.
 
     Trials execute on one warm :class:`TrialRunner` with the cyclic
     garbage collector paused (collected every
@@ -751,7 +761,7 @@ def run_campaign(program_factory: ProgramFactory,
         max_steps=max_steps, count_operations=count_operations,
         trial_timeout_s=trial_timeout_s, sanitize=sanitize,
         artifact_dir=artifact_dir, spin_threshold=spin_threshold,
-        record_mode=record_mode,
+        record_mode=record_mode, model=model,
     )
     acc = CampaignAccumulator()
     gc_was_enabled = gc.isenabled()

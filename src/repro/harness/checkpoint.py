@@ -43,8 +43,11 @@ JOURNAL_VERSION = 1
 #: sanitized campaign without the sanitizer (or vice versa) would fold
 #: trials audited under different rules into one aggregate; journals
 #: from before the field existed simply lack it and stay compatible.
+#: ``model`` likewise: trials executed under different memory models
+#: must never fold into one aggregate, and pre-model journals resume as
+#: implicit c11.
 _COMPAT_FIELDS = ("program", "scheduler", "base_seed", "trials", "max_steps",
-                  "sanitize")
+                  "sanitize", "model")
 
 
 def _record_to_obj(record: TrialRecord) -> dict:

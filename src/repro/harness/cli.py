@@ -76,6 +76,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_model(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--model", default="c11",
+                         choices=("c11", "tso"),
+                         help="memory-model backend to execute under "
+                              "(default: the C11 axiomatic engine; 'tso' "
+                              "runs the x86-TSO store-buffer backend)")
+
     def add_sanitize(cmd: argparse.ArgumentParser) -> None:
         cmd.add_argument("--sanitize", default="off",
                          choices=("off", "sampled", "all"),
@@ -159,6 +166,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               help="multiprocessing start method "
                                    "(default: $REPRO_START_METHOD or fork)")
     add_sanitize(campaign_cmd)
+    add_model(campaign_cmd)
     campaign_cmd.add_argument("--artifacts", default=None, metavar="DIR",
                               help="write a replayable JSON artifact here "
                                    "for every trial that finds a bug, "
@@ -177,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
     litmus_cmd.add_argument("--trials", type=_positive_int, default=200)
     litmus_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
     add_sanitize(litmus_cmd)
+    add_model(litmus_cmd)
 
     replay_cmd = sub.add_parser(
         "replay", help="re-execute a bug artifact and verify the outcome")
@@ -209,6 +218,10 @@ def _build_parser() -> argparse.ArgumentParser:
                            default=0.30,
                            help="allowed fractional slowdown for --check")
     bench_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+    bench_cmd.add_argument("--model", default="all",
+                           choices=("all", "c11", "tso"),
+                           help="which memory-model engine cells to "
+                                "measure (default: all)")
 
     report_cmd = sub.add_parser(
         "report", help="regenerate the full evaluation as markdown")
@@ -244,7 +257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             out = "BENCH_engine.json"
         return bench_command(out=out, quick=args.quick, check=args.check,
                              baseline_path=args.baseline, seed=args.seed,
-                             tolerance=args.tolerance)
+                             tolerance=args.tolerance, model=args.model)
     if command == "report":
         from .report import write_report
 
@@ -355,12 +368,19 @@ def _cmd_hunt(args) -> int:
 def _cmd_campaign(args) -> int:
     from ..core.depth import estimate_parameters
     from ..core.factory import SCHEDULER_REGISTRY, SchedulerSpec
+    from ..memory.model import resolve_model
     from ..workloads import BENCHMARKS, ProgramSpec
     from .parallel import print_progress, run_campaign_parallel
 
     if args.scheduler not in SCHEDULER_REGISTRY:
         print(f"unknown scheduler {args.scheduler!r}; known: "
               + ", ".join(sorted(SCHEDULER_REGISTRY)))
+        return 2
+    model = resolve_model(args.model)
+    if not model.supports_scheduler(args.scheduler):
+        print(f"scheduler {args.scheduler!r} is not supported under the "
+              f"{model.name} memory model; supported: "
+              + ", ".join(model.scheduler_allowlist))
         return 2
     if args.benchmark not in BENCHMARKS:
         print(f"unknown benchmark {args.benchmark!r}; known: "
@@ -374,13 +394,16 @@ def _cmd_campaign(args) -> int:
     params = {}
     if args.scheduler in ("pctwm", "pctwm-fullbag", "pctwm-eager",
                           "pctwm-nodelay"):
-        est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+        est = estimate_parameters(info.build(), runs=3, seed=args.seed,
+                                  model=args.model)
         params = {"depth": depth, "k_com": est.k_com, "history": history}
     elif args.scheduler == "pctwm-nohistory":
-        est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+        est = estimate_parameters(info.build(), runs=3, seed=args.seed,
+                                  model=args.model)
         params = {"depth": depth, "k_com": est.k_com}
     elif args.scheduler in ("pct", "ppct"):
-        est = estimate_parameters(info.build(), runs=3, seed=args.seed)
+        est = estimate_parameters(info.build(), runs=3, seed=args.seed,
+                                  model=args.model)
         params = {"depth": max(depth, 1), "k_events": est.k}
     try:
         result = run_campaign_parallel(
@@ -396,6 +419,7 @@ def _cmd_campaign(args) -> int:
             sanitize=args.sanitize,
             artifact_dir=args.artifacts,
             record_mode=args.record_mode,
+            model=args.model,
         )
     except ValueError as exc:
         print(f"error: {exc}")
@@ -441,28 +465,46 @@ def _cmd_litmus(args) -> int:
         PCTWMScheduler,
     )
     from ..core.depth import estimate_parameters
+    from ..core.pos import POSScheduler
     from ..litmus import ALL_LITMUS
-    from ..runtime.executor import run_once
+    from ..memory.model import resolve_model
     from .campaign import sanitize_this_trial
 
-    header = (f"{'litmus':10s} {'naive':>8s} {'c11tester':>10s} "
-              f"{'pct':>8s} {'pctwm':>8s}")
+    model = resolve_model(args.model)
+    if model.name == "tso":
+        # The C11Tester baseline manipulates rf nondeterminism, which
+        # TSO does not have; POS takes its column.
+        columns = [
+            ("naive", lambda est: lambda s: NaiveRandomScheduler(seed=s)),
+            ("pos", lambda est: lambda s: POSScheduler(seed=s)),
+            ("pct", lambda est: lambda s: PCTScheduler(2, est.k, seed=s)),
+            ("pctwm",
+             lambda est: lambda s: PCTWMScheduler(2, est.k_com, 2, seed=s)),
+        ]
+    else:
+        columns = [
+            ("naive", lambda est: lambda s: NaiveRandomScheduler(seed=s)),
+            ("c11tester", lambda est: lambda s: C11TesterScheduler(seed=s)),
+            ("pct", lambda est: lambda s: PCTScheduler(2, est.k, seed=s)),
+            ("pctwm",
+             lambda est: lambda s: PCTWMScheduler(2, est.k_com, 2, seed=s)),
+        ]
+    header = f"{'litmus':10s} " + " ".join(
+        f"{label:>9s}" for label, _ in columns)
+    print(f"model: {model.name}")
     print(header)
     print("-" * len(header))
     inconsistent = 0
     violation_samples: List[str] = []
     for name, factory in ALL_LITMUS.items():
-        est = estimate_parameters(factory(), runs=3, seed=args.seed)
+        est = estimate_parameters(factory(), runs=3, seed=args.seed,
+                                  model=model.name)
         rates = []
-        for make in (
-            lambda s: NaiveRandomScheduler(seed=s),
-            lambda s: C11TesterScheduler(seed=s),
-            lambda s: PCTScheduler(2, est.k, seed=s),
-            lambda s: PCTWMScheduler(2, est.k_com, 2, seed=s),
-        ):
+        for _, make_factory in columns:
+            make = make_factory(est)
             hits = 0
             for i in range(args.trials):
-                run = run_once(
+                run = model.run_once(
                     factory(), make(args.seed + i), keep_graph=False,
                     sanitize=sanitize_this_trial(args.sanitize, i))
                 hits += run.bug_found
@@ -473,7 +515,7 @@ def _cmd_litmus(args) -> int:
                             f"{name}[{run.scheduler} trial {i}]: {v}"
                             for v in run.violations[:2])
             rates.append(100.0 * hits / args.trials)
-        print(f"{name:10s} " + " ".join(f"{r:7.1f}%" for r in rates))
+        print(f"{name:10s} " + " ".join(f"{r:8.1f}%" for r in rates))
     if args.sanitize != "off":
         print(f"\nsanitizer ({args.sanitize}): "
               f"{inconsistent} inconsistent run(s)")

@@ -106,6 +106,7 @@ class ShardSpec:
     artifact_dir: Optional[str] = None
     spin_threshold: int = 8
     record_mode: str = "on_failure"
+    model: str = "c11"
 
     def make_runner(self) -> TrialRunner:
         """A warm trial runner configured like this shard."""
@@ -117,6 +118,7 @@ class ShardSpec:
             artifact_dir=self.artifact_dir,
             spin_threshold=self.spin_threshold,
             record_mode=self.record_mode,
+            model=self.model,
         )
 
 
@@ -407,6 +409,7 @@ def run_campaign_parallel(
         artifact_dir: Optional[str] = None,
         spin_threshold: int = 8,
         record_mode: str = "on_failure",
+        model: str = "c11",
 ) -> CampaignResult:
     """Run a campaign sharded over ``jobs`` worker processes.
 
@@ -438,6 +441,9 @@ def run_campaign_parallel(
     * ``artifact_dir`` — failing trials write replayable bug artifacts
       here from inside the worker, so they survive worker death; only
       the paths cross the process boundary.
+    * ``model`` — memory-model backend for every trial ("c11" | "tso");
+      recorded in the checkpoint journal, so resuming a campaign under a
+      different model is rejected as a config mismatch.
     """
     if trials < 1:
         raise ValueError("trials must be >= 1")
@@ -452,6 +458,7 @@ def run_campaign_parallel(
             trial_timeout_s=trial_timeout_s,
             sanitize=sanitize, artifact_dir=artifact_dir,
             spin_threshold=spin_threshold, record_mode=record_mode,
+            model=model,
         )
         if progress is not None:
             progress(CampaignProgress(trials, trials, result.elapsed_s))
@@ -473,7 +480,8 @@ def run_campaign_parallel(
         done = journal.start(
             {"program": program_name, "scheduler": sched_name,
              "base_seed": base_seed, "trials": trials,
-             "max_steps": max_steps, "sanitize": sanitize},
+             "max_steps": max_steps, "sanitize": sanitize,
+             "model": model},
             resume=resume,
         )
         done = {i: r for i, r in done.items() if i < trials}
@@ -483,7 +491,7 @@ def run_campaign_parallel(
     worker_config = ShardSpec(
         program_factory, scheduler_factory, base_seed, (), max_steps,
         count_operations, trial_timeout_s, sanitize, artifact_dir,
-        spin_threshold, record_mode)
+        spin_threshold, record_mode, model)
     shards = [
         replace(worker_config, indices=tuple(remaining[start:stop]))
         for start, stop in shard_bounds(len(remaining), max(jobs, 1),

@@ -30,17 +30,28 @@ from .axioms import (
     check_consistency,
     is_consistent,
 )
+from .model import (
+    C11Model,
+    MODELS,
+    MemoryModel,
+    TsoModel,
+    available_models,
+    resolve_model,
+)
 
 __all__ = [
     "ACQ",
     "ACQ_REL",
     "AxiomViolation",
+    "C11Model",
     "DataRace",
     "Event",
     "EventKind",
     "ExecutionGraph",
     "INIT_TID",
     "Label",
+    "MODELS",
+    "MemoryModel",
     "MemoryOrder",
     "NA",
     "RLX",
@@ -48,7 +59,9 @@ __all__ = [
     "RaceDetector",
     "Relation",
     "SC",
+    "TsoModel",
     "VisibilityTracker",
+    "available_models",
     "check_consistency",
     "clock_join",
     "clock_leq",
@@ -57,4 +70,5 @@ __all__ = [
     "imm",
     "is_consistent",
     "maximal",
+    "resolve_model",
 ]

@@ -174,6 +174,45 @@ class ExecutionGraph:
             self._stamp_release_chain(event)
         return event
 
+    def issue_write(self, tid: int, loc: str, value: object,
+                    order: MemoryOrder) -> Event:
+        """Create a store event in po *without* placing it in mo.
+
+        Store-buffer models (x86-TSO, PSO) split a write into *issue*
+        (the event exists, po-ordered, thread-locally visible) and
+        *commit* (the event becomes globally visible in mo).  The release
+        chain is stamped here: its inputs — the event's order and its
+        po-prefix of fences — are fixed at issue time, so stamping at
+        commit time could wrongly observe a release fence that is
+        po-*after* the write.  :meth:`commit_write` finishes the job.
+        """
+        by_tid = self.events_by_tid[tid]
+        event = WRITE_EVENT[order](self._uid, tid, loc, None, value,
+                                   len(by_tid))
+        self._uid += 1
+        by_tid.append(event)
+        self.events.append(event)
+        if self.fast:
+            self._stamp_release_chain(event)
+        return event
+
+    def commit_write(self, event: Event) -> Event:
+        """Commit a previously :meth:`issue_write`-issued store to mo.
+
+        Places the event at the mo-tail of its location (assigning the
+        dense lid / mo index the fast-path views and the sanitizer rely
+        on) and, for seq_cst stores, appends it to the global SC order —
+        commit is the point where the store becomes globally visible, so
+        that is its SC position.
+        """
+        if event.mo_index >= 0:
+            raise ValueError(f"{event!r} is already committed to mo")
+        self._append_mo(event, event.loc)
+        if event.order.is_seq_cst:
+            event.sc_index = len(self.sc_order)
+            self.sc_order.append(event)
+        return event
+
     def add_read(self, tid: int, loc: str, source: Event,
                  order: MemoryOrder) -> Event:
         """Append a load event reading from ``source``."""

@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Tuple
 from ..core.depth import estimate_parameters
 from ..core.pctwm import PCTWMScheduler
 from ..harness.seeding import derive_trial_seed
+from ..memory.model import resolve_model
 from ..runtime.errors import ReproError
 from ..runtime.executor import RunResult, run_once
 from ..runtime.program import Program
@@ -124,7 +125,7 @@ def _bug_signature(result: RunResult) -> tuple:
 
 def _replay_decisions(program_factory: Callable[[], Program],
                       trace: Trace, decisions: List[Tuple[str, int]],
-                      max_steps: int,
+                      max_steps: int, model: str = "c11",
                       ) -> Tuple[Optional[RunResult], int]:
     """Replay a candidate decision list; ``(None, 0)`` on divergence.
 
@@ -136,16 +137,17 @@ def _replay_decisions(program_factory: Callable[[], Program],
     candidate = replace(trace, decisions=list(decisions))
     scheduler = ReplayScheduler(candidate)
     try:
-        result = run_once(program_factory(), scheduler, max_steps=max_steps,
-                          spin_threshold=trace.spin_threshold,
-                          keep_graph=False)
+        result = resolve_model(model).run_once(
+            program_factory(), scheduler, max_steps=max_steps,
+            spin_threshold=trace.spin_threshold,
+            keep_graph=False)
     except ReproError:
         return None, 0
     return result, scheduler.consumed
 
 
 def minimize_trace(program_factory: Callable[[], Program], trace: Trace,
-                   max_steps: int = 20000) -> Trace:
+                   max_steps: int = 20000, model: str = "c11") -> Trace:
     """Shrink a bug-reproducing trace while preserving its outcome.
 
     Greedy ddmin-style descent: attempt chunk deletions (halving the
@@ -159,7 +161,7 @@ def minimize_trace(program_factory: Callable[[], Program], trace: Trace,
     outcome to preserve — deleting everything would trivially "work").
     """
     base, used = _replay_decisions(program_factory, trace,
-                                   list(trace.decisions), max_steps)
+                                   list(trace.decisions), max_steps, model)
     if base is None:
         raise ValueError("trace does not replay against this program")
     if not base.bug_found:
@@ -175,7 +177,7 @@ def minimize_trace(program_factory: Callable[[], Program], trace: Trace,
                 i += chunk
                 continue
             result, used = _replay_decisions(program_factory, trace,
-                                             shorter, max_steps)
+                                             shorter, max_steps, model)
             if result is not None and result.bug_found \
                     and _bug_signature(result) == target:
                 best = shorter[:used]

@@ -1,5 +1,12 @@
-"""x86-TSO engine and testing algorithms (memory-model-agnostic demo)."""
+"""x86-TSO: store-buffer engine, schedulers, and the generic backend."""
 
+from .backend import (
+    FlushAgent,
+    FlushOp,
+    TsoExecutionState,
+    run_once_tso,
+)
+from .backend import TsoExecutor as TsoBackendExecutor
 from .engine import (
     Action,
     FLUSH,
@@ -20,14 +27,19 @@ from .schedulers import (
 __all__ = [
     "Action",
     "FLUSH",
+    "FlushAgent",
+    "FlushOp",
     "STEP",
+    "TsoBackendExecutor",
     "TsoDelayedWriteScheduler",
     "TsoEagerScheduler",
+    "TsoExecutionState",
     "TsoExecutor",
     "TsoNaiveScheduler",
     "TsoPCTScheduler",
     "TsoRunResult",
     "TsoScheduler",
     "TsoState",
+    "run_once_tso",
     "run_tso",
 ]

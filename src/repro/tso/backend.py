@@ -1,0 +1,445 @@
+"""The x86-TSO backend for the generic scheduler stack.
+
+:mod:`repro.tso.engine` drives TSO programs with its own action-based
+scheduler API.  This module instead plugs TSO into the *generic*
+execution pipeline (:class:`repro.runtime.executor.Executor`), so the
+probabilistic schedulers — naive, PCT, PCTWM, POS — test TSO programs
+unchanged.  The trick is to make the model's extra nondeterminism look
+like thread nondeterminism:
+
+* every thread ``i`` gets a *flush agent* — a pseudo-thread with tid
+  ``n + i`` whose pending op is always a :class:`FlushOp` for the oldest
+  entry of thread ``i``'s store buffer, enabled iff the buffer is
+  non-empty;
+* a store *issue* buffers the write (created via
+  ``ExecutionGraph.issue_write`` with its declared order, so labels and
+  release chains are right) and does **not** fire scheduler hooks — the
+  event is not yet globally visible, and an uncommitted event
+  (``mo_index == -1``) must never reach a ``FastView``;
+* a flush *commit* is the communication event (``FlushOp._comm`` is
+  True): it lands the write at the mo-tail via
+  ``ExecutionGraph.commit_write`` and fires ``on_event_executed``, so
+  PCTWM's priority-change and communication-sink logic delay *flushes*
+  — exactly the W→R reordering TSO permits and nothing else;
+* reads are deterministic under TSO (forward from the newest
+  same-location own-buffer entry, else the committed mo-max), so
+  ``choose_read_from`` is never consulted and recorded traces stay
+  THREAD-choice-only — replay and bug artifacts work unchanged.
+
+Fences and RMWs drain the issuing thread's buffer first (x86 ``MFENCE``
+/ ``LOCK`` semantics); seq_cst stores drain right after issue (the
+MOV+MFENCE mapping).  A join additionally waits for the target's buffer
+to drain, so joined results are globally visible.
+
+Sanitization relies on the end-of-run :func:`repro.memory.axioms
+.check_consistency` audit: the *incremental* checker assumes writes
+reach mo at creation and would misread buffer-forwarded rf sources
+(``mo_index`` still ``-1`` at read time), so it is not attached.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..memory.events import Event, _UNSTAMPED, clock_join
+from ..runtime.errors import (
+    AssertionViolation,
+    ProgramDefinitionError,
+    ReproError,
+)
+from ..runtime.executor import ExecutionState, Executor, RunResult
+from ..runtime.ops import (
+    CasOp,
+    FenceOp,
+    JoinOp,
+    LoadOp,
+    Op,
+    RmwOp,
+    SpawnOp,
+    StoreOp,
+    YieldOp,
+    _op_uids,
+)
+from ..runtime.program import Program
+from ..runtime.scheduler import Scheduler
+
+__all__ = ["FlushAgent", "FlushOp", "TsoExecutionState", "TsoExecutor",
+           "run_once_tso"]
+
+
+class FlushOp(Op):
+    """Commit the oldest store-buffer entry of one thread.
+
+    One FlushOp is created per issued store (a fresh ``uid``, so
+    op-keyed scheduler state — PCTWM's ``counted``/``_reordered`` sets,
+    POS's per-op priorities — treats every flush as a distinct
+    schedulable event).  ``_comm = True``: a flush is the point a store
+    becomes visible to other threads, i.e. the model's communication
+    event; PCTWM may place a communication sink on it and delay it.
+    """
+
+    __slots__ = ("event",)
+
+    _comm = True
+
+    def __init__(self, event: Event):
+        self.uid = next(_op_uids)
+        self.event = event
+
+    @property
+    def loc(self) -> str:
+        return self.event.loc
+
+    def _fields(self):
+        return (("loc", self.event.loc), ("tid", self.event.tid))
+
+
+class FlushAgent:
+    """Pseudo-thread that owns the flush actions of one real thread.
+
+    Duck-types the slice of :class:`repro.runtime.thread.ThreadState`
+    that schedulers and diagnostics touch (``tid``/``name``/``pending``/
+    ``site_key``/``finished``/``events_executed``).  Never ``finished``:
+    its enabledness is "owner's buffer non-empty", checked by
+    :meth:`TsoExecutionState.enabled_tids`, and run termination counts
+    non-empty buffers, not agent completion.
+    """
+
+    __slots__ = ("tid", "name", "pending", "pending_is_join",
+                 "pending_site", "site_key", "finished", "result",
+                 "pending_sync_sources", "events_executed")
+
+    def __init__(self, tid: int, owner_name: str):
+        self.tid = tid
+        self.name = f"flush({owner_name})"
+        self.pending: Optional[FlushOp] = None
+        self.pending_is_join = False
+        self.pending_site = -1
+        self.site_key = (tid, -1)
+        self.finished = False
+        self.result = None
+        self.pending_sync_sources: List[Event] = []
+        self.events_executed = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FlushAgent {self.tid}:{self.name} pending={self.pending!r}>"
+
+
+class TsoExecutionState(ExecutionState):
+    """Execution state with per-thread store buffers and flush agents.
+
+    ``threads`` holds the ``n`` real threads followed by ``n`` flush
+    agents (tids ``n..2n-1``; agent ``n + i`` drains thread ``i``'s
+    buffer), so priority-based schedulers assign priorities to flush
+    agents exactly as to threads.  ``_unfinished`` counts live real
+    threads *plus* non-empty buffers: zero means every thread returned
+    and every store committed, the generic loop's termination test.
+    """
+
+    def __init__(self, program: Program, spin_threshold: int = 8,
+                 fast: bool = True):
+        super().__init__(program, spin_threshold, fast=fast)
+        self._install_agents()
+
+    def _install_agents(self) -> None:
+        n = len(self.threads)
+        self.n_real = n
+        #: Per-thread FIFO of pending FlushOps (deque: flushes pop the head).
+        self.buffers: List[Deque[FlushOp]] = [deque() for _ in range(n)]
+        self.agents = [FlushAgent(n + i, self.threads[i].name)
+                       for i in range(n)]
+        self.threads.extend(self.agents)
+        n2 = 2 * n
+        self.clocks = [(0,) * n2 for _ in range(n2)]
+        # Flush agents are deliberately absent from _by_name: joins may
+        # only target real threads.
+
+    def reset(self, program: Optional[Program] = None) -> None:
+        super().reset(program)
+        self._install_agents()
+
+    def enabled_tids(self) -> List[int]:
+        """Real threads that may step, plus agents with buffered stores.
+
+        A join is additionally gated on the target's buffer being empty
+        (the target's effects must be globally visible before the joiner
+        proceeds — x86 thread exit implies a drained buffer).
+        """
+        if self.fast and self._enabled_cache is not None:
+            return self._enabled_cache
+        out: List[int] = []
+        n = self.n_real
+        buffers = self.buffers
+        for t in self.threads[:n]:
+            if t.finished:
+                continue
+            if t.pending_is_join:
+                target = self._by_name.get(t.pending.thread_name)
+                if target is None:
+                    raise ProgramDefinitionError(
+                        f"join target {t.pending.thread_name!r} does not exist"
+                    )
+                if not target.finished or buffers[target.tid]:
+                    continue
+            out.append(t.tid)
+        for i, buffer in enumerate(buffers):
+            if buffer:
+                out.append(n + i)
+        self._enabled_cache = out
+        return out
+
+    def all_finished(self) -> bool:
+        if self.fast:
+            return self._unfinished == 0
+        return all(t.finished for t in self.threads[:self.n_real]) \
+            and not any(self.buffers)
+
+
+class TsoExecutor(Executor):
+    """Generic-scheduler executor for x86-TSO programs."""
+
+    def run(self, state: Optional[ExecutionState] = None) -> RunResult:
+        if state is None:
+            state = TsoExecutionState(self.program, self.spin_threshold,
+                                      fast=self.fast)
+        result = RunResult(self.program.name, self.scheduler.name,
+                           engine=self.engine)
+        # No incremental checker (module docstring); _finish still runs
+        # the full check_consistency audit in sanitize mode.
+        state.sanitizer = None
+        self.scheduler.on_run_start(state)
+        try:
+            self._loop(state, result)
+        except AssertionViolation as violation:
+            result.bug_found = True
+            result.bug_kind = "assertion"
+            result.bug_message = str(violation)
+        self._finish(state, result)
+        return result
+
+    def _run_final_checks(self, state: TsoExecutionState,
+                          result: RunResult) -> None:
+        results = {t.name: t.result
+                   for t in state.threads[:state.n_real]}
+        result.thread_results = results
+        for check in self.program.final_checks:
+            check(results)
+
+    def _finish(self, state: TsoExecutionState, result: RunResult) -> None:
+        if any(state.buffers):
+            # Drain-or-mark: only truncated runs (step/wall budget) reach
+            # here with buffered stores.  Commit them silently — graph
+            # bookkeeping only, no scheduler hooks — so the recorded
+            # graph has no rf source dangling outside writes_by_loc and
+            # post-hoc analysis (fr, coherence audits) cannot crash.
+            for buffer in state.buffers:
+                while buffer:
+                    state.graph.commit_write(buffer.popleft().event)
+        super()._finish(state, result)
+
+    # -- TSO op handlers -----------------------------------------------------
+
+    def _exec_store(self, state: TsoExecutionState, thread, op: StoreOp,
+                    ) -> None:
+        """Issue: buffer the store; its flush agent becomes enabled."""
+        state.k += 1
+        tid = thread.tid
+        loc = op.loc
+        if loc not in self._locs:
+            self._require_loc(loc)
+        bumped = list(state.clocks[tid])
+        bumped[tid] += 1
+        clock = tuple(bumped)
+        state.clocks[tid] = clock
+        event = state.graph.issue_write(tid, loc, op.value, op.order)
+        event.clock = clock
+        races = state.races
+        if races.fast and op.order.is_atomic and loc not in races._na_locs:
+            races._last_write[loc][tid] = event
+        else:
+            races.on_access(event)
+        buffer = state.buffers[tid]
+        if not buffer:
+            state._unfinished += 1
+        flush_op = FlushOp(event)
+        buffer.append(flush_op)
+        state.threads[state.n_real + tid].pending = buffer[0]
+        # No on_event_executed: the event is uncommitted (mo_index -1)
+        # and must not reach scheduler views; its flush fires the hook.
+        thread.advance(None)
+        if thread.finished:
+            state._unfinished -= 1
+            self.scheduler.on_thread_finished(state, thread.tid)
+        state._enabled_cache = None
+        if op.order.is_seq_cst:
+            # MOV + MFENCE: a seq_cst store publishes before the thread
+            # proceeds.
+            self._drain_own(state, tid)
+
+    def _exec_flush(self, state: TsoExecutionState, agent: FlushAgent,
+                    op: FlushOp) -> None:
+        """Commit: the store reaches mo — the communication event."""
+        real_tid = op.event.tid
+        buffer = state.buffers[real_tid]
+        if not buffer or buffer[0] is not op:
+            raise ReproError(f"flush out of buffer order: {op!r}")
+        buffer.popleft()
+        event = state.graph.commit_write(op.event)
+        state.k_com += 1
+        agent.events_executed += 1
+        if buffer:
+            agent.pending = buffer[0]
+        else:
+            agent.pending = None
+            state._unfinished -= 1
+        state._enabled_cache = None
+        self.scheduler.on_event_executed(state, event,
+                                         {"op": op, "flush": True})
+
+    def _drain_own(self, state: TsoExecutionState, tid: int) -> None:
+        """Commit every buffered store of ``tid`` (fence/RMW/sc-store).
+
+        The drain is part of the instruction's own step: commits fire
+        scheduler hooks (the stores become visible) but cost no
+        scheduling steps, mirroring the action-based engine.
+        """
+        buffer = state.buffers[tid]
+        if not buffer:
+            return
+        agent = state.threads[state.n_real + tid]
+        scheduler = self.scheduler
+        while buffer:
+            flush_op = buffer.popleft()
+            event = state.graph.commit_write(flush_op.event)
+            state.k_com += 1
+            agent.events_executed += 1
+            scheduler.on_event_executed(state, event,
+                                        {"op": flush_op, "flush": True})
+        agent.pending = None
+        state._unfinished -= 1
+        state._enabled_cache = None
+
+    def _exec_load(self, state: TsoExecutionState, thread, op: LoadOp,
+                   ) -> None:
+        """TSO loads are deterministic: forward-or-committed-max.
+
+        ``choose_read_from`` is never consulted — the model has no rf
+        freedom, only flush timing — so traces stay THREAD-choice-only.
+        """
+        state.k_com += 1
+        state.k += 1
+        tid = thread.tid
+        loc = op.loc
+        order = op.order
+        if loc not in self._locs:
+            self._require_loc(loc)
+        spins = state.spins
+        site_key = thread.site_key
+        spinning = spins.is_spinning(site_key) if spins._hot else False
+        source: Optional[Event] = None
+        for flush_op in reversed(state.buffers[tid]):
+            if flush_op.event.loc == loc:
+                source = flush_op.event
+                break
+        forwarded = source is not None
+        if source is None:
+            source = state.graph.writes_by_loc[loc][-1]
+        result = source.wval
+        # Forwarded reads are same-thread (po-ordered): no sw edge.  A
+        # committed source synchronizes exactly as on the C11 path.
+        sync_source = fence_source = None
+        if not forwarded and not source.is_init:
+            chain = source._release_chain
+            if chain is _UNSTAMPED:
+                chain = state.graph.release_source_reference(source)
+            if chain is not None:
+                if order.is_acquire:
+                    sync_source = fence_source = chain
+                else:
+                    thread.pending_sync_sources.append(chain)
+                    fence_source = chain
+        clock = state.clocks[tid]
+        if sync_source is not None and not sync_source.is_init:
+            clock = clock_join(clock, sync_source.clock)
+        bumped = list(clock)
+        bumped[tid] += 1
+        clock = tuple(bumped)
+        state.clocks[tid] = clock
+        event = state.graph.add_read(tid, loc, source, order)
+        event.clock = clock
+        if not forwarded:
+            read_floor = state.visibility._read_floor
+            key = (tid, loc)
+            if source.mo_index > read_floor[key]:
+                read_floor[key] = source.mo_index
+        spins.note(site_key, result)
+        races = state.races
+        if races.fast and order.is_atomic and loc not in races._na_locs:
+            races._last_read[loc][tid] = event
+        else:
+            races.on_access(event)
+        scheduler = self.scheduler
+        scheduler.on_event_executed(state, event, {
+            "op": op,
+            "sync_source": sync_source,
+            "release_chain_source": fence_source,
+            "spinning": spinning,
+        })
+        thread.advance(result)
+        if thread.finished:
+            state._enabled_cache = None
+            state._unfinished -= 1
+            scheduler.on_thread_finished(state, thread.tid)
+        elif thread.pending_is_join:
+            state._enabled_cache = None
+
+    def _exec_fence(self, state: TsoExecutionState, thread, op: FenceOp,
+                    ) -> None:
+        self._drain_own(state, thread.tid)
+        Executor._exec_fence(self, state, thread, op)
+
+    def _exec_rmw(self, state: TsoExecutionState, thread, op: RmwOp,
+                  ) -> None:
+        # LOCK-prefixed: drains, then reads the committed mo-max — the
+        # base handler's source choice is exactly right post-drain.
+        self._drain_own(state, thread.tid)
+        Executor._exec_rmw(self, state, thread, op)
+
+    def _exec_cas(self, state: TsoExecutionState, thread, op: CasOp,
+                  ) -> None:
+        self._drain_own(state, thread.tid)
+        Executor._exec_cas(self, state, thread, op)
+
+    def _exec_spawn(self, state: TsoExecutionState, thread, op: SpawnOp,
+                    ) -> None:
+        raise ProgramDefinitionError(
+            "SpawnOp is not supported under the TSO backend: flush "
+            "agents are allocated per thread at run start"
+        )
+
+    _DISPATCH = {
+        YieldOp: Executor._exec_yield,
+        JoinOp: Executor._exec_join,
+        SpawnOp: _exec_spawn,
+        LoadOp: _exec_load,
+        StoreOp: _exec_store,
+        RmwOp: _exec_rmw,
+        CasOp: _exec_cas,
+        FenceOp: _exec_fence,
+        FlushOp: _exec_flush,
+    }
+
+
+def run_once_tso(program: Program, scheduler: Scheduler,
+                 max_steps: int = 20000, spin_threshold: int = 8,
+                 keep_graph: bool = True,
+                 wall_timeout_s: Optional[float] = None,
+                 sanitize: bool = False, engine: str = "fast") -> RunResult:
+    """Convenience wrapper: one generic-scheduler run under TSO."""
+    executor = TsoExecutor(program, scheduler, max_steps=max_steps,
+                           spin_threshold=spin_threshold,
+                           keep_graph=keep_graph,
+                           wall_timeout_s=wall_timeout_s,
+                           sanitize=sanitize, engine=engine)
+    return executor.run()

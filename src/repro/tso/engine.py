@@ -19,16 +19,30 @@ TSO semantics implemented here:
 * flushes are scheduler-visible actions, so testing algorithms control
   the reordering the model allows (W→R), and nothing else.
 
-The engine reuses the event/graph vocabulary of :mod:`repro.memory`; a
-write event exists from issue time but enters mo only at flush time.
+The engine reuses the event/graph vocabulary of :mod:`repro.memory`: a
+write event exists from issue time (``ExecutionGraph.issue_write``, with
+the op's *declared* memory order) and enters mo only at flush time
+(``ExecutionGraph.commit_write`` — the ``_append_mo`` path, so dense
+location ids, mo-tail arrays and SC-order membership are maintained
+exactly as on the C11 path).
+
+Two drivers share these semantics:
+
+* this module's :class:`TsoExecutor` / :func:`run_tso` — the original
+  action-based driver for the TSO-specific schedulers in
+  :mod:`repro.tso.schedulers`;
+* :mod:`repro.tso.backend` — the :class:`repro.memory.model.MemoryModel`
+  backend that exposes flushes as schedulable pseudo-threads so the
+  generic probabilistic schedulers (naive/pct/pctwm/pos) drive TSO runs.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
-from ..memory.events import Event, EventKind, Label, MemoryOrder
+from ..memory.events import Event
 from ..memory.execution import ExecutionGraph
 from ..runtime.errors import AssertionViolation, ProgramDefinitionError, \
     ReproError
@@ -73,17 +87,68 @@ class TsoRunResult:
         return self.bug_found
 
 
+def read_source(state, tid: int, loc: str) -> Event:
+    """The unique TSO rf source for a load: forward-or-committed-max.
+
+    A thread first forwards from the newest same-location entry of its
+    *own* store buffer; with no buffered entry it reads the mo-maximal
+    committed write (TSO is multi-copy atomic: every thread agrees on
+    the committed state, there is no stale-read freedom).  Shared by the
+    action-based driver and the generic-scheduler backend.
+    """
+    for event in reversed(state.buffers[tid]):
+        if event.loc == loc:
+            return event
+    return state.graph.mo_max(loc)
+
+
+def commit_flush(state, tid: int) -> Event:
+    """Pop the oldest buffered store of thread ``tid`` and commit it.
+
+    Commits through the graph's mo-insertion path (``commit_write`` →
+    ``_append_mo``), so dense lids, mo-tail arrays, SC-order membership
+    and the per-location write vectors stay coherent — the fast-path
+    views and the consistency sanitizer read all of them.
+    """
+    buffer = state.buffers[tid]
+    if not buffer:
+        raise ReproError(f"flush of empty buffer (t{tid})")
+    event = buffer.popleft()
+    state.graph.commit_write(event)
+    return event
+
+
+def drain_buffers(state, tids=None) -> List[Event]:
+    """Commit every remaining buffered store (in buffer order).
+
+    Used by fences/RMWs (one thread) and by the drain-on-truncation path
+    (all threads): a run abandoned at ``max_steps`` must not leave read
+    events whose ``reads_from`` points at writes absent from
+    ``writes_by_loc`` — downstream coherence analysis indexes mo arrays
+    by ``mo_index`` and would crash on the dangling ``-1`` entries.
+    """
+    committed: List[Event] = []
+    if tids is None:
+        tids = range(len(state.buffers))
+    for tid in tids:
+        while state.buffers[tid]:
+            committed.append(commit_flush(state, tid))
+    return committed
+
+
 class TsoState:
     """Per-run state: threads, store buffers, and the execution graph."""
 
     def __init__(self, program: Program):
         self.program = program
         self.graph = ExecutionGraph()
+        self.init_writes: Dict[str, Event] = {}
         for loc, init in program.locations.items():
-            self.graph.add_init_write(loc, init)
+            self.init_writes[loc] = self.graph.add_init_write(loc, init)
         self.threads: List[ThreadState] = program.instantiate()
-        #: Per-thread FIFO of issued-but-uncommitted write events.
-        self.buffers: List[List[Event]] = [[] for _ in self.threads]
+        #: Per-thread FIFO of issued-but-uncommitted write events.  A
+        #: deque: flushes pop from the head, and ``list.pop(0)`` is O(n).
+        self.buffers: List[Deque[Event]] = [deque() for _ in self.threads]
         self.steps = 0
         self.k = 0
         self.k_writes = 0
@@ -187,6 +252,10 @@ class TsoExecutor:
         while not state.all_done():
             if state.steps >= self.max_steps:
                 result.limit_exceeded = True
+                # Drain-or-mark: the run is inconclusive, but the graph
+                # must stay analyzable — commit the abandoned buffered
+                # stores so no read's rf source dangles outside mo.
+                drain_buffers(state)
                 return
             actions = state.enabled_actions()
             if not actions:
@@ -210,7 +279,7 @@ class TsoExecutor:
         kind, tid = action
         state.steps += 1
         if kind == FLUSH:
-            self._flush_one(state, tid)
+            commit_flush(state, tid)
             return
         thread = state.threads[tid]
         op = thread.pending
@@ -227,28 +296,27 @@ class TsoExecutor:
         elif isinstance(op, LoadOp):
             self._do_load(state, thread, op)
         elif isinstance(op, FenceOp):
-            self._drain(state, tid)
-            event = state.graph.add_fence(tid, op.order)
-            del event
+            drain_buffers(state, (tid,))
+            state.graph.add_fence(tid, op.order)
             thread.advance(None)
         elif isinstance(op, RmwOp):
-            self._drain(state, tid)
+            drain_buffers(state, (tid,))
             source = state.graph.mo_max(op.loc)
-            old = source.label.wval
+            old = source.wval
             state.graph.add_rmw(tid, op.loc, source, op.update(old),
-                                MemoryOrder.SEQ_CST)
+                                op.order)
             thread.advance(old)
         elif isinstance(op, CasOp):
-            self._drain(state, tid)
+            drain_buffers(state, (tid,))
             source = state.graph.mo_max(op.loc)
-            old = source.label.wval
+            old = source.wval
             if old == op.expected:
                 state.graph.add_rmw(tid, op.loc, source, op.desired,
-                                    MemoryOrder.SEQ_CST)
+                                    op.success_order)
                 thread.advance((True, old))
             else:
                 state.graph.add_read(tid, op.loc, source,
-                                     MemoryOrder.SEQ_CST)
+                                     op.failure_order)
                 thread.advance((False, old))
         else:
             raise ReproError(
@@ -259,16 +327,12 @@ class TsoExecutor:
                      op: StoreOp) -> None:
         if op.loc not in self.program.locations:
             raise ProgramDefinitionError(f"unknown location {op.loc!r}")
-        # Create the event now (issue); it enters mo at flush time.
-        event = Event(
-            uid=state.graph._uid, tid=thread.tid,
-            label=Label(EventKind.WRITE, MemoryOrder.RELAXED, op.loc,
-                        wval=op.value),
-        )
-        state.graph._uid += 1
-        event.po_index = len(state.graph.events_by_tid[thread.tid])
-        state.graph.events_by_tid[thread.tid].append(event)
-        state.graph.events.append(event)
+        # Create the event now (issue), carrying the op's *declared*
+        # order — seq_cst stores must reach the SC order at commit time
+        # and artifacts/diagnostics must see the program's real orders.
+        # It enters mo at flush time.
+        event = state.graph.issue_write(thread.tid, op.loc, op.value,
+                                        op.order)
         state.buffers[thread.tid].append(event)
         state.k_writes += 1
         self.scheduler.on_write_issued(state, event)
@@ -276,41 +340,18 @@ class TsoExecutor:
             # The standard C11-to-x86 mapping compiles a seq_cst store to
             # MOV + MFENCE: the buffer drains before the thread proceeds
             # (rel/acq/relaxed stores are plain MOVs and stay buffered).
-            self._drain(state, thread.tid)
+            drain_buffers(state, (thread.tid,))
         thread.advance(None)
 
     def _do_load(self, state: TsoState, thread: ThreadState,
                  op: LoadOp) -> None:
         if op.loc not in self.program.locations:
             raise ProgramDefinitionError(f"unknown location {op.loc!r}")
-        forwarded = state.buffered_value(thread.tid, op.loc)
-        source = forwarded if forwarded is not None \
-            else state.graph.mo_max(op.loc)
         # Buffer-forwarded reads reference the uncommitted write; the
         # graph read still records rf to it (mo position comes later).
-        event = Event(
-            uid=state.graph._uid, tid=thread.tid,
-            label=Label(EventKind.READ, MemoryOrder.RELAXED, op.loc,
-                        rval=source.label.wval),
-        )
-        state.graph._uid += 1
-        event.po_index = len(state.graph.events_by_tid[thread.tid])
-        event.reads_from = source
-        state.graph.events_by_tid[thread.tid].append(event)
-        state.graph.events.append(event)
-        thread.advance(source.label.wval)
-
-    def _flush_one(self, state: TsoState, tid: int) -> None:
-        buffer = state.buffers[tid]
-        if not buffer:
-            raise ReproError(f"flush of empty buffer (t{tid})")
-        event = buffer.pop(0)
-        event.mo_index = len(state.graph.writes_by_loc[event.loc])
-        state.graph.writes_by_loc[event.loc].append(event)
-
-    def _drain(self, state: TsoState, tid: int) -> None:
-        while state.buffers[tid]:
-            self._flush_one(state, tid)
+        source = read_source(state, thread.tid, op.loc)
+        state.graph.add_read(thread.tid, op.loc, source, op.order)
+        thread.advance(source.wval)
 
 
 def run_tso(program: Program, scheduler: TsoScheduler,

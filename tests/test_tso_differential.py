@@ -1,0 +1,131 @@
+"""Differential TSO-vs-C11 testing on data-race-free programs.
+
+On programs without weak-memory sensitivity, the two backends must
+agree: every run, on either model, under any scheduler seed, ends in
+the same final memory state.  Two program families pin this:
+
+* *determinate* programs — disjoint-location writers and atomic RMW
+  counters — whose final state is the same under every interleaving,
+  so agreement is checked seed-for-seed against the one expected state;
+* seq_cst litmus shapes — under all-SC accesses, TSO stores drain
+  their buffer at issue (MOV+MFENCE) and the C11 axioms forbid non-SC
+  outcomes, so the weak outcome must be unreachable on *both* backends
+  and the final memory state must coincide.
+
+A divergence here means one backend built a different execution graph
+for a program whose semantics the models share — exactly the class of
+bug the old TSO demo engine hid by discarding declared memory orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import NaiveRandomScheduler, PCTWMScheduler
+from repro.litmus.programs import message_passing, store_buffering
+from repro.memory import resolve_model
+from repro.memory.events import RLX, SC
+from repro.runtime import Program
+
+C11 = resolve_model("c11")
+TSO = resolve_model("tso")
+
+SEEDS = range(20)
+
+
+def final_memory(result) -> dict:
+    """Location -> mo-maximal value of a finished run's graph."""
+    graph = result.graph
+    return {loc: graph.mo_max(loc).wval for loc in graph.writes_by_loc}
+
+
+def disjoint_writers(order) -> Program:
+    """Three threads, each the sole writer of its own two locations."""
+    p = Program("disjoint-writers")
+    handles = {f"L{i}{j}": p.atomic(f"L{i}{j}", 0)
+               for i in range(3) for j in range(2)}
+
+    def make_body(i):
+        def body():
+            for j in range(2):
+                for value in (1, 2, i + 10):
+                    yield handles[f"L{i}{j}"].store(value, order)
+        return body
+
+    for i in range(3):
+        p.add_thread(make_body(i))
+    return p
+
+
+def rmw_counter(order, threads: int = 3, increments: int = 5) -> Program:
+    """Atomic fetch_add counter: final value is interleaving-invariant."""
+    p = Program("rmw-counter")
+    counter = p.atomic("C", 0)
+
+    def body():
+        for _ in range(increments):
+            yield counter.fetch_add(1, order)
+
+    for _ in range(threads):
+        p.add_thread(body)
+    return p
+
+
+SCHEDULER_MAKERS = (
+    lambda seed: NaiveRandomScheduler(seed=seed),
+    lambda seed: PCTWMScheduler(2, 8, 2, seed=seed),
+)
+
+
+class TestDeterminatePrograms:
+    @pytest.mark.parametrize("order", (RLX, SC), ids=("rlx", "sc"))
+    def test_disjoint_writers_agree(self, order):
+        expected = {f"L{i}{j}": i + 10 for i in range(3) for j in range(2)}
+        for make in SCHEDULER_MAKERS:
+            for seed in SEEDS:
+                for model in (C11, TSO):
+                    result = model.run_once(disjoint_writers(order),
+                                            make(seed), max_steps=2000)
+                    assert not result.limit_exceeded
+                    assert final_memory(result) == expected, \
+                        f"{model.name} diverged at seed {seed}"
+
+    @pytest.mark.parametrize("order", (RLX, SC), ids=("rlx", "sc"))
+    def test_rmw_counter_agrees(self, order):
+        for make in SCHEDULER_MAKERS:
+            for seed in SEEDS:
+                for model in (C11, TSO):
+                    result = model.run_once(rmw_counter(order),
+                                            make(seed), max_steps=2000)
+                    assert not result.limit_exceeded
+                    assert final_memory(result)["C"] == 15, \
+                        f"{model.name} lost an increment at seed {seed}"
+
+
+class TestSeqCstLitmus:
+    """All-SC litmus shapes are weak-outcome-free on both backends."""
+
+    def test_sb_seq_cst_never_weak_and_states_agree(self):
+        for seed in SEEDS:
+            states = {}
+            for model in (C11, TSO):
+                result = model.run_once(store_buffering(order=SC),
+                                        NaiveRandomScheduler(seed=seed),
+                                        max_steps=2000)
+                assert not result.bug_found, \
+                    f"{model.name} exhibited the SB weak outcome under SC"
+                states[model.name] = final_memory(result)
+            assert states["c11"] == states["tso"] == {"X": 1, "Y": 1}
+
+    def test_mp_seq_cst_never_weak_and_states_agree(self):
+        for seed in SEEDS:
+            states = {}
+            for model in (C11, TSO):
+                result = model.run_once(
+                    message_passing(data_order=SC, flag_store_order=SC,
+                                    flag_load_order=SC),
+                    NaiveRandomScheduler(seed=seed), max_steps=2000)
+                assert not result.bug_found, \
+                    f"{model.name} exhibited the MP weak outcome under SC"
+                states[model.name] = final_memory(result)
+            assert states["c11"] == states["tso"]

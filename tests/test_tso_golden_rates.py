@@ -1,0 +1,95 @@
+"""Golden regression: TSO litmus hit rates are pinned exactly.
+
+``scripts/regen_tso_golden_rates.py`` records the exact number of
+bug-finding runs for SB/MP/LB on the x86-TSO backend with fixed seeds,
+plus SB hit counts for every TSO-supported scheduler.  Scheduling under
+TSO is a pure function of the seed and the backend's enabled-action /
+communication-event queries (flush agents included), so the counts must
+reproduce byte-exactly — any drift means a scheduling-visible behaviour
+change (intended changes regenerate the golden file and review the
+diff).
+
+Beyond determinism, the golden file pins the memory-model semantics
+themselves: SB's weak outcome is reachable (x86 allows W->R
+reordering), MP's and LB's are not (x86 forbids theirs).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "tso_litmus_rates.json"
+
+
+def load_regen_module():
+    spec = importlib.util.spec_from_file_location(
+        "regen_tso_golden_rates",
+        REPO_ROOT / "scripts" / "regen_tso_golden_rates.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def recomputed():
+    return load_regen_module().compute_golden()
+
+
+def test_golden_file_shape(golden):
+    assert golden["meta"]["model"] == "tso"
+    assert set(golden["rates"]) == {"SB", "MP", "LB"}
+    for cells in golden["rates"].values():
+        assert len(cells) == 9  # d in 1..3 x h in 1..3
+        assert all(isinstance(hits, int) for hits in cells.values())
+    assert set(golden["schedulers"]) == {"naive", "pct", "pctwm", "pos"}
+
+
+def test_hit_rates_reproduce_exactly(golden, recomputed):
+    assert recomputed["meta"] == golden["meta"], (
+        "grid parameters changed: regenerate "
+        "tests/golden/tso_litmus_rates.json"
+    )
+    for name, cells in golden["rates"].items():
+        assert recomputed["rates"][name] == cells, (
+            f"{name} TSO hit counts drifted from the golden file; if the "
+            "change is intentional run scripts/regen_tso_golden_rates.py "
+            "and review the diff"
+        )
+    assert recomputed["schedulers"] == golden["schedulers"], (
+        "per-scheduler SB counts drifted from the golden file; if the "
+        "change is intentional run scripts/regen_tso_golden_rates.py "
+        "and review the diff"
+    )
+
+
+def test_rates_encode_tso_semantics(golden):
+    """The golden grid pins x86-TSO itself, not just determinism.
+
+    SB exhibits the one reordering TSO allows (its two buffered stores
+    flush after the opposing reads), at every (d, h); MP and LB require
+    R->R/W->W and R->W reorderings TSO forbids, so their weak outcomes
+    must never appear.
+    """
+    rates = golden["rates"]
+    assert all(hits > 0 for hits in rates["SB"].values())
+    assert all(hits == 0 for hits in rates["MP"].values())
+    assert all(hits == 0 for hits in rates["LB"].values())
+
+
+def test_every_scheduler_reaches_sb_weak_outcome(golden):
+    """Flush delays are schedulable by all four TSO schedulers — the
+    communication-sink placement (pctwm), priority-change (pct),
+    partial-order sampling (pos), and uniform (naive) mechanisms all
+    produce the W->R reordering."""
+    assert all(hits > 0 for hits in golden["schedulers"].values())
