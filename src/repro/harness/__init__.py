@@ -35,6 +35,11 @@ from .parallel import (
     print_progress,
     run_campaign_parallel,
 )
+from .watchdog import (
+    HeartbeatBoard,
+    Watchdog,
+    WatchdogStats,
+)
 from .seeding import derive_trial_seed
 from .figures import (
     Figure5Bar,
@@ -76,9 +81,12 @@ __all__ = [
     "check_against_baseline",
     "environment_fingerprint",
     "run_bench",
+    "HeartbeatBoard",
     "ReplayReport",
     "TrialJournal",
     "TrialRecord",
+    "Watchdog",
+    "WatchdogStats",
     "bar_chart",
     "load_artifact",
     "replay_artifact",

@@ -76,6 +76,14 @@ RECORD_MODES = ("on_failure", "always")
 #: manually every this many trials to bound floating garbage.
 GC_COLLECT_STRIDE = 512
 
+#: Smallest meaningful per-trial wall-clock budget.  The executor
+#: enforces ``trial_timeout_s`` cooperatively, checking the clock once
+#: per scheduler step; budgets below one step quantum cannot distinguish
+#: a slow trial from any trial at all and just time everything out, so
+#: the CLI rejects them (the API keeps accepting any value — tests use
+#: 0.0 to force deterministic immediate timeouts).
+TRIAL_TIMEOUT_MIN_S = 0.001
+
 
 def sanitize_this_trial(sanitize: str, index: int) -> bool:
     """Whether trial ``index`` runs under the consistency sanitizer.
@@ -144,6 +152,13 @@ class CampaignResult:
     violation_samples: List[str] = field(default_factory=list)
     #: Paths of bug artifacts written during the campaign, trial order.
     artifacts: List[str] = field(default_factory=list)
+    #: Workers the supervisor watchdog hard-killed for stale heartbeats
+    #: (a wedged trial preempted from outside the process).  Infra
+    #: metrics, not trial outcomes: the lost shards were retried, so the
+    #: deterministic aggregates above are unaffected.
+    hang_preemptions: int = 0
+    #: Workers the watchdog recycled for exceeding the RSS ceiling.
+    rss_recycles: int = 0
 
     @property
     def hit_rate(self) -> float:

@@ -12,6 +12,11 @@ wastes all completed work.  The journal makes campaigns durable:
 * **Torn lines are tolerated.**  A process killed mid-write leaves a
   partial last line; :func:`load_journal` skips unparseable lines
   instead of refusing the whole file.
+* **Interrupts are journaled too.**  A campaign stopped by SIGINT or
+  SIGTERM appends a structured ``interrupt`` event (signal name, trials
+  completed) before closing, so operators and the campaign service can
+  tell a drained journal from one whose writer was killed outright.
+  Event lines are ignored by resume — only ``trial`` records fold.
 * **Resume is exact.**  Trial seeds depend only on ``(base_seed,
   index)``, and the journal stores per-trial elapsed times verbatim
   (JSON floats round-trip exactly), so a resumed campaign folds to
@@ -154,6 +159,22 @@ class TrialJournal:
                                   version=JOURNAL_VERSION))
             self._sync()
         return done
+
+    def append_event(self, kind: str, **fields) -> None:
+        """Durably append one structured non-trial event line.
+
+        Events share the journal's durability contract (single write,
+        flush, fsync) but are invisible to :func:`load_journal`'s record
+        map — resume semantics never depend on them.  Used for interrupt
+        marks (``kind="interrupt"``) and free for future lifecycle
+        events; ``kind`` must not collide with the reserved line kinds.
+        """
+        if self._fh is None:
+            raise ValueError("journal is not open; call start() first")
+        if kind in ("trial", "campaign-journal"):
+            raise ValueError(f"reserved journal line kind {kind!r}")
+        self._write_line(dict(fields, kind=kind))
+        self._sync()
 
     def append(self, records: Iterable[TrialRecord]) -> None:
         """Journal completed trials durably (flush + fsync).

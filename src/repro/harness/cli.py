@@ -19,6 +19,13 @@ plus utility commands beyond the artifact:
     python -m repro replay art/trial-000007.json --minimize
     python -m repro bench                         # write BENCH_engine.json
     python -m repro bench --quick --check         # CI perf smoke gate
+
+and the campaign service (see repro.service):
+
+    python -m repro serve --state-dir svc/        # campaign-job daemon
+    python -m repro job submit seqlock --trials 500 --jobs 4
+    python -m repro job result job-000001 --wait
+    python -m repro job drain
 """
 
 from __future__ import annotations
@@ -66,6 +73,22 @@ def _positive_float(text: str) -> float:
         raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _trial_timeout(text: str) -> float:
+    """A ``--trial-timeout`` value: positive and at least the quantum.
+
+    The budget is checked once per scheduler step, so values below one
+    step quantum cannot distinguish a slow trial from any trial at all.
+    """
+    from .campaign import TRIAL_TIMEOUT_MIN_S
+
+    value = _positive_float(text)
+    if value < TRIAL_TIMEOUT_MIN_S:
+        raise argparse.ArgumentTypeError(
+            f"must be >= {TRIAL_TIMEOUT_MIN_S}s (one scheduler-step "
+            f"quantum), got {value}")
     return value
 
 
@@ -146,11 +169,23 @@ def _build_parser() -> argparse.ArgumentParser:
                               default=20000)
     campaign_cmd.add_argument("--progress", action="store_true",
                               help="print per-shard progress to stderr")
-    campaign_cmd.add_argument("--trial-timeout", type=_positive_float,
+    campaign_cmd.add_argument("--trial-timeout", type=_trial_timeout,
                               default=None, metavar="SECONDS",
                               help="per-trial wall-clock budget; "
                                    "over-budget trials are recorded as "
                                    "timeouts, not hangs")
+    campaign_cmd.add_argument("--hang-timeout", type=_positive_float,
+                              default=None, metavar="SECONDS",
+                              help="preemptive hang budget: a pool "
+                                   "worker whose heartbeat stays stale "
+                                   "this long is hard-killed and its "
+                                   "shard retried (bit-identically); "
+                                   "must exceed --trial-timeout")
+    campaign_cmd.add_argument("--memory-limit-mb", type=_positive_float,
+                              default=None, metavar="MIB",
+                              help="soft per-worker RSS ceiling; "
+                                   "workers above it are recycled "
+                                   "without affecting results")
     campaign_cmd.add_argument("--checkpoint", default=None, metavar="PATH",
                               help="append completed trials to this JSONL "
                                    "journal as shards finish")
@@ -179,6 +214,93 @@ def _build_parser() -> argparse.ArgumentParser:
                                    "failing trials deterministically with "
                                    "recording on; 'always' records every "
                                    "trial as it runs")
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the campaign-job daemon (local HTTP/JSON API)")
+    serve_cmd.add_argument("--state-dir", default=".repro-service",
+                           metavar="DIR",
+                           help="job records and checkpoint journals "
+                                "live here; restarting with the same "
+                                "dir resumes interrupted jobs")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=_nonnegative_int, default=None,
+                           help="listen port (default 8642; 0 picks an "
+                                "ephemeral port, advertised in "
+                                "STATE_DIR/endpoint.json)")
+    serve_cmd.add_argument("--rate", type=_positive_float, default=2.0,
+                           help="sustained job submissions accepted "
+                                "per second (token bucket)")
+    serve_cmd.add_argument("--burst", type=_positive_int, default=10,
+                           help="submission burst size before 429s")
+    serve_cmd.add_argument("--start-method", default=None,
+                           choices=("fork", "spawn", "forkserver"),
+                           help="campaign pool start method (default: "
+                                "forkserver — the daemon holds HTTP "
+                                "threads, so fork is unsafe)")
+    serve_cmd.add_argument("--quiet", action="store_true",
+                           help="suppress per-job log lines")
+
+    job_cmd = sub.add_parser(
+        "job", help="submit/inspect jobs on a running campaign daemon")
+    job_sub = job_cmd.add_subparsers(dest="job_command", required=True)
+
+    def add_url(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument("--url", default=None,
+                         help="daemon base URL (default: "
+                              "$REPRO_SERVICE_URL or "
+                              "http://127.0.0.1:8642)")
+
+    submit_cmd = job_sub.add_parser(
+        "submit", help="queue one campaign on the daemon")
+    submit_cmd.add_argument("benchmark")
+    submit_cmd.add_argument("--scheduler", default="pctwm")
+    submit_cmd.add_argument("--trials", type=_positive_int, default=100)
+    submit_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+    submit_cmd.add_argument("--jobs", type=_positive_int, default=1)
+    submit_cmd.add_argument("--depth", type=int, default=None)
+    submit_cmd.add_argument("--history", type=int, default=None)
+    submit_cmd.add_argument("--max-steps", type=_positive_int,
+                            default=20000)
+    submit_cmd.add_argument("--trial-timeout", type=_trial_timeout,
+                            default=None, metavar="SECONDS")
+    submit_cmd.add_argument("--hang-timeout", type=_positive_float,
+                            default=None, metavar="SECONDS")
+    submit_cmd.add_argument("--memory-limit-mb", type=_positive_float,
+                            default=None, metavar="MIB")
+    submit_cmd.add_argument("--max-retries", type=_nonnegative_int,
+                            default=2)
+    add_sanitize(submit_cmd)
+    add_model(submit_cmd)
+    submit_cmd.add_argument("--wait", action="store_true",
+                            help="block until the job finishes and "
+                                 "print its result")
+    add_url(submit_cmd)
+
+    status_cmd = job_sub.add_parser(
+        "status", help="one job's record, or all jobs without an id")
+    status_cmd.add_argument("job_id", nargs="?", default=None)
+    add_url(status_cmd)
+
+    result_cmd = job_sub.add_parser(
+        "result", help="a finished job's result summary")
+    result_cmd.add_argument("job_id")
+    result_cmd.add_argument("--wait", action="store_true",
+                            help="poll until the job finishes")
+    result_cmd.add_argument("--timeout", type=_positive_float,
+                            default=None, metavar="SECONDS",
+                            help="give up waiting after this long")
+    add_url(result_cmd)
+
+    cancel_cmd = job_sub.add_parser(
+        "cancel", help="cancel a queued or running job")
+    cancel_cmd.add_argument("job_id")
+    add_url(cancel_cmd)
+
+    drain_cmd = job_sub.add_parser(
+        "drain", help="ask the daemon to finish its current job, "
+                      "keep the queue, and exit")
+    add_url(drain_cmd)
 
     litmus_cmd = sub.add_parser(
         "litmus", help="run the litmus gallery under every scheduler")
@@ -245,6 +367,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_hunt(args)
     if command == "campaign":
         return _cmd_campaign(args)
+    if command == "serve":
+        return _cmd_serve(args)
+    if command == "job":
+        return _cmd_job(args)
     if command == "litmus":
         return _cmd_litmus(args)
     if command == "replay":
@@ -365,61 +491,48 @@ def _cmd_hunt(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
-    from ..core.depth import estimate_parameters
-    from ..core.factory import SCHEDULER_REGISTRY, SchedulerSpec
-    from ..memory.model import resolve_model
-    from ..workloads import BENCHMARKS, ProgramSpec
-    from .parallel import print_progress, run_campaign_parallel
+def _args_to_job_spec(args):
+    """A validated-later :class:`repro.service.jobs.JobSpec` from CLI
+    campaign/submit arguments (the two commands share flag names)."""
+    from ..service.jobs import JobSpec
 
-    if args.scheduler not in SCHEDULER_REGISTRY:
-        print(f"unknown scheduler {args.scheduler!r}; known: "
-              + ", ".join(sorted(SCHEDULER_REGISTRY)))
-        return 2
-    model = resolve_model(args.model)
-    if not model.supports_scheduler(args.scheduler):
-        print(f"scheduler {args.scheduler!r} is not supported under the "
-              f"{model.name} memory model; supported: "
-              + ", ".join(model.scheduler_allowlist))
-        return 2
-    if args.benchmark not in BENCHMARKS:
-        print(f"unknown benchmark {args.benchmark!r}; known: "
-              + ", ".join(sorted(BENCHMARKS)))
-        return 2
-    info = BENCHMARKS[args.benchmark]
-    program = ProgramSpec(info.name)
-    depth = args.depth if args.depth is not None else info.measured_depth
-    history = args.history if args.history is not None \
-        else info.best_history
-    params = {}
-    if args.scheduler in ("pctwm", "pctwm-fullbag", "pctwm-eager",
-                          "pctwm-nodelay"):
-        est = estimate_parameters(info.build(), runs=3, seed=args.seed,
-                                  model=args.model)
-        params = {"depth": depth, "k_com": est.k_com, "history": history}
-    elif args.scheduler == "pctwm-nohistory":
-        est = estimate_parameters(info.build(), runs=3, seed=args.seed,
-                                  model=args.model)
-        params = {"depth": depth, "k_com": est.k_com}
-    elif args.scheduler in ("pct", "ppct"):
-        est = estimate_parameters(info.build(), runs=3, seed=args.seed,
-                                  model=args.model)
-        params = {"depth": max(depth, 1), "k_events": est.k}
+    return JobSpec(
+        benchmark=args.benchmark,
+        scheduler=args.scheduler,
+        trials=args.trials,
+        seed=args.seed,
+        jobs=args.jobs,
+        depth=args.depth,
+        history=args.history,
+        max_steps=args.max_steps,
+        trial_timeout_s=args.trial_timeout,
+        hang_timeout_s=args.hang_timeout,
+        memory_limit_mb=args.memory_limit_mb,
+        max_retries=args.max_retries,
+        sanitize=args.sanitize,
+        model=args.model,
+        record_mode=getattr(args, "record_mode", "on_failure"),
+        artifact_dir=getattr(args, "artifacts", None),
+    )
+
+
+def _cmd_campaign(args) -> int:
+    from ..service.jobs import run_job
+    from .parallel import print_progress
+
+    spec = _args_to_job_spec(args)
     try:
-        result = run_campaign_parallel(
-            program, SchedulerSpec(args.scheduler, params),
-            trials=args.trials, base_seed=args.seed,
-            max_steps=args.max_steps, jobs=args.jobs,
-            progress=print_progress if args.progress else None,
-            trial_timeout_s=args.trial_timeout,
+        spec.validate()
+    except ValueError as exc:
+        print(str(exc))
+        return 2
+    try:
+        result = run_job(
+            spec,
             checkpoint=args.checkpoint,
             resume=args.resume,
-            max_retries=args.max_retries,
+            progress=print_progress if args.progress else None,
             start_method=args.start_method,
-            sanitize=args.sanitize,
-            artifact_dir=args.artifacts,
-            record_mode=args.record_mode,
-            model=args.model,
         )
     except ValueError as exc:
         print(f"error: {exc}")
@@ -448,6 +561,10 @@ def _cmd_campaign(args) -> int:
         shard_s = " ".join(f"{t:.2f}" for t in result.shard_times_s)
         print(f"  jobs={result.jobs} wall={result.elapsed_s:.2f}s "
               f"shard walls: {shard_s}")
+    if result.hang_preemptions or result.rss_recycles:
+        print(f"  watchdog: {result.hang_preemptions} hang "
+              f"preemption(s), {result.rss_recycles} RSS recycle(s) "
+              f"(shards retried; results unaffected)")
     if result.interrupted:
         print(f"  interrupted: {result.completed}/{result.trials} trials "
               f"aggregated above")
@@ -455,6 +572,87 @@ def _cmd_campaign(args) -> int:
             print(f"  resume with: --checkpoint {args.checkpoint} --resume")
         return 130
     return 0
+
+
+def _cmd_serve(args) -> int:
+    from ..service.daemon import DEFAULT_PORT, CampaignDaemon
+
+    port = args.port if args.port is not None else DEFAULT_PORT
+    daemon = CampaignDaemon(
+        args.state_dir, host=args.host, port=port,
+        rate_per_s=args.rate, burst=args.burst,
+        start_method=args.start_method, quiet=args.quiet)
+    daemon.serve_forever()
+    return 0
+
+
+def _render_job(job: dict) -> str:
+    spec = job.get("spec") or {}
+    line = (f"{job['id']}: {job['status']} "
+            f"{spec.get('benchmark')}/{spec.get('scheduler')} "
+            f"x{spec.get('trials')}")
+    if job.get("progress_trials"):
+        line += f" ({job['progress_trials']} trials journaled)"
+    if job.get("error"):
+        line += f" error: {job['error']}"
+    return line
+
+
+def _print_job_result(job: dict) -> int:
+    import json as _json
+
+    print(_render_job(job))
+    if job.get("result") is not None:
+        print(_json.dumps(job["result"], indent=2, sort_keys=True))
+    status = job["status"]
+    if status == "done":
+        return 0
+    return 130 if status in ("cancelled", "interrupted") else 1
+
+
+def _cmd_job(args) -> int:
+    import json as _json
+
+    from ..service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_command == "submit":
+            spec = {k: v for k, v in _args_to_job_spec(args)
+                    .to_dict().items() if v is not None}
+            job = client.submit(spec)
+            print(_render_job(job))
+            if not args.wait:
+                return 0
+            return _print_job_result(client.wait(job["id"]))
+        if args.job_command == "status":
+            if args.job_id is None:
+                jobs = client.list_jobs()
+                if not jobs:
+                    print("no jobs")
+                for job in jobs:
+                    print(_render_job(job))
+                return 0
+            print(_json.dumps(client.status(args.job_id),
+                              indent=2, sort_keys=True))
+            return 0
+        if args.job_command == "result":
+            if args.wait:
+                return _print_job_result(
+                    client.wait(args.job_id, timeout_s=args.timeout))
+            return _print_job_result(client.status(args.job_id))
+        if args.job_command == "cancel":
+            print(_render_job(client.cancel(args.job_id)))
+            return 0
+        if args.job_command == "drain":
+            client.drain()
+            print("daemon draining: it will finish the current job, "
+                  "keep the queue, and exit")
+            return 0
+    except ServiceError as exc:
+        print(f"error: {exc.message}")
+        return 2
+    raise AssertionError(f"unhandled job command {args.job_command!r}")
 
 
 def _cmd_litmus(args) -> int:

@@ -1,0 +1,143 @@
+"""Env-knob fault injection: make pool workers wedge, leak, or die on cue.
+
+The self-healing campaign runtime claims to survive worker faults that
+ordinary unit tests cannot conveniently produce — a process that stops
+responding *outside* the executor's step loop, a slow leak, an abrupt
+``SIGKILL``.  This rig injects exactly those faults into real pool
+workers, driven by one environment variable so the same injection works
+from pytest, from the CLI, and from a daemon started in CI:
+
+    REPRO_FAULT_INJECT="wedge-once:/tmp/wedged"
+    REPRO_FAULT_INJECT="kill-once:/tmp/killed,leak-once:/tmp/leaked:192"
+
+The value is a comma-separated list of directives, each
+``ACTION-once:SENTINEL[:ARG]``:
+
+``kill-once``
+    ``SIGKILL`` the claiming worker on shard entry (a crash the
+    supervisor must absorb via pool rebuild + retry).
+``wedge-once``
+    Stop stamping heartbeats and sleep on shard entry — a hard wedge
+    immune to the cooperative trial timeout; only the supervisor-side
+    hang watchdog can reclaim the shard.  The sleep is bounded (default
+    120 s, ``:ARG`` seconds) so an unsupervised test fails instead of
+    hanging forever.
+``leak-once``
+    Allocate ``ARG`` MiB (default 192) and pin it in a module global,
+    simulating a leaking trial for the RSS ceiling to catch.
+``stall-once``
+    Sleep ``ARG`` seconds (default 1.0) on shard entry while still
+    counting as busy — widens the window RSS sampling needs without
+    tripping hang detection.
+
+Each directive fires exactly once across the whole worker fleet: the
+sentinel file is claimed with an atomic ``O_CREAT | O_EXCL``, so retried
+shards (and every other worker) run clean — which is what lets tests
+assert that a faulted campaign finishes bit-identical to an unfaulted
+one.  Directives only ever fire inside pool worker processes; the
+supervisor and serial campaigns never inject.
+
+When ``REPRO_FAULT_INJECT`` is unset the rig costs one module-global
+``None`` check per shard.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import sys
+import time
+from typing import List, Optional, Tuple
+
+__all__ = ["FAULT_ENV", "load_directives", "maybe_inject"]
+
+FAULT_ENV = "REPRO_FAULT_INJECT"
+
+ACTIONS = ("kill-once", "wedge-once", "leak-once", "stall-once")
+
+#: Default bound on a wedge, in seconds: long enough that only the hang
+#: watchdog ends it, short enough that a broken watchdog fails the test
+#: run instead of hanging CI forever.
+WEDGE_BOUND_S = 120.0
+
+#: Default size of an injected leak, in MiB.
+LEAK_DEFAULT_MB = 192.0
+
+#: Parsed directives for this process; ``None`` until :func:`load_directives`.
+_DIRECTIVES: Optional[List[Tuple[str, str, Optional[float]]]] = None
+
+#: Injected leaks are pinned here so they stay resident until the
+#: watchdog recycles the worker.
+_LEAKED: List[bytearray] = []
+
+
+def load_directives(env: Optional[str] = None
+                    ) -> List[Tuple[str, str, Optional[float]]]:
+    """Parse ``REPRO_FAULT_INJECT`` once; malformed directives raise.
+
+    Raising (rather than warning) is deliberate: a mistyped injection
+    that silently no-ops would make a fault test pass vacuously.
+    """
+    global _DIRECTIVES
+    raw = os.environ.get(FAULT_ENV, "") if env is None else env
+    directives: List[Tuple[str, str, Optional[float]]] = []
+    for item in filter(None, (part.strip() for part in raw.split(","))):
+        pieces = item.split(":", 2)
+        if len(pieces) < 2 or pieces[0] not in ACTIONS or not pieces[1]:
+            raise ValueError(
+                f"bad {FAULT_ENV} directive {item!r}; expected "
+                f"ACTION:SENTINEL[:ARG] with ACTION in {ACTIONS}")
+        arg: Optional[float] = None
+        if len(pieces) == 3:
+            try:
+                arg = float(pieces[2])
+            except ValueError:
+                raise ValueError(
+                    f"bad {FAULT_ENV} directive {item!r}: "
+                    f"ARG must be a number, got {pieces[2]!r}") from None
+        directives.append((pieces[0], pieces[1], arg))
+    _DIRECTIVES = directives
+    return directives
+
+
+def _claim(sentinel: str) -> bool:
+    """Atomically claim a sentinel file; True for the single winner."""
+    try:
+        fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    except OSError:
+        return False
+    os.close(fd)
+    return True
+
+
+def maybe_inject(heartbeat=None) -> None:
+    """Fire any unclaimed directives; called on worker shard entry.
+
+    ``heartbeat`` is the worker's :class:`~repro.harness.watchdog
+    .WorkerHeartbeat` (or ``None``): a wedge stamps once before sleeping
+    so the watchdog sees a *busy* slot going stale — the exact signature
+    of a real hang.
+    """
+    directives = _DIRECTIVES
+    if not directives:
+        return
+    for action, sentinel, arg in directives:
+        if not _claim(sentinel):
+            continue
+        print(f"  [faultrig] worker {os.getpid()}: injecting {action}",
+              file=sys.stderr, flush=True)
+        if action == "kill-once":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action == "wedge-once":
+            if heartbeat is not None:
+                heartbeat.beat()
+            deadline = time.monotonic() + (arg or WEDGE_BOUND_S)
+            while time.monotonic() < deadline:
+                time.sleep(0.2)
+        elif action == "leak-once":
+            _LEAKED.append(bytearray(int((arg or LEAK_DEFAULT_MB)
+                                         * 1024 * 1024)))
+        elif action == "stall-once":
+            time.sleep(arg if arg is not None else 1.0)

@@ -35,9 +35,21 @@ and *supervises* the shards so one fault cannot destroy a campaign:
   deterministic infrastructure fault surfaces with a real traceback).
 * **Progress is durable.**  With ``checkpoint=PATH`` every completed
   shard is appended to a JSONL trial journal (flushed + fsynced);
-  ``resume=True`` skips already-journaled trials.  SIGINT stops the
-  campaign cleanly: completed work is journaled and the partial
-  aggregates are returned with ``interrupted=True``.
+  ``resume=True`` skips already-journaled trials.  SIGINT *and SIGTERM*
+  (what container orchestrators send) stop the campaign cleanly:
+  completed work is journaled, an ``interrupt`` event is appended, and
+  the partial aggregates are returned with ``interrupted=True``.
+* **Wedged workers are preempted.**  ``trial_timeout_s`` is enforced
+  cooperatively inside the step loop, so it cannot fire while a worker
+  is stuck *outside* it (a factory wedged in native code, an OS stall).
+  With ``hang_timeout_s`` set, warm workers stamp a shared heartbeat
+  slot per trial boundary and a supervisor-side watchdog thread
+  (:mod:`repro.harness.watchdog`) hard-kills any worker whose busy
+  heartbeat goes stale, feeding the lost shard back into the same
+  bounded-retry path — the wall-clock budget becomes preemptive.
+  ``memory_limit_mb`` likewise recycles workers whose RSS crosses a
+  soft ceiling; worker restarts are seed-deterministic, so neither
+  lever can change results.
 
     spec = ProgramSpec("seqlock")
     sched = SchedulerSpec("pctwm", {"depth": 3, "k_com": 18, "history": 2})
@@ -51,14 +63,18 @@ from __future__ import annotations
 import gc
 import multiprocessing
 import os
+import signal
 import sys
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..runtime.executor import RunResult
+from . import faultrig
 from .campaign import (
     GC_COLLECT_STRIDE,
     CampaignAccumulator,
@@ -71,11 +87,13 @@ from .campaign import (
     run_campaign,
 )
 from .checkpoint import TrialJournal
+from .watchdog import HeartbeatBoard, Watchdog, WatchdogStats
 
 __all__ = [
     "CampaignProgress",
     "ShardResult",
     "ShardSpec",
+    "WatchdogStats",
     "print_progress",
     "run_campaign_parallel",
 ]
@@ -83,6 +101,11 @@ __all__ = [
 #: Environment override for the multiprocessing start method used by
 #: campaign pools ("fork", "spawn", or "forkserver").
 START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: Ceiling on the exponential shard-retry backoff.  Retries double from
+#: ``retry_backoff_s`` but never beyond this, so a high retry budget
+#: cannot compound into multi-minute stalls between pool rebuilds.
+RETRY_BACKOFF_CAP_S = 5.0
 
 
 @dataclass
@@ -189,9 +212,13 @@ def _run_shard(shard: ShardSpec) -> ShardResult:
 #: Per-worker-process warm state, materialized once by :func:`_init_worker`.
 _WORKER_RUNNER: Optional[TrialRunner] = None
 _WORKER_TRIALS_SINCE_GC = 0
+#: The worker's claimed heartbeat slot (None when the campaign runs
+#: without a hang watchdog or memory ceiling).
+_WORKER_HEARTBEAT = None
 
 
-def _init_worker(config: ShardSpec) -> None:
+def _init_worker(config: ShardSpec, board: Optional[HeartbeatBoard] = None,
+                 ) -> None:
     """Pool initializer: materialize the worker's warm trial runner.
 
     Runs once per worker process, so the factories are unpickled and the
@@ -199,18 +226,49 @@ def _init_worker(config: ShardSpec) -> None:
     subsequent IPC round only ships trial indices.  The cyclic collector
     is paused for the worker's lifetime (trial loops collect manually,
     see :func:`_run_shard_warm`).
+
+    With a heartbeat ``board`` the worker claims its slot first and runs
+    initialization *busy*, so a factory that wedges while building the
+    warm runner is still preemptible; the slot goes idle on success.
     """
-    global _WORKER_RUNNER, _WORKER_TRIALS_SINCE_GC
+    global _WORKER_RUNNER, _WORKER_TRIALS_SINCE_GC, _WORKER_HEARTBEAT
+    # Fork-started workers inherit the supervisor's SIGTERM handler
+    # (which raises KeyboardInterrupt); a pool worker must simply die
+    # when the executor terminates it.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    heartbeat = board.claim() if board is not None else None
+    if heartbeat is not None:
+        heartbeat.beat()
+    _WORKER_HEARTBEAT = heartbeat
+    faultrig.load_directives()
     _WORKER_RUNNER = config.make_runner()
     _WORKER_TRIALS_SINCE_GC = 0
     gc.disable()
+    if heartbeat is not None:
+        heartbeat.idle()
 
 
 def _run_shard_warm(indices: Tuple[int, ...]) -> ShardResult:
-    """Warm shard entry point: run trial ``indices`` on the pool runner."""
+    """Warm shard entry point: run trial ``indices`` on the pool runner.
+
+    Each trial stamps the worker's heartbeat slot (one shared float
+    store — noise next to even the cheapest trial), and the slot is
+    marked idle on exit so a worker parked between shards is never
+    mistaken for a wedged one.
+    """
     global _WORKER_TRIALS_SINCE_GC
+    heartbeat = _WORKER_HEARTBEAT
     t0 = time.perf_counter()
-    records = [_WORKER_RUNNER.run(index) for index in indices]
+    if heartbeat is not None:
+        heartbeat.beat()
+    faultrig.maybe_inject(heartbeat)
+    records = []
+    for index in indices:
+        if heartbeat is not None:
+            heartbeat.beat()
+        records.append(_WORKER_RUNNER.run(index))
+    if heartbeat is not None:
+        heartbeat.idle()
     _WORKER_TRIALS_SINCE_GC += len(indices)
     if _WORKER_TRIALS_SINCE_GC >= GC_COLLECT_STRIDE:
         _WORKER_TRIALS_SINCE_GC = 0
@@ -264,6 +322,38 @@ def _warn(message: str) -> None:
     print(f"  [campaign] {message}", file=sys.stderr, flush=True)
 
 
+@contextmanager
+def _sigterm_as_interrupt():
+    """Deliver SIGTERM exactly like SIGINT for the duration of the block.
+
+    Container orchestrators stop workloads with SIGTERM; without this,
+    a terminated campaign would skip the journal-flush/partial-result
+    path that SIGINT (KeyboardInterrupt) already takes and lose its
+    checkpoint state.  The handler simply raises ``KeyboardInterrupt``,
+    so one drain path serves both signals; the previous handler is
+    restored on exit.  Signal handlers can only live in the main thread
+    — campaigns run from a worker thread (e.g. inside the campaign
+    daemon) yield an inert context instead.
+
+    Yields a dict that records ``{"signal": "SIGTERM"}`` if the handler
+    fired, letting callers journal which signal drained the campaign.
+    """
+    seen: Dict[str, str] = {}
+    if threading.current_thread() is not threading.main_thread():
+        yield seen
+        return
+
+    def handler(signum, frame):
+        seen["signal"] = "SIGTERM"
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, handler)
+    try:
+        yield seen
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 class _ShardSupervisor:
     """Runs shards to completion across pool failures and interrupts.
 
@@ -277,7 +367,11 @@ class _ShardSupervisor:
                  journal: Optional[TrialJournal],
                  on_progress: Callable[[ShardResult], None],
                  accumulator: CampaignAccumulator,
-                 worker_config: ShardSpec):
+                 worker_config: ShardSpec,
+                 hang_timeout_s: Optional[float] = None,
+                 memory_limit_mb: Optional[float] = None,
+                 watchdog_stats: Optional[WatchdogStats] = None,
+                 watchdog_poll_s: Optional[float] = None):
         self.pending: Dict[int, ShardSpec] = {
             s.indices[0]: s for s in shards}
         self.failures: Dict[int, int] = {key: 0 for key in self.pending}
@@ -287,6 +381,15 @@ class _ShardSupervisor:
         self.retry_backoff_s = retry_backoff_s
         self.journal = journal
         self.on_progress = on_progress
+        self.hang_timeout_s = hang_timeout_s
+        self.memory_limit_mb = memory_limit_mb
+        self.watchdog_stats = watchdog_stats \
+            if watchdog_stats is not None else WatchdogStats()
+        self.watchdog_poll_s = watchdog_poll_s
+        #: Set to end a backoff wait early (graceful drain); interrupt
+        #: signals need no help — the deadline wait sleeps in short
+        #: slices precisely so KeyboardInterrupt lands promptly.
+        self._stop = threading.Event()
         #: Streaming fold target: shard records are folded the moment a
         #: shard completes and never retained — the parent's memory is
         #: bounded by the accumulator, not by the campaign size.
@@ -321,6 +424,27 @@ class _ShardSupervisor:
         return {key: spec for key, spec in self.pending.items()
                 if self.failures[key] <= self.max_retries}
 
+    def _backoff_delay(self, round_index: int) -> float:
+        """Exponential backoff for retry round ``round_index`` (>= 1),
+        capped at :data:`RETRY_BACKOFF_CAP_S`."""
+        return min(self.retry_backoff_s * 2 ** (round_index - 1),
+                   RETRY_BACKOFF_CAP_S)
+
+    def _backoff_wait(self, delay_s: float) -> None:
+        """Deadline-based wait: never a single long ``time.sleep``.
+
+        Sleeps in short slices against a monotonic deadline, so an
+        operator signal (KeyboardInterrupt) or :attr:`_stop` (a drain
+        request) interrupts the backoff within ~50 ms instead of pinning
+        the supervisor for the full delay.
+        """
+        deadline = time.monotonic() + delay_s
+        while not self._stop.is_set():
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            self._stop.wait(min(remaining, 0.05))
+
     def _run_pooled(self) -> None:
         """Submit shards to worker pools, rebuilding after crashes."""
         round_index = 0
@@ -329,7 +453,7 @@ class _ShardSupervisor:
             if not runnable:
                 return
             if round_index > 0 and self.retry_backoff_s > 0:
-                time.sleep(self.retry_backoff_s * 2 ** (round_index - 1))
+                self._backoff_wait(self._backoff_delay(round_index))
             lost = self._run_pool_round(runnable)
             if not lost:
                 return
@@ -345,11 +469,35 @@ class _ShardSupervisor:
                     f"in-process execution"
                 )
 
+    def _supervised(self) -> bool:
+        """Whether pool rounds run under a heartbeat watchdog."""
+        return (self.hang_timeout_s is not None
+                or self.memory_limit_mb is not None)
+
     def _run_pool_round(self, runnable: Dict[int, ShardSpec]) -> List[int]:
         """One pool lifetime; returns the shard keys that were lost."""
+        workers = min(self.jobs, len(runnable))
+        # One board per pool lifetime: a lingering worker of a torn-down
+        # pool must never stamp (and thereby mask) its replacement's slot.
+        board = (HeartbeatBoard(self.ctx, slots=workers)
+                 if self._supervised() else None)
         executor = ProcessPoolExecutor(
-            max_workers=min(self.jobs, len(runnable)), mp_context=self.ctx,
-            initializer=_init_worker, initargs=(self.worker_config,))
+            max_workers=workers, mp_context=self.ctx,
+            initializer=_init_worker, initargs=(self.worker_config, board))
+        watchdog: Optional[Watchdog] = None
+        if board is not None:
+            watchdog = Watchdog(
+                board,
+                # Only pids the *current* pool owns are killable; a stale
+                # board entry whose OS pid was recycled is never signalled.
+                live_pids=lambda: list((executor._processes or {}).keys()),
+                hang_timeout_s=self.hang_timeout_s,
+                memory_limit_mb=self.memory_limit_mb,
+                stats=self.watchdog_stats,
+                poll_s=self.watchdog_poll_s,
+                warn=_warn,
+            )
+            watchdog.start()
         clean = False
         try:
             futures = {executor.submit(_run_shard_warm, spec.indices): key
@@ -379,6 +527,8 @@ class _ShardSupervisor:
                 clean = True
             return lost
         finally:
+            if watchdog is not None:
+                watchdog.stop()
             # A broken or interrupted pool cannot be drained; don't wait.
             executor.shutdown(wait=clean, cancel_futures=True)
 
@@ -410,6 +560,10 @@ def run_campaign_parallel(
         spin_threshold: int = 8,
         record_mode: str = "on_failure",
         model: str = "c11",
+        hang_timeout_s: Optional[float] = None,
+        memory_limit_mb: Optional[float] = None,
+        watchdog_stats: Optional[WatchdogStats] = None,
+        watchdog_poll_s: Optional[float] = None,
 ) -> CampaignResult:
     """Run a campaign sharded over ``jobs`` worker processes.
 
@@ -431,8 +585,22 @@ def run_campaign_parallel(
       retried (with exponential backoff starting at ``retry_backoff_s``)
       before it degrades to in-process execution.
     * ``checkpoint``/``resume`` — durable JSONL trial journal; see
-      :mod:`repro.harness.checkpoint`.  On SIGINT the journal is flushed
-      and the partial aggregates returned with ``interrupted=True``.
+      :mod:`repro.harness.checkpoint`.  On SIGINT *or SIGTERM* the
+      journal is flushed, an ``interrupt`` event appended, and the
+      partial aggregates returned with ``interrupted=True``.
+    * ``hang_timeout_s`` — supervisor-side preemptive hang budget: warm
+      workers stamp a shared heartbeat per trial boundary, and a
+      watchdog thread hard-kills any worker whose *busy* heartbeat goes
+      stale for longer than this, feeding the lost shard back into the
+      retry path.  Must exceed ``trial_timeout_s`` (the cooperative
+      budget should fire first for trials it *can* see).
+    * ``memory_limit_mb`` — soft per-worker RSS ceiling; workers above
+      it are recycled through the same kill/rebuild/retry path.  Both
+      levers are seed-deterministic: retried trials are bit-identical.
+    * ``watchdog_stats`` — a :class:`WatchdogStats` to observe scans and
+      kills live (e.g. a daemon's liveness endpoint); the campaign also
+      reports its own kill deltas on ``result.hang_preemptions`` /
+      ``result.rss_recycles``.
     * ``start_method`` — multiprocessing start method ("fork", "spawn",
       "forkserver"); defaults to ``$REPRO_START_METHOD`` or fork.
     * ``sanitize`` — audit trial graphs against the consistency axioms
@@ -449,6 +617,34 @@ def run_campaign_parallel(
         raise ValueError("trials must be >= 1")
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
+    if hang_timeout_s is not None and hang_timeout_s <= 0:
+        raise ValueError("hang_timeout_s must be positive")
+    if memory_limit_mb is not None and memory_limit_mb <= 0:
+        raise ValueError("memory_limit_mb must be positive")
+    if (hang_timeout_s is not None and trial_timeout_s is not None
+            and hang_timeout_s <= trial_timeout_s):
+        raise ValueError(
+            "hang_timeout_s must exceed trial_timeout_s: the cooperative "
+            "per-trial budget should fire before the preemptive one")
+    with _sigterm_as_interrupt() as term_seen:
+        return _run_campaign_parallel(
+            program_factory, scheduler_factory, trials, base_seed,
+            max_steps, jobs, scheduler_name, count_operations, progress,
+            chunks_per_job, trial_timeout_s, checkpoint, resume,
+            max_retries, retry_backoff_s, start_method, sanitize,
+            artifact_dir, spin_threshold, record_mode, model,
+            hang_timeout_s, memory_limit_mb, watchdog_stats,
+            watchdog_poll_s, term_seen)
+
+
+def _run_campaign_parallel(
+        program_factory, scheduler_factory, trials, base_seed, max_steps,
+        jobs, scheduler_name, count_operations, progress, chunks_per_job,
+        trial_timeout_s, checkpoint, resume, max_retries, retry_backoff_s,
+        start_method, sanitize, artifact_dir, spin_threshold, record_mode,
+        model, hang_timeout_s, memory_limit_mb, watchdog_stats,
+        watchdog_poll_s, term_seen) -> CampaignResult:
+    """Campaign body; runs with SIGTERM mapped onto KeyboardInterrupt."""
     if (jobs <= 1 or trials < jobs) and checkpoint is None:
         result = run_campaign(
             program_factory, scheduler_factory, trials=trials,
@@ -523,9 +719,18 @@ def run_campaign_parallel(
     for record in done.values():
         accumulator.add(record)
 
+    stats = watchdog_stats if watchdog_stats is not None else WatchdogStats()
+    # The stats object may be shared across campaigns (a daemon exposes
+    # one fleet-wide instance); this campaign's own preemption counts are
+    # the deltas across its run.
+    hang_kills_before = stats.hang_kills
+    rss_kills_before = stats.rss_kills
+
     supervisor = _ShardSupervisor(
         shards, jobs, _pool_context(start_method), max_retries,
-        retry_backoff_s, journal, on_progress, accumulator, worker_config)
+        retry_backoff_s, journal, on_progress, accumulator, worker_config,
+        hang_timeout_s=hang_timeout_s, memory_limit_mb=memory_limit_mb,
+        watchdog_stats=stats, watchdog_poll_s=watchdog_poll_s)
     try:
         if shards:
             supervisor.run()
@@ -535,11 +740,18 @@ def run_campaign_parallel(
                 resumed_trials=len(done)))
     finally:
         if journal is not None:
+            if supervisor.interrupted:
+                journal.append_event(
+                    "interrupt",
+                    signal=term_seen.get("signal", "SIGINT"),
+                    completed=accumulator.completed)
             journal.close()
 
     result.shard_times_s = [
         wall for _, wall in sorted(supervisor.shard_walls)]
     result.interrupted = supervisor.interrupted
+    result.hang_preemptions = stats.hang_kills - hang_kills_before
+    result.rss_recycles = stats.rss_kills - rss_kills_before
     result.elapsed_s = time.perf_counter() - start_time
     accumulator.finalize(result)
     return result

@@ -1,0 +1,110 @@
+"""Thin stdlib HTTP client for the campaign daemon.
+
+Backs ``python -m repro job ...``; also convenient from tests and
+scripts.  The base URL resolves, in order: explicit argument, the
+``REPRO_SERVICE_URL`` environment variable, the default local address.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from .daemon import DEFAULT_PORT
+
+__all__ = ["DEFAULT_URL", "ServiceClient", "ServiceError"]
+
+DEFAULT_URL = f"http://127.0.0.1:{DEFAULT_PORT}"
+URL_ENV = "REPRO_SERVICE_URL"
+
+#: Job statuses that will never progress without outside action.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+
+class ServiceError(Exception):
+    """An HTTP-level or daemon-reported failure."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    def __init__(self, base_url: Optional[str] = None,
+                 timeout_s: float = 10.0):
+        self.base_url = (base_url or os.environ.get(URL_ENV)
+                         or DEFAULT_URL).rstrip("/")
+        self.timeout_s = timeout_s
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout_s) as resp:
+                return json.loads(resp.read().decode() or "{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode()).get(
+                    "error", exc.reason)
+            except (ValueError, AttributeError):
+                message = str(exc.reason)
+            raise ServiceError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                0, f"cannot reach campaign daemon at {self.base_url}: "
+                   f"{exc.reason}") from None
+
+    # -- endpoints -----------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict) -> dict:
+        return self._request("POST", "/jobs", payload=spec)
+
+    def list_jobs(self) -> list:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def drain(self) -> dict:
+        return self._request("POST", "/drain")
+
+    def wait(self, job_id: str, timeout_s: Optional[float] = None,
+             poll_s: float = 0.5) -> dict:
+        """Poll until the job reaches a terminal status; returns it.
+
+        ``interrupted`` is *not* terminal — a restarted daemon will
+        resume it — but with no daemon running it would wait forever,
+        so respect ``timeout_s``.
+        """
+        deadline = None if timeout_s is None \
+            else time.monotonic() + timeout_s
+        while True:
+            job = self.status(job_id)
+            if job["status"] in TERMINAL_STATUSES:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    0, f"timed out waiting for {job_id} "
+                       f"(status {job['status']})")
+            time.sleep(poll_s)

@@ -1,0 +1,297 @@
+"""The campaign-job daemon: a supervised fleet behind a local HTTP API.
+
+``python -m repro serve`` runs one of these.  It owns three things:
+
+* a durable :class:`~repro.service.queue.JobQueue` under ``--state-dir``
+  (job records + per-job checkpoint journals),
+* a single worker thread executing jobs FIFO through
+  :func:`repro.service.jobs.run_job` — which is the same supervised,
+  watchdogged :func:`~repro.harness.parallel.run_campaign_parallel`
+  engine the CLI uses, and
+* a :class:`ThreadingHTTPServer` (see :mod:`repro.service.api`) for
+  ``submit``/``status``/``result``/``cancel``/``drain`` plus a
+  ``/healthz`` liveness endpoint that surfaces live watchdog stats.
+
+Robustness contract:
+
+* **Campaign pools never fork a threaded daemon.**  The daemon holds
+  HTTP threads, so campaigns default to the ``forkserver`` start method
+  (``spawn`` where unavailable) instead of inheriting the fork default.
+* **Every job checkpoints.**  Trials stream into
+  ``<state_dir>/journals/<job>.jsonl`` as shards complete; cancel,
+  daemon shutdown, and daemon death all leave a resumable journal.
+* **Restart resumes.**  On startup, jobs found ``running`` (daemon
+  died) or ``interrupted`` (daemon stopped) re-queue ahead of newer
+  work and resume from their journal — the finished result is
+  bit-identical to an uninterrupted run because trial seeds derive from
+  ``(base_seed, index)``.
+* **Stop is graceful.**  SIGTERM/SIGINT ask the running campaign to
+  stop at the next shard boundary (journaled, marked ``interrupted``),
+  then the daemon exits.  ``POST /drain`` instead refuses new work,
+  lets the current job *finish*, and exits leaving the rest queued.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..harness.watchdog import WatchdogStats
+from .api import make_server
+from .jobs import JobSpec, result_summary, run_job
+from .queue import JobQueue, TokenBucket
+
+__all__ = ["DEFAULT_PORT", "CampaignDaemon"]
+
+DEFAULT_PORT = 8642
+
+
+def _default_start_method() -> str:
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "forkserver" if "forkserver" in methods else "spawn"
+
+
+class CampaignDaemon:
+    """Queue + worker + HTTP front-end; one instance per state dir."""
+
+    def __init__(self, state_dir: str,
+                 host: str = "127.0.0.1", port: int = DEFAULT_PORT,
+                 rate_per_s: float = 2.0, burst: int = 10,
+                 start_method: Optional[str] = None,
+                 watchdog_poll_s: Optional[float] = None,
+                 quiet: bool = False):
+        self.queue = JobQueue(state_dir)
+        self.host = host
+        self.port = port
+        self.bucket = TokenBucket(rate_per_s, burst)
+        self.stats = WatchdogStats()
+        self.start_method = start_method or _default_start_method()
+        self.watchdog_poll_s = watchdog_poll_s
+        self.quiet = quiet
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._current: Optional[str] = None
+        self._draining = threading.Event()
+        self._shutdown = threading.Event()
+        self._wake = threading.Event()
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="campaignd-worker", daemon=True)
+
+    # -- observability -------------------------------------------------------
+
+    def log(self, message: str) -> None:
+        if not self.quiet:
+            print(f"  [campaignd] {message}", file=sys.stderr, flush=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def health(self) -> dict:
+        with self._lock:
+            current = self._current
+        return {
+            "status": "draining" if self.draining else "ok",
+            "pid": os.getpid(),
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "state_dir": self.queue.state_dir,
+            "start_method": self.start_method,
+            "current_job": current,
+            "jobs": self.queue.counts(),
+            "watchdog": self.stats.snapshot(),
+        }
+
+    # -- API surface (shared by HTTP handler and direct callers) -------------
+
+    def submit(self, spec_obj: dict) -> dict:
+        """Validate and enqueue a job spec; raises ``ValueError``."""
+        if self.draining:
+            raise ValueError("daemon is draining; not accepting new jobs")
+        spec = JobSpec.from_dict(spec_obj)
+        spec.validate()
+        job = self.queue.submit(spec.to_dict())
+        self.log(f"{job.id}: queued "
+                 f"({spec.benchmark}/{spec.scheduler} x{spec.trials})")
+        self._wake.set()
+        return job.to_dict()
+
+    def job_status(self, job_id: str) -> Optional[dict]:
+        job = self.queue.get(job_id)
+        return None if job is None else job.to_dict()
+
+    def list_jobs(self) -> List[dict]:
+        return [job.to_dict() for job in self.queue.list_jobs()]
+
+    def cancel(self, job_id: str) -> Optional[dict]:
+        job = self.queue.request_cancel(job_id)
+        if job is not None:
+            self.log(f"{job_id}: cancel requested (status {job.status})")
+        return None if job is None else job.to_dict()
+
+    def drain(self) -> None:
+        """Refuse new work; finish the current job; then exit serve."""
+        if not self._draining.is_set():
+            self.log("drain requested: finishing the current job, "
+                     "leaving the rest queued")
+        self._draining.set()
+        self._wake.set()
+
+    def request_shutdown(self) -> None:
+        """Stop now: interrupt the running job at its next shard."""
+        self._shutdown.set()
+        self._wake.set()
+
+    # -- job execution -------------------------------------------------------
+
+    def process_one(self) -> Optional[dict]:
+        """Claim and run the next job synchronously (test/CLI helper)."""
+        job = self.queue.claim_next()
+        if job is None:
+            return None
+        self._execute(job)
+        return job.to_dict()
+
+    def _worker_loop(self) -> None:
+        while not self._shutdown.is_set():
+            job = self.queue.claim_next() \
+                if not self._draining.is_set() else None
+            if job is None:
+                if self._draining.is_set():
+                    return  # drained: serve loop notices and exits
+                self._wake.wait(timeout=0.2)
+                self._wake.clear()
+                continue
+            self._execute(job)
+
+    def _execute(self, job) -> None:
+        with self._lock:
+            self._current = job.id
+        try:
+            spec = JobSpec.from_dict(job.spec)
+            # Re-validate: the record may predate a registry change, or
+            # have been written by an older daemon with laxer rules.
+            spec.validate()
+            checkpoint = self.queue.journal_path(job.id)
+            resume = os.path.exists(checkpoint)
+            self.log(f"{job.id}: running (attempt {job.attempts}"
+                     + (", resuming journal" if resume else "") + ")")
+
+            last_persist = [0.0]
+
+            def on_progress(progress) -> None:
+                job.progress_trials = progress.completed_trials
+                now = time.monotonic()
+                if now - last_persist[0] > 1.0:
+                    last_persist[0] = now
+                    self.queue.update(job)
+                if job.cancel_event.is_set() or self._shutdown.is_set():
+                    raise KeyboardInterrupt
+
+            result = run_job(
+                spec, checkpoint=checkpoint, resume=resume,
+                progress=on_progress, watchdog_stats=self.stats,
+                start_method=self.start_method)
+        except ValueError as exc:
+            job.status = "failed"
+            job.error = str(exc)
+            job.finished_at = time.time()
+        except KeyboardInterrupt:
+            # Interrupted before the first shard completed; the journal
+            # still holds whatever was already durable.
+            job.status = "cancelled" if job.cancel_event.is_set() \
+                else "interrupted"
+            job.finished_at = time.time() \
+                if job.status == "cancelled" else None
+        except Exception as exc:  # noqa: BLE001 - a job must never kill us
+            job.status = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_at = time.time()
+        else:
+            job.result = result_summary(result)
+            job.progress_trials = result.completed
+            if result.interrupted:
+                job.status = "cancelled" if job.cancel_event.is_set() \
+                    else "interrupted"
+                job.finished_at = time.time() \
+                    if job.status == "cancelled" else None
+            else:
+                job.status = "done"
+                job.finished_at = time.time()
+        finally:
+            self.queue.update(job)
+            with self._lock:
+                self._current = None
+            self.log(f"{job.id}: {job.status}"
+                     + (f" ({job.error})" if job.error else ""))
+
+    # -- serving -------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Bind, serve, and supervise until shutdown or drain."""
+        server = make_server(self, self.host, self.port)
+        self.port = server.server_address[1]
+        self._write_endpoint_file()
+        http_thread = threading.Thread(
+            target=server.serve_forever, kwargs={"poll_interval": 0.2},
+            name="campaignd-http", daemon=True)
+        http_thread.start()
+        self._worker.start()
+        self.log(f"listening on http://{self.host}:{self.port} "
+                 f"(state: {self.queue.state_dir}, "
+                 f"start method: {self.start_method})")
+
+        previous = self._install_signal_handlers()
+        try:
+            while not self._shutdown.wait(timeout=0.2):
+                if not self._worker.is_alive():
+                    break  # drain completed
+        finally:
+            self._restore_signal_handlers(previous)
+            self._shutdown.set()
+            self._wake.set()
+            # The running campaign (if any) stops at its next shard
+            # boundary via the progress hook; wait for it to journal.
+            self._worker.join()
+            server.shutdown()
+            server.server_close()
+            self._remove_endpoint_file()
+            self.log("stopped")
+
+    def _endpoint_path(self) -> str:
+        return os.path.join(self.queue.state_dir, "endpoint.json")
+
+    def _write_endpoint_file(self) -> None:
+        """Advertise the bound address (useful with ``--port 0``)."""
+        with open(self._endpoint_path(), "w") as fh:
+            json.dump({"url": f"http://{self.host}:{self.port}",
+                       "pid": os.getpid()}, fh)
+
+    def _remove_endpoint_file(self) -> None:
+        try:
+            os.unlink(self._endpoint_path())
+        except OSError:
+            pass
+
+    def _install_signal_handlers(self) -> Dict[int, object]:
+        """SIGTERM/SIGINT -> graceful stop (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+
+        def handler(signum, frame):
+            self.log(f"received {signal.Signals(signum).name}; stopping")
+            self.request_shutdown()
+
+        return {signum: signal.signal(signum, handler)
+                for signum in (signal.SIGTERM, signal.SIGINT)}
+
+    @staticmethod
+    def _restore_signal_handlers(previous: Dict[int, object]) -> None:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

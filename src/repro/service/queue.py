@@ -1,0 +1,254 @@
+"""Durable FIFO job queue and the submit-path token bucket.
+
+The campaign daemon must survive its own death: every job is a JSON
+file under ``<state_dir>/jobs/`` (written atomically via rename), and
+each job's trials stream into a checkpoint journal under
+``<state_dir>/journals/``.  Restarting the daemon reloads the job
+files; a job that was ``running`` when the process died comes back as
+``interrupted`` and is re-queued ahead of newer work, where the journal
+``--resume`` path skips every already-completed trial — so a restarted
+job folds to the same bit-identical result as an uninterrupted one.
+
+:class:`TokenBucket` guards the submit endpoint: campaigns are heavy,
+so a misbehaving client gets ``429`` long before it can pile up real
+work.  The clock is injectable for tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Job", "JobQueue", "TokenBucket", "JOB_STATUSES"]
+
+#: Job lifecycle: ``queued`` -> ``running`` -> one of the terminal
+#: states (``done``, ``failed``, ``cancelled``) — or back through
+#: ``interrupted`` (daemon stopped mid-job) to ``running`` on restart.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled",
+                "interrupted")
+
+_ACTIVE = ("queued", "running", "interrupted")
+
+
+class TokenBucket:
+    """Classic token bucket; thread-safe, injectable monotonic clock."""
+
+    def __init__(self, rate_per_s: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        """Take one token; False means the caller should be throttled."""
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._last) * self.rate_per_s)
+            self._last = now
+            if self._tokens < 1.0:
+                return False
+            self._tokens -= 1.0
+            return True
+
+
+@dataclass
+class Job:
+    """One queued campaign and its lifecycle bookkeeping."""
+
+    id: str
+    spec: dict
+    status: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: :func:`repro.service.jobs.result_summary` of the finished (or
+    #: partially finished, for cancelled/interrupted) campaign.
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    #: Trials journaled so far, refreshed as shards complete.
+    progress_trials: int = 0
+    #: Times this job entered ``running`` (1 = never restarted).
+    attempts: int = 0
+    #: In-memory only: set to make the running campaign drain at the
+    #: next shard boundary.
+    cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "spec": self.spec,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "result": self.result,
+            "error": self.error,
+            "progress_trials": self.progress_trials,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "Job":
+        return cls(
+            id=str(obj["id"]),
+            spec=dict(obj["spec"]),
+            status=obj.get("status", "queued"),
+            submitted_at=float(obj.get("submitted_at", 0.0)),
+            started_at=obj.get("started_at"),
+            finished_at=obj.get("finished_at"),
+            result=obj.get("result"),
+            error=obj.get("error"),
+            progress_trials=int(obj.get("progress_trials", 0)),
+            attempts=int(obj.get("attempts", 0)),
+        )
+
+
+class JobQueue:
+    """Persistent FIFO of campaign jobs under one state directory."""
+
+    def __init__(self, state_dir: str):
+        self.state_dir = state_dir
+        self.jobs_dir = os.path.join(state_dir, "jobs")
+        self.journals_dir = os.path.join(state_dir, "journals")
+        os.makedirs(self.jobs_dir, exist_ok=True)
+        os.makedirs(self.journals_dir, exist_ok=True)
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._next_serial = 1
+        self._load()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def journal_path(self, job_id: str) -> str:
+        """Checkpoint journal backing a job's campaign trials."""
+        return os.path.join(self.journals_dir, f"{job_id}.jsonl")
+
+    def _load(self) -> None:
+        """Reload persisted jobs; a dead daemon's running job resumes.
+
+        ``running`` on disk means the previous daemon died mid-job (a
+        clean stop persists ``interrupted`` first); both re-queue, and
+        the journal resume path keeps the rerun bit-identical.
+        """
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            try:
+                with open(path) as fh:
+                    job = Job.from_dict(json.load(fh))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # torn write or foreign file; never fatal
+            if job.status == "running":
+                job.status = "interrupted"
+                self._persist(job)
+            self._jobs[job.id] = job
+            serial = _job_serial(job.id)
+            if serial is not None:
+                self._next_serial = max(self._next_serial, serial + 1)
+
+    def _persist(self, job: Job) -> None:
+        """Atomic write: a crash mid-persist leaves the previous state."""
+        path = self._job_path(job.id)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(job.to_dict(), fh, sort_keys=True, indent=1)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # -- queue operations ----------------------------------------------------
+
+    def submit(self, spec: dict) -> Job:
+        with self._lock:
+            job_id = f"job-{self._next_serial:06d}"
+            self._next_serial += 1
+            job = Job(id=job_id, spec=spec, submitted_at=time.time())
+            self._persist(job)
+            self._jobs[job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self) -> List[Job]:
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.id)
+
+    def claim_next(self) -> Optional[Job]:
+        """Pop the next runnable job (FIFO; interrupted jobs first).
+
+        Interrupted jobs predate everything queued after the restart
+        *and* already hold journal state, so finishing them first keeps
+        the service's completion order close to submission order.
+        """
+        with self._lock:
+            candidates = [j for j in self._jobs.values()
+                          if j.status in ("queued", "interrupted")]
+            if not candidates:
+                return None
+            candidates.sort(
+                key=lambda j: (j.status != "interrupted", j.id))
+            job = candidates[0]
+            job.status = "running"
+            job.started_at = time.time()
+            job.attempts += 1
+            self._persist(job)
+            return job
+
+    def update(self, job: Job) -> None:
+        """Persist a mutated job record."""
+        with self._lock:
+            self._persist(job)
+
+    def request_cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job: queued dies now, running drains at next shard."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.status in ("queued", "interrupted"):
+                job.status = "cancelled"
+                job.finished_at = time.time()
+                self._persist(job)
+            elif job.status == "running":
+                job.cancel_event.set()
+            return job
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            out = {status: 0 for status in JOB_STATUSES}
+            for job in self._jobs.values():
+                out[job.status] = out.get(job.status, 0) + 1
+            return out
+
+    def has_active(self) -> bool:
+        with self._lock:
+            return any(j.status in _ACTIVE for j in self._jobs.values())
+
+
+def _job_serial(job_id: str) -> Optional[int]:
+    if not job_id.startswith("job-"):
+        return None
+    try:
+        return int(job_id[4:])
+    except ValueError:
+        return None
