@@ -9,9 +9,13 @@ wastes all completed work.  The journal makes campaigns durable:
   every subsequent line is one completed :class:`TrialRecord`.  Records
   are flushed *and fsynced* per append, so a SIGKILL loses at most the
   in-flight shard.
-* **Torn lines are tolerated.**  A process killed mid-write leaves a
-  partial last line; :func:`load_journal` skips unparseable lines
-  instead of refusing the whole file.
+* **Torn lines are tolerated and detected.**  A process killed
+  mid-write leaves a partial last line; :func:`load_journal` skips
+  unparseable lines instead of refusing the whole file.  Every line is
+  additionally CRC-stamped (``crc32`` of its canonical serialization),
+  so a tear that happens to still parse — or silent bit rot — is caught
+  and the affected trial simply re-runs on resume.  Lines written
+  before stamping existed carry no checksum and stay loadable.
 * **Interrupts are journaled too.**  A campaign stopped by SIGINT or
   SIGTERM appends a structured ``interrupt`` event (signal name, trials
   completed) before closing, so operators and the campaign service can
@@ -33,7 +37,9 @@ import os
 from dataclasses import asdict
 from typing import Dict, IO, Iterable, Optional, Tuple
 
+from . import faultrig
 from .campaign import TrialRecord
+from .fsutil import fsync_dir, stamp_crc, verify_crc
 
 __all__ = [
     "JOURNAL_VERSION",
@@ -95,6 +101,8 @@ def load_journal(path: str) -> Tuple[Optional[dict],
                 continue  # torn line from a killed writer
             if not isinstance(obj, dict):
                 continue
+            if not verify_crc(obj):
+                continue  # stamped line whose content no longer matches
             kind = obj.get("kind")
             if kind == "campaign-journal" and header is None:
                 header = obj
@@ -152,8 +160,14 @@ class TrialJournal:
             header, done = load_journal(self.path)
             if header is not None:
                 check_compatible(header, meta)
-        mode = "a" if resume and os.path.exists(self.path) else "w"
+        existed = os.path.exists(self.path)
+        mode = "a" if resume and existed else "w"
         self._fh = open(self.path, mode)
+        if not existed:
+            # A freshly created journal only durably *exists* once its
+            # directory entry is flushed; without this, a crash right
+            # after the first fsynced append could still lose the file.
+            fsync_dir(os.path.dirname(os.path.abspath(self.path)) or ".")
         if header is None:
             self._write_line(dict(meta, kind="campaign-journal",
                                   version=JOURNAL_VERSION))
@@ -185,11 +199,18 @@ class TrialJournal:
         """
         if self._fh is None:
             raise ValueError("journal is not open; call start() first")
-        lines = [json.dumps(_record_to_obj(record), sort_keys=True)
+        lines = [json.dumps(stamp_crc(_record_to_obj(record)),
+                            sort_keys=True)
                  for record in records]
         if not lines:
             return
-        self._fh.write("\n".join(lines) + "\n")
+        payload = "\n".join(lines) + "\n"
+        if faultrig.should_fire("torn-write") is not None:
+            # Chaos mode: persist only half the buffer, exactly what a
+            # crash or ENOSPC mid-append leaves behind.  The CRC stamps
+            # make the tear detectable and resume re-runs those trials.
+            payload = payload[:max(1, len(payload) // 2)]
+        self._fh.write(payload)
         self._sync()
 
     def close(self) -> None:
@@ -205,7 +226,7 @@ class TrialJournal:
 
     def _write_line(self, obj: dict) -> None:
         assert self._fh is not None
-        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.write(json.dumps(stamp_crc(obj), sort_keys=True) + "\n")
 
     def _sync(self) -> None:
         assert self._fh is not None

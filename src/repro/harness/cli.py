@@ -238,6 +238,23 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="campaign pool start method (default: "
                                 "forkserver — the daemon holds HTTP "
                                 "threads, so fork is unsafe)")
+    serve_cmd.add_argument("--tenants", default=None, metavar="FILE",
+                           help="tenants JSON file; when given, every "
+                                "request needs a bearer token and "
+                                "per-tenant quotas apply")
+    serve_cmd.add_argument("--audit-log", default=None, metavar="FILE",
+                           help="append one JSONL line per API request "
+                                "(tenant, route, outcome) here")
+    serve_cmd.add_argument("--worker-budget", type=_positive_int,
+                           default=None, metavar="N",
+                           help="global cap on live campaign pool "
+                                "workers across all concurrent jobs "
+                                "(default: max(4, cpu count))")
+    serve_cmd.add_argument("--max-concurrent-jobs", type=_positive_int,
+                           default=2, metavar="N",
+                           help="campaigns allowed to run at once, "
+                                "splitting the worker budget fairly "
+                                "across tenants (default 2)")
     serve_cmd.add_argument("--quiet", action="store_true",
                            help="suppress per-job log lines")
 
@@ -250,6 +267,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="daemon base URL (default: "
                               "$REPRO_SERVICE_URL or "
                               "http://127.0.0.1:8642)")
+        cmd.add_argument("--token", default=None,
+                         help="bearer token for a daemon running with "
+                              "--tenants (default: $REPRO_SERVICE_TOKEN)")
 
     submit_cmd = job_sub.add_parser(
         "submit", help="queue one campaign on the daemon")
@@ -275,6 +295,11 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--wait", action="store_true",
                             help="block until the job finishes and "
                                  "print its result")
+    submit_cmd.add_argument("--idempotency-key", default=None,
+                            metavar="KEY",
+                            help="resubmitting the same key returns the "
+                                 "existing job instead of a duplicate "
+                                 "(default: auto-generated per submit)")
     add_url(submit_cmd)
 
     status_cmd = job_sub.add_parser(
@@ -578,10 +603,19 @@ def _cmd_serve(args) -> int:
     from ..service.daemon import DEFAULT_PORT, CampaignDaemon
 
     port = args.port if args.port is not None else DEFAULT_PORT
-    daemon = CampaignDaemon(
-        args.state_dir, host=args.host, port=port,
-        rate_per_s=args.rate, burst=args.burst,
-        start_method=args.start_method, quiet=args.quiet)
+    try:
+        daemon = CampaignDaemon(
+            args.state_dir, host=args.host, port=port,
+            rate_per_s=args.rate, burst=args.burst,
+            start_method=args.start_method, quiet=args.quiet,
+            tenants_file=args.tenants, audit_log_path=args.audit_log,
+            worker_budget=args.worker_budget,
+            max_concurrent_jobs=args.max_concurrent_jobs)
+    except (OSError, ValueError) as exc:
+        # Unreadable/invalid tenants file, bad audit-log path, broken
+        # state dir: an operator typo, not a crash.
+        print(f"error: {exc}")
+        return 2
     daemon.serve_forever()
     return 0
 
@@ -596,6 +630,23 @@ def _render_job(job: dict) -> str:
     if job.get("error"):
         line += f" error: {job['error']}"
     return line
+
+
+def _print_service_summary(health: dict) -> None:
+    """One-look service load: queue depth, running jobs, worker budget."""
+    workers = health.get("workers") or {}
+    running = health.get("running_jobs") or []
+    line = (f"daemon {health.get('status', '?')}: "
+            f"queue depth {health.get('queue_depth', 0)}, "
+            f"{len(running)} running")
+    if workers:
+        line += (f", workers {workers.get('granted', 0)}"
+                 f"/{workers.get('budget', '?')} granted "
+                 f"({workers.get('utilization_pct', 0)}% of budget)")
+    print(line)
+    for tenant, row in sorted((health.get("tenants") or {}).items()):
+        print(f"  tenant {tenant}: {row.get('queued', 0)} queued, "
+              f"{row.get('running', 0)} running")
 
 
 def _print_job_result(job: dict) -> int:
@@ -615,18 +666,20 @@ def _cmd_job(args) -> int:
 
     from ..service.client import ServiceClient, ServiceError
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, token=args.token)
     try:
         if args.job_command == "submit":
             spec = {k: v for k, v in _args_to_job_spec(args)
                     .to_dict().items() if v is not None}
-            job = client.submit(spec)
+            job = client.submit(spec,
+                                idempotency_key=args.idempotency_key)
             print(_render_job(job))
             if not args.wait:
                 return 0
             return _print_job_result(client.wait(job["id"]))
         if args.job_command == "status":
             if args.job_id is None:
+                _print_service_summary(client.health())
                 jobs = client.list_jobs()
                 if not jobs:
                     print("no jobs")

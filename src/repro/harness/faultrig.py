@@ -30,6 +30,26 @@ The value is a comma-separated list of directives, each
     counting as busy — widens the window RSS sampling needs without
     tripping hang detection.
 
+Beyond the worker-process faults above, three *service-layer* directives
+target the campaign daemon's own durability machinery.  They never fire
+on shard entry; instead the service code polls them at the exact point
+the fault would strike via :func:`should_fire`:
+
+``torn-write-once``
+    The next checkpoint-journal append writes only the first half of its
+    buffer — the on-disk signature of a crash or ``ENOSPC`` mid-append.
+    CRC-stamped journal lines make the tear detectable; resume re-runs
+    the lost trials, so the recovered result stays bit-identical.
+``enospc-once``
+    The next job-record persist raises ``OSError(ENOSPC)``.  Best-effort
+    persists (progress updates) degrade with a warning; a failed submit
+    surfaces as a 500 the client retries safely under its idempotency
+    key.
+``slow-client-once``
+    One HTTP request handler sleeps ``ARG`` seconds (default 2.0) before
+    replying, pinning a handler thread the way a stalled client would;
+    the threaded server must keep serving everyone else.
+
 Each directive fires exactly once across the whole worker fleet: the
 sentinel file is claimed with an atomic ``O_CREAT | O_EXCL``, so retried
 shards (and every other worker) run clean — which is what lets tests
@@ -49,11 +69,19 @@ import sys
 import time
 from typing import List, Optional, Tuple
 
-__all__ = ["FAULT_ENV", "load_directives", "maybe_inject"]
+__all__ = ["FAULT_ENV", "load_directives", "maybe_inject", "should_fire"]
 
 FAULT_ENV = "REPRO_FAULT_INJECT"
 
-ACTIONS = ("kill-once", "wedge-once", "leak-once", "stall-once")
+#: Directives fired automatically on pool-worker shard entry.
+WORKER_ACTIONS = ("kill-once", "wedge-once", "leak-once", "stall-once")
+
+#: Directives polled explicitly by service code via :func:`should_fire`;
+#: :func:`maybe_inject` ignores them so a pool worker can never claim a
+#: fault aimed at the daemon's persistence or HTTP layer.
+SERVICE_ACTIONS = ("torn-write-once", "enospc-once", "slow-client-once")
+
+ACTIONS = WORKER_ACTIONS + SERVICE_ACTIONS
 
 #: Default bound on a wedge, in seconds: long enough that only the hang
 #: watchdog ends it, short enough that a broken watchdog fails the test
@@ -124,6 +152,8 @@ def maybe_inject(heartbeat=None) -> None:
     if not directives:
         return
     for action, sentinel, arg in directives:
+        if action not in WORKER_ACTIONS:
+            continue  # service-layer faults fire via should_fire()
         if not _claim(sentinel):
             continue
         print(f"  [faultrig] worker {os.getpid()}: injecting {action}",
@@ -141,3 +171,25 @@ def maybe_inject(heartbeat=None) -> None:
                                          * 1024 * 1024)))
         elif action == "stall-once":
             time.sleep(arg if arg is not None else 1.0)
+
+
+def should_fire(action: str) -> Optional[Tuple[str, str, Optional[float]]]:
+    """Claim the first unclaimed service-layer directive for ``action``.
+
+    ``action`` is the bare name ("torn-write", "enospc", "slow-client");
+    returns the claimed ``(action, sentinel, arg)`` tuple, or ``None``
+    when no matching directive exists or it already fired elsewhere.
+    Like :func:`maybe_inject` this reads the directives parsed by
+    :func:`load_directives` — processes that never loaded the rig (plain
+    library users) see ``None`` at the cost of one global check.
+    """
+    directives = _DIRECTIVES
+    if not directives:
+        return None
+    wanted = action + "-once"
+    for directive in directives:
+        if directive[0] == wanted and _claim(directive[1]):
+            print(f"  [faultrig] pid {os.getpid()}: injecting {wanted}",
+                  file=sys.stderr, flush=True)
+            return directive
+    return None

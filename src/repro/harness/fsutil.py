@@ -1,0 +1,88 @@
+"""Filesystem durability helpers: atomic renames that actually stick.
+
+``os.replace`` gives atomicity (readers see the old file or the new
+one, never a mix), but *not* durability: on most filesystems the rename
+itself lives in the parent directory's metadata, and a crash between
+the rename and the directory's next journal flush can resurrect the old
+name or drop the new one entirely.  Every atomic-rename landing spot in
+the campaign service therefore pairs the rename with an ``fsync`` of
+the parent directory — that is :func:`durable_replace`.
+
+The CRC helpers stamp JSON payloads with a checksum of their canonical
+(``sort_keys=True``) serialization so torn or bit-rotted records are
+*detected* on reload instead of being half-parsed: a job record or
+journal line whose checksum does not match is quarantined or skipped,
+never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+__all__ = [
+    "crc_of_obj",
+    "fsync_dir",
+    "durable_replace",
+    "stamp_crc",
+    "verify_crc",
+]
+
+#: Key under which the checksum is stored inside a stamped JSON object.
+CRC_KEY = "crc32"
+
+
+def fsync_dir(path: str) -> None:
+    """Flush directory metadata so a completed rename survives a crash.
+
+    Best-effort: platforms or filesystems that refuse ``open``/``fsync``
+    on directories (some network mounts) degrade to the old behaviour
+    rather than failing the caller — the rename already happened.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_replace(tmp: str, path: str) -> None:
+    """``os.replace`` followed by an fsync of the destination directory."""
+    os.replace(tmp, path)
+    fsync_dir(os.path.dirname(os.path.abspath(path)) or ".")
+
+
+def crc_of_obj(obj: dict) -> int:
+    """CRC32 of a JSON object's canonical serialization (sans checksum)."""
+    payload = {k: v for k, v in obj.items() if k != CRC_KEY}
+    return zlib.crc32(
+        json.dumps(payload, sort_keys=True).encode("utf-8")) & 0xFFFFFFFF
+
+
+def stamp_crc(obj: dict) -> dict:
+    """Return ``obj`` plus its checksum under :data:`CRC_KEY`."""
+    stamped = dict(obj)
+    stamped[CRC_KEY] = crc_of_obj(obj)
+    return stamped
+
+
+def verify_crc(obj: dict) -> bool:
+    """Whether a loaded object's checksum matches its content.
+
+    Objects written before checksum stamping existed carry no
+    :data:`CRC_KEY` and are accepted — the checksum detects corruption,
+    it is not an authentication scheme.
+    """
+    stored = obj.get(CRC_KEY)
+    if stored is None:
+        return True
+    try:
+        return int(stored) == crc_of_obj(obj)
+    except (TypeError, ValueError):
+        return False

@@ -371,7 +371,8 @@ class _ShardSupervisor:
                  hang_timeout_s: Optional[float] = None,
                  memory_limit_mb: Optional[float] = None,
                  watchdog_stats: Optional[WatchdogStats] = None,
-                 watchdog_poll_s: Optional[float] = None):
+                 watchdog_poll_s: Optional[float] = None,
+                 on_pool_change: Optional[Callable[[int], None]] = None):
         self.pending: Dict[int, ShardSpec] = {
             s.indices[0]: s for s in shards}
         self.failures: Dict[int, int] = {key: 0 for key in self.pending}
@@ -386,6 +387,10 @@ class _ShardSupervisor:
         self.watchdog_stats = watchdog_stats \
             if watchdog_stats is not None else WatchdogStats()
         self.watchdog_poll_s = watchdog_poll_s
+        #: Observer of live pool-worker deltas: called with ``+n`` when a
+        #: pool of ``n`` workers starts and ``-n`` when it is torn down,
+        #: so a daemon can meter campaigns against a global worker budget.
+        self.on_pool_change = on_pool_change
         #: Set to end a backoff wait early (graceful drain); interrupt
         #: signals need no help — the deadline wait sleeps in short
         #: slices precisely so KeyboardInterrupt lands promptly.
@@ -484,6 +489,8 @@ class _ShardSupervisor:
         executor = ProcessPoolExecutor(
             max_workers=workers, mp_context=self.ctx,
             initializer=_init_worker, initargs=(self.worker_config, board))
+        if self.on_pool_change is not None:
+            self.on_pool_change(workers)
         watchdog: Optional[Watchdog] = None
         if board is not None:
             watchdog = Watchdog(
@@ -531,6 +538,8 @@ class _ShardSupervisor:
                 watchdog.stop()
             # A broken or interrupted pool cannot be drained; don't wait.
             executor.shutdown(wait=clean, cancel_futures=True)
+            if self.on_pool_change is not None:
+                self.on_pool_change(-workers)
 
     def _run_in_process(self) -> None:
         """Run whatever is left in the parent process, in trial order."""
@@ -564,6 +573,7 @@ def run_campaign_parallel(
         memory_limit_mb: Optional[float] = None,
         watchdog_stats: Optional[WatchdogStats] = None,
         watchdog_poll_s: Optional[float] = None,
+        on_pool_change: Optional[Callable[[int], None]] = None,
 ) -> CampaignResult:
     """Run a campaign sharded over ``jobs`` worker processes.
 
@@ -601,6 +611,10 @@ def run_campaign_parallel(
       kills live (e.g. a daemon's liveness endpoint); the campaign also
       reports its own kill deltas on ``result.hang_preemptions`` /
       ``result.rss_recycles``.
+    * ``on_pool_change`` — observer of live pool-worker deltas: called
+      ``+n`` when a pool of ``n`` workers comes up and ``-n`` when it is
+      torn down, letting a daemon meter concurrent campaigns against a
+      global worker budget.
     * ``start_method`` — multiprocessing start method ("fork", "spawn",
       "forkserver"); defaults to ``$REPRO_START_METHOD`` or fork.
     * ``sanitize`` — audit trial graphs against the consistency axioms
@@ -634,7 +648,7 @@ def run_campaign_parallel(
             max_retries, retry_backoff_s, start_method, sanitize,
             artifact_dir, spin_threshold, record_mode, model,
             hang_timeout_s, memory_limit_mb, watchdog_stats,
-            watchdog_poll_s, term_seen)
+            watchdog_poll_s, on_pool_change, term_seen)
 
 
 def _run_campaign_parallel(
@@ -643,7 +657,7 @@ def _run_campaign_parallel(
         trial_timeout_s, checkpoint, resume, max_retries, retry_backoff_s,
         start_method, sanitize, artifact_dir, spin_threshold, record_mode,
         model, hang_timeout_s, memory_limit_mb, watchdog_stats,
-        watchdog_poll_s, term_seen) -> CampaignResult:
+        watchdog_poll_s, on_pool_change, term_seen) -> CampaignResult:
     """Campaign body; runs with SIGTERM mapped onto KeyboardInterrupt."""
     if (jobs <= 1 or trials < jobs) and checkpoint is None:
         result = run_campaign(
@@ -730,7 +744,8 @@ def _run_campaign_parallel(
         shards, jobs, _pool_context(start_method), max_retries,
         retry_backoff_s, journal, on_progress, accumulator, worker_config,
         hang_timeout_s=hang_timeout_s, memory_limit_mb=memory_limit_mb,
-        watchdog_stats=stats, watchdog_poll_s=watchdog_poll_s)
+        watchdog_stats=stats, watchdog_poll_s=watchdog_poll_s,
+        on_pool_change=on_pool_change)
     try:
         if shards:
             supervisor.run()

@@ -3,20 +3,39 @@
 Endpoints (all JSON in, JSON out):
 
 ==========================  ============================================
-``GET  /healthz``           liveness: daemon state, queue counts, live
-                            watchdog stats, the current job id
-``GET  /jobs``              every known job, submission order
+``GET  /healthz``           liveness: daemon state, queue depth,
+                            per-tenant load, worker budget utilization,
+                            live watchdog stats
+``GET  /jobs``              the caller's jobs (every job for operators
+                            and in open mode), submission order
 ``POST /jobs``              submit a campaign job spec; ``201`` + job
-                            record, ``400`` invalid, ``429`` throttled,
-                            ``503`` draining
-``GET  /jobs/<id>``         one job record
+                            record, ``200`` idempotent replay, ``400``
+                            invalid, ``401``/``403`` denied, ``409``
+                            idempotency-key conflict, ``429`` throttled
+                            (with ``Retry-After``), ``503`` draining
+``GET  /jobs/<id>``         one job record (``403`` if it belongs to
+                            another tenant)
 ``GET  /jobs/<id>/result``  the result summary; ``409`` while the job
                             is still pending/running
 ``POST /jobs/<id>/cancel``  cancel: queued dies now, running drains at
                             the next shard boundary
-``POST /drain``             stop accepting work, finish the current
-                            job, then exit the serve loop
+``POST /drain``             stop accepting work, finish running jobs,
+                            then exit the serve loop (operators only
+                            when a tenants file is configured)
 ==========================  ============================================
+
+Authentication: with a tenants file configured, **every** route —
+including ``/healthz`` — requires ``Authorization: Bearer <token>``;
+unknown or missing tokens get ``401``.  Without a tenants file the
+service is open and every caller is the anonymous default tenant.
+
+Idempotency: ``POST /jobs`` honours an ``Idempotency-Key`` header.  The
+same tenant resubmitting the same key with the same spec gets the
+existing job back with ``200``; the same key with a *different* spec is
+a ``409`` — a retried submit can never double-enqueue.
+
+Auditing: every request (including failed authentication) appends one
+line to the daemon's audit log via the single ``_reply`` choke point.
 
 The handler is deliberately thin: every decision lives on the daemon
 object, so tests can drive the same logic without a socket.
@@ -25,8 +44,13 @@ object, so tests can drive the same logic without a socket.
 from __future__ import annotations
 
 import json
+import math
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
+
+from ..harness import faultrig
+from .tenants import ANONYMOUS_TENANT, AdmissionDenied
 
 __all__ = ["make_handler", "make_server"]
 
@@ -42,22 +66,36 @@ def make_handler(daemon):
         server_version = "repro-campaignd/1"
         protocol_version = "HTTP/1.1"
 
+        #: Tenant id of the authenticated caller for the request being
+        #: handled; ``None`` until authentication runs (audit records
+        #: failed auth attempts with a null tenant).
+        _tenant: Optional[str] = None
+
         # -- plumbing --------------------------------------------------------
 
         def log_message(self, format, *args):  # noqa: A002
             daemon.log(f"http {self.address_string()} "
                        + (format % args))
 
-        def _reply(self, code: int, payload: dict) -> None:
+        def _reply(self, code: int, payload: dict,
+                   retry_after_s: Optional[float] = None) -> None:
             body = json.dumps(payload, sort_keys=True).encode()
             self.send_response(code)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            if retry_after_s is not None:
+                self.send_header("Retry-After",
+                                 str(max(1, math.ceil(retry_after_s))))
             self.end_headers()
             self.wfile.write(body)
+            job_id = payload.get("id") if isinstance(payload, dict) else None
+            daemon.audit.record(self._tenant, self.command, self.path,
+                                code, job_id=job_id)
 
-        def _error(self, code: int, message: str) -> None:
-            self._reply(code, {"error": message})
+        def _error(self, code: int, message: str,
+                   retry_after_s: Optional[float] = None) -> None:
+            self._reply(code, {"error": message},
+                        retry_after_s=retry_after_s)
 
         def _read_json(self) -> Optional[dict]:
             try:
@@ -86,14 +124,65 @@ def make_handler(daemon):
                 return parts[1], parts[2] if len(parts) > 2 else None
             return None, None
 
+        # -- admission -------------------------------------------------------
+
+        def _authenticate(self) -> bool:
+            """Resolve the caller's tenant; False means 401 was sent."""
+            self._tenant = None
+            fired = faultrig.should_fire("slow-client")
+            if fired is not None:
+                # Chaos mode: pin this handler thread the way a stalled
+                # client would; the threaded server must keep serving.
+                time.sleep(fired[2] if fired[2] is not None else 2.0)
+            if not daemon.admission.enabled:
+                self._tenant = ANONYMOUS_TENANT
+                return True
+            header = self.headers.get("Authorization") or ""
+            token = header[7:].strip() \
+                if header.startswith("Bearer ") else None
+            config = daemon.registry.authenticate(token)
+            if config is None:
+                self._error(401, "missing or invalid bearer token")
+                return False
+            self._tenant = config.id
+            return True
+
+        def _is_operator(self) -> bool:
+            if not daemon.admission.enabled:
+                return True
+            config = daemon.registry.get(self._tenant)
+            return config is not None and config.operator
+
+        def _owns_or_operator(self, job: dict) -> bool:
+            if not daemon.admission.enabled or self._is_operator():
+                return True
+            return job.get("tenant") == self._tenant
+
         # -- verbs -----------------------------------------------------------
 
         def do_GET(self) -> None:  # noqa: N802
+            if not self._authenticate():
+                return
+            try:
+                self._get()
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                self._error(500, f"{type(exc).__name__}: {exc}")
+
+        def do_POST(self) -> None:  # noqa: N802
+            if not self._authenticate():
+                return
+            try:
+                self._post()
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                self._error(500, f"{type(exc).__name__}: {exc}")
+
+        def _get(self) -> None:
             if self.path == "/healthz":
                 self._reply(200, daemon.health())
                 return
             if self.path == "/jobs":
-                self._reply(200, {"jobs": daemon.list_jobs()})
+                tenant = None if self._is_operator() else self._tenant
+                self._reply(200, {"jobs": daemon.list_jobs(tenant)})
                 return
             job_id, verb = self._job_route()
             if job_id is not None and verb is None:
@@ -101,12 +190,20 @@ def make_handler(daemon):
                 if job is None:
                     self._error(404, f"no such job {job_id!r}")
                     return
+                if not self._owns_or_operator(job):
+                    self._error(403, f"job {job_id!r} belongs to "
+                                     f"another tenant")
+                    return
                 self._reply(200, job)
                 return
             if job_id is not None and verb == "result":
                 job = daemon.job_status(job_id)
                 if job is None:
                     self._error(404, f"no such job {job_id!r}")
+                    return
+                if not self._owns_or_operator(job):
+                    self._error(403, f"job {job_id!r} belongs to "
+                                     f"another tenant")
                     return
                 if job.get("result") is None:
                     self._error(
@@ -118,7 +215,7 @@ def make_handler(daemon):
                 return
             self._error(404, f"unknown endpoint {self.path!r}")
 
-        def do_POST(self) -> None:  # noqa: N802
+        def _post(self) -> None:
             if self.path == "/jobs":
                 if daemon.draining:
                     self._error(503, "daemon is draining; "
@@ -126,28 +223,45 @@ def make_handler(daemon):
                     return
                 if not daemon.bucket.try_acquire():
                     self._error(429, "job submissions are rate-limited; "
-                                     "retry later")
+                                     "retry later",
+                                retry_after_s=daemon.bucket.retry_after_s())
                     return
                 spec = self._read_json()
                 if spec is None:
                     return
+                key = self.headers.get("Idempotency-Key") or None
                 try:
-                    job = daemon.submit(spec)
+                    job = daemon.submit(spec, tenant=self._tenant,
+                                        idempotency_key=key)
+                except AdmissionDenied as exc:
+                    self._error(exc.status, exc.message,
+                                retry_after_s=exc.retry_after_s)
+                    return
                 except ValueError as exc:
                     self._error(400, str(exc))
                     return
-                self._reply(201, job)
+                replayed = job.pop("replayed", False)
+                self._reply(200 if replayed else 201, job)
                 return
             if self.path == "/drain":
+                if not self._is_operator():
+                    self._error(403, "drain is restricted to operator "
+                                     "tenants")
+                    return
                 daemon.drain()
                 self._reply(202, {"status": "draining"})
                 return
             job_id, verb = self._job_route()
             if job_id is not None and verb == "cancel":
-                job = daemon.cancel(job_id)
+                job = daemon.job_status(job_id)
                 if job is None:
                     self._error(404, f"no such job {job_id!r}")
                     return
+                if not self._owns_or_operator(job):
+                    self._error(403, f"job {job_id!r} belongs to "
+                                     f"another tenant")
+                    return
+                job = daemon.cancel(job_id)
                 self._reply(200, job)
                 return
             self._error(404, f"unknown endpoint {self.path!r}")

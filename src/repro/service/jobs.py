@@ -186,19 +186,31 @@ def run_job(spec: JobSpec,
             resume: bool = False,
             progress: Optional[Callable[[CampaignProgress], None]] = None,
             watchdog_stats: Optional[WatchdogStats] = None,
-            start_method: Optional[str] = None) -> CampaignResult:
+            start_method: Optional[str] = None,
+            jobs_override: Optional[int] = None,
+            on_pool_change: Optional[Callable[[int], None]] = None,
+            ) -> CampaignResult:
     """Execute one campaign job; the service's single entry point.
 
     ``start_method`` matters in the daemon: it holds live HTTP threads,
     and forking a threaded process is unsafe, so the daemon passes
     ``forkserver``/``spawn`` explicitly rather than inheriting the
     fork default.
+
+    ``jobs_override`` is the scheduler's worker *grant*: the daemon may
+    run this campaign with fewer workers than ``spec.jobs`` asked for
+    when the global worker budget is shared across concurrent jobs.
+    Results are unaffected — campaign aggregates are bit-identical for
+    any worker count.  ``on_pool_change`` forwards pool-worker deltas
+    (see :func:`run_campaign_parallel`) so the daemon can meter live
+    workers against its budget.
     """
     program, scheduler = resolve_factories(spec)
+    jobs = spec.jobs if jobs_override is None else jobs_override
     return run_campaign_parallel(
         program, scheduler,
         trials=spec.trials, base_seed=spec.seed,
-        max_steps=spec.max_steps, jobs=spec.jobs,
+        max_steps=spec.max_steps, jobs=jobs,
         progress=progress,
         trial_timeout_s=spec.trial_timeout_s,
         checkpoint=checkpoint, resume=resume,
@@ -211,6 +223,7 @@ def run_job(spec: JobSpec,
         hang_timeout_s=spec.hang_timeout_s,
         memory_limit_mb=spec.memory_limit_mb,
         watchdog_stats=watchdog_stats,
+        on_pool_change=on_pool_change,
     )
 
 

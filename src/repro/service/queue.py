@@ -1,13 +1,29 @@
-"""Durable FIFO job queue and the submit-path token bucket.
+"""Durable multi-tenant job queue and the submit-path token bucket.
 
 The campaign daemon must survive its own death: every job is a JSON
-file under ``<state_dir>/jobs/`` (written atomically via rename), and
+file under ``<state_dir>/jobs/`` (written atomically via rename *and*
+a parent-directory fsync, so the rename itself is crash-durable), and
 each job's trials stream into a checkpoint journal under
 ``<state_dir>/journals/``.  Restarting the daemon reloads the job
 files; a job that was ``running`` when the process died comes back as
 ``interrupted`` and is re-queued ahead of newer work, where the journal
 ``--resume`` path skips every already-completed trial — so a restarted
 job folds to the same bit-identical result as an uninterrupted one.
+
+Hardening on top of that contract:
+
+* **Records are CRC-stamped.**  Each job file carries a ``crc32`` of
+  its canonical JSON; a record that fails to parse *or* fails its
+  checksum on reload is moved to ``<state_dir>/quarantine/`` — never
+  trusted, never fatal.  Pre-CRC records (no stamp) remain loadable.
+* **Persists are tiered.**  ``submit`` must be durable before the
+  client hears 201, so its persist propagates errors; lifecycle
+  persists (claim, progress, finish) are best-effort — a transient
+  ``ENOSPC`` degrades to a warning and a stale-but-valid record, which
+  the crash-recovery path already knows how to reconcile.
+* **Jobs carry a tenant and an idempotency key.**  The tenant scopes
+  quotas, fairness, and visibility; the key makes retried submits safe
+  (the daemon returns the existing job instead of double-enqueueing).
 
 :class:`TokenBucket` guards the submit endpoint: campaigns are heavy,
 so a misbehaving client gets ``429`` long before it can pile up real
@@ -16,12 +32,17 @@ work.  The clock is injectable for tests.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
+
+from ..harness import faultrig
+from ..harness.fsutil import durable_replace, stamp_crc, verify_crc
 
 __all__ = ["Job", "JobQueue", "TokenBucket", "JOB_STATUSES"]
 
@@ -63,6 +84,22 @@ class TokenBucket:
             self._tokens -= 1.0
             return True
 
+    def retry_after_s(self) -> float:
+        """Seconds until one token will be available (0.0 = now).
+
+        The basis of the ``Retry-After`` header on 429 responses: an
+        honest client that waits this long will find a token (absent
+        competing traffic).
+        """
+        with self._lock:
+            now = self._clock()
+            tokens = min(
+                float(self.burst),
+                self._tokens + (now - self._last) * self.rate_per_s)
+            if tokens >= 1.0:
+                return 0.0
+            return (1.0 - tokens) / self.rate_per_s
+
 
 @dataclass
 class Job:
@@ -71,6 +108,8 @@ class Job:
     id: str
     spec: dict
     status: str = "queued"
+    #: Owning tenant; "default" in open (no tenants file) mode.
+    tenant: str = "default"
     submitted_at: float = 0.0
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -82,9 +121,21 @@ class Job:
     progress_trials: int = 0
     #: Times this job entered ``running`` (1 = never restarted).
     attempts: int = 0
+    #: Client-supplied submit key: resubmits with the same key return
+    #: this job instead of enqueueing a duplicate.
+    idempotency_key: Optional[str] = None
+    #: Worker processes granted by the scheduler for the current run.
+    granted_workers: int = 0
+    #: Times the scheduler preempted this job at a shard boundary to
+    #: make room for a starved tenant (each one resumed bit-identically).
+    preemptions: int = 0
     #: In-memory only: set to make the running campaign drain at the
     #: next shard boundary.
     cancel_event: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False)
+    #: In-memory only: scheduler preemption request — like cancel, but
+    #: the job re-queues as ``interrupted`` and resumes later.
+    yield_event: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False)
 
     def to_dict(self) -> dict:
@@ -92,6 +143,7 @@ class Job:
             "id": self.id,
             "spec": self.spec,
             "status": self.status,
+            "tenant": self.tenant,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -99,6 +151,9 @@ class Job:
             "error": self.error,
             "progress_trials": self.progress_trials,
             "attempts": self.attempts,
+            "idempotency_key": self.idempotency_key,
+            "granted_workers": self.granted_workers,
+            "preemptions": self.preemptions,
         }
 
     @classmethod
@@ -107,6 +162,7 @@ class Job:
             id=str(obj["id"]),
             spec=dict(obj["spec"]),
             status=obj.get("status", "queued"),
+            tenant=str(obj.get("tenant", "default")),
             submitted_at=float(obj.get("submitted_at", 0.0)),
             started_at=obj.get("started_at"),
             finished_at=obj.get("finished_at"),
@@ -114,6 +170,9 @@ class Job:
             error=obj.get("error"),
             progress_trials=int(obj.get("progress_trials", 0)),
             attempts=int(obj.get("attempts", 0)),
+            idempotency_key=obj.get("idempotency_key"),
+            granted_workers=int(obj.get("granted_workers", 0)),
+            preemptions=int(obj.get("preemptions", 0)),
         )
 
 
@@ -124,11 +183,14 @@ class JobQueue:
         self.state_dir = state_dir
         self.jobs_dir = os.path.join(state_dir, "jobs")
         self.journals_dir = os.path.join(state_dir, "journals")
+        self.quarantine_dir = os.path.join(state_dir, "quarantine")
         os.makedirs(self.jobs_dir, exist_ok=True)
         os.makedirs(self.journals_dir, exist_ok=True)
         self._lock = threading.RLock()
         self._jobs: Dict[str, Job] = {}
         self._next_serial = 1
+        #: Records moved aside on reload (torn/corrupt); file names.
+        self.quarantined: List[str] = []
         self._load()
 
     # -- persistence ---------------------------------------------------------
@@ -145,7 +207,10 @@ class JobQueue:
 
         ``running`` on disk means the previous daemon died mid-job (a
         clean stop persists ``interrupted`` first); both re-queue, and
-        the journal resume path keeps the rerun bit-identical.
+        the journal resume path keeps the rerun bit-identical.  A record
+        that fails to parse or fails its CRC is *quarantined* — moved to
+        ``<state_dir>/quarantine/`` so the corruption stays inspectable
+        without ever being trusted or crashing the reload.
         """
         for name in sorted(os.listdir(self.jobs_dir)):
             if not name.endswith(".json"):
@@ -153,35 +218,77 @@ class JobQueue:
             path = os.path.join(self.jobs_dir, name)
             try:
                 with open(path) as fh:
-                    job = Job.from_dict(json.load(fh))
-            except (OSError, ValueError, KeyError, TypeError):
-                continue  # torn write or foreign file; never fatal
+                    obj = json.load(fh)
+                if not isinstance(obj, dict) or not verify_crc(obj):
+                    raise ValueError("job record failed its CRC check")
+                job = Job.from_dict(obj)
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                self._quarantine(path, exc)
+                continue
             if job.status == "running":
                 job.status = "interrupted"
-                self._persist(job)
+                self._persist(job, required=False)
             self._jobs[job.id] = job
             serial = _job_serial(job.id)
             if serial is not None:
                 self._next_serial = max(self._next_serial, serial + 1)
 
-    def _persist(self, job: Job) -> None:
-        """Atomic write: a crash mid-persist leaves the previous state."""
-        path = self._job_path(job.id)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as fh:
-            json.dump(job.to_dict(), fh, sort_keys=True, indent=1)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+    def _quarantine(self, path: str, reason: Exception) -> None:
+        """Move a torn/corrupt record aside; never fatal."""
+        os.makedirs(self.quarantine_dir, exist_ok=True)
+        name = os.path.basename(path)
+        try:
+            durable_replace(path, os.path.join(self.quarantine_dir, name))
+        except OSError:
+            return
+        self.quarantined.append(name)
+        print(f"  [jobqueue] quarantined torn job record {name} "
+              f"({type(reason).__name__}: {reason})",
+              file=sys.stderr, flush=True)
+
+    def _persist(self, job: Job, required: bool = True) -> None:
+        """Atomic, CRC-stamped, rename-durable write of one job record.
+
+        A crash mid-persist leaves the previous state; the parent
+        directory is fsynced after the rename so the rename itself
+        survives power loss.  ``required=False`` marks lifecycle
+        persists (claim/progress/finish) where an I/O error — a full
+        disk, say — degrades to a warning and a stale record, which the
+        existing crash-recovery path reconciles; submit-time persists
+        stay ``required`` because the client is about to be promised
+        durability.
+        """
+        try:
+            fired = faultrig.should_fire("enospc")
+            if fired is not None:
+                raise OSError(errno.ENOSPC,
+                              "injected: no space left on device")
+            path = self._job_path(job.id)
+            tmp = path + ".tmp"
+            with open(tmp, "w") as fh:
+                json.dump(stamp_crc(job.to_dict()), fh,
+                          sort_keys=True, indent=1)
+                fh.flush()
+                os.fsync(fh.fileno())
+            durable_replace(tmp, path)
+        except OSError as exc:
+            if required:
+                raise
+            print(f"  [jobqueue] persist of {job.id} failed "
+                  f"({exc}); record is stale until the next update",
+                  file=sys.stderr, flush=True)
 
     # -- queue operations ----------------------------------------------------
 
-    def submit(self, spec: dict) -> Job:
+    def submit(self, spec: dict, tenant: str = "default",
+               idempotency_key: Optional[str] = None) -> Job:
         with self._lock:
             job_id = f"job-{self._next_serial:06d}"
             self._next_serial += 1
-            job = Job(id=job_id, spec=spec, submitted_at=time.time())
-            self._persist(job)
+            job = Job(id=job_id, spec=spec, tenant=tenant,
+                      submitted_at=time.time(),
+                      idempotency_key=idempotency_key)
+            self._persist(job)  # required: the client is promised 201
             self._jobs[job_id] = job
             return job
 
@@ -189,35 +296,55 @@ class JobQueue:
         with self._lock:
             return self._jobs.get(job_id)
 
-    def list_jobs(self) -> List[Job]:
+    def find_idempotent(self, tenant: str, key: str) -> Optional[Job]:
+        """The tenant's existing job submitted under ``key``, if any."""
         with self._lock:
-            return sorted(self._jobs.values(), key=lambda j: j.id)
+            for job in self._jobs.values():
+                if job.tenant == tenant and job.idempotency_key == key:
+                    return job
+            return None
 
-    def claim_next(self) -> Optional[Job]:
-        """Pop the next runnable job (FIFO; interrupted jobs first).
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        with self._lock:
+            jobs = [j for j in self._jobs.values()
+                    if tenant is None or j.tenant == tenant]
+            return sorted(jobs, key=lambda j: j.id)
 
-        Interrupted jobs predate everything queued after the restart
-        *and* already hold journal state, so finishing them first keeps
-        the service's completion order close to submission order.
-        """
+    def runnable(self) -> List[Job]:
+        """Claimable jobs: interrupted first (they predate the restart
+        and hold journal state), then queued, FIFO within each."""
         with self._lock:
             candidates = [j for j in self._jobs.values()
                           if j.status in ("queued", "interrupted")]
-            if not candidates:
-                return None
             candidates.sort(
                 key=lambda j: (j.status != "interrupted", j.id))
-            job = candidates[0]
+            return candidates
+
+    def claim(self, job_id: str) -> Optional[Job]:
+        """Transition one specific runnable job to ``running``."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.status not in ("queued", "interrupted"):
+                return None
             job.status = "running"
             job.started_at = time.time()
             job.attempts += 1
-            self._persist(job)
+            job.yield_event.clear()
+            self._persist(job, required=False)
             return job
 
-    def update(self, job: Job) -> None:
-        """Persist a mutated job record."""
+    def claim_next(self) -> Optional[Job]:
+        """Pop the next runnable job (FIFO; interrupted jobs first)."""
         with self._lock:
-            self._persist(job)
+            candidates = self.runnable()
+            if not candidates:
+                return None
+            return self.claim(candidates[0].id)
+
+    def update(self, job: Job) -> None:
+        """Persist a mutated job record (best-effort; see _persist)."""
+        with self._lock:
+            self._persist(job, required=False)
 
     def request_cancel(self, job_id: str) -> Optional[Job]:
         """Cancel a job: queued dies now, running drains at next shard."""
@@ -228,7 +355,7 @@ class JobQueue:
             if job.status in ("queued", "interrupted"):
                 job.status = "cancelled"
                 job.finished_at = time.time()
-                self._persist(job)
+                self._persist(job, required=False)
             elif job.status == "running":
                 job.cancel_event.set()
             return job
@@ -239,6 +366,32 @@ class JobQueue:
             for job in self._jobs.values():
                 out[job.status] = out.get(job.status, 0) + 1
             return out
+
+    def tenant_counts(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant queued (incl. interrupted) and running job counts."""
+        with self._lock:
+            out: Dict[str, Dict[str, int]] = {}
+            for job in self._jobs.values():
+                row = out.setdefault(job.tenant, {"queued": 0, "running": 0})
+                if job.status in ("queued", "interrupted"):
+                    row["queued"] += 1
+                elif job.status == "running":
+                    row["running"] += 1
+            return out
+
+    def queued_for(self, tenant: str) -> int:
+        """The tenant's queued+interrupted job count (quota input)."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values()
+                       if j.tenant == tenant
+                       and j.status in ("queued", "interrupted"))
+
+    def trials_submitted_for(self, tenant: str) -> int:
+        """Total trials the tenant ever submitted (budget accounting);
+        rebuilt from durable records so restarts cannot reset spend."""
+        with self._lock:
+            return sum(int(j.spec.get("trials", 0))
+                       for j in self._jobs.values() if j.tenant == tenant)
 
     def has_active(self) -> bool:
         with self._lock:

@@ -1,0 +1,236 @@
+"""Concurrent job scheduling: worker budget, fairness, and preemption.
+
+PR 7's daemon ran one job at a time; the whole ``--jobs`` worker fleet
+belonged to whichever job reached the front of the FIFO.  This module
+gives the daemon a real scheduler:
+
+* :class:`WorkerBudget` — the global cap on live pool workers
+  (``--worker-budget``).  Every running job holds a *grant* carved out
+  of the budget; grants are released when the job finishes, fails, is
+  cancelled, or yields.  The budget is the invariant the chaos suite
+  polls: live workers never exceed it, no matter how many jobs run.
+* :class:`DeficitRoundRobin` — weighted-fair tenant selection.  Each
+  selection round credits every tenant with pending work
+  ``quantum * weight``; the tenant with the largest accumulated deficit
+  wins and is charged the cost of the job it starts.  Deficits *carry*:
+  a tenant that kept losing while its jobs were large eventually
+  accumulates enough credit to win, so no tenant starves regardless of
+  job-size mix.
+* :class:`JobScheduler` — the pure decision policy.  Given the runnable
+  and running job sets it answers two questions: *which job starts
+  next, with how many workers* (:meth:`next_start`), and *which running
+  job should yield* to unblock a starved tenant
+  (:meth:`preemption_target`).  It owns no threads and touches no I/O,
+  so every fairness property is unit-testable without a daemon.
+
+Preemption is cooperative and cheap because of how campaigns already
+work: the daemon sets the victim job's ``yield_event``, the campaign's
+progress hook raises at the next *shard boundary*, the job journals and
+re-queues as ``interrupted``, and its resume re-runs nothing (trial
+seeds derive from ``(base_seed, index)``) — so a preempted-and-resumed
+job folds to a bit-identical result.  That is what lets the fairness
+guarantee be phrased as "a starved tenant's job starts within one shard
+boundary" rather than "eventually".
+
+Grants are *fair-capped* when more than one tenant has active work:
+``grant = min(spec.jobs, budget available, max(1, budget * weight /
+sum of active weights))``.  A lone tenant still gets the whole budget;
+the moment a second tenant shows up, new grants shrink to fair shares
+and — if the budget is fully held — the scheduler preempts exactly one
+over-share job.  Preempting only when the waiting tenant has *zero*
+running jobs, and never signalling the same job twice, prevents
+preemption thrash (A yields for B, B saturates, A preempts B, ...).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .queue import Job
+
+__all__ = ["WorkerBudget", "DeficitRoundRobin", "JobScheduler"]
+
+
+class WorkerBudget:
+    """Global cap on concurrently live pool workers across all jobs."""
+
+    def __init__(self, total: int):
+        if total < 1:
+            raise ValueError("worker budget must be >= 1")
+        self.total = total
+        self._used = 0
+        self._lock = threading.Lock()
+
+    @property
+    def used(self) -> int:
+        with self._lock:
+            return self._used
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            return self.total - self._used
+
+    def acquire(self, workers: int) -> bool:
+        """Reserve ``workers`` from the budget; False if it won't fit."""
+        if workers < 1:
+            raise ValueError("grants are at least one worker")
+        with self._lock:
+            if self._used + workers > self.total:
+                return False
+            self._used += workers
+            return True
+
+    def release(self, workers: int) -> None:
+        with self._lock:
+            self._used = max(0, self._used - workers)
+
+
+class DeficitRoundRobin:
+    """Weighted-fair tenant picker with carried deficits.
+
+    ``weight_of`` maps a tenant id to its fair-share weight (tenants
+    absent from the registry weigh 1.0).  Costs are charged in *worker
+    grants*, so a tenant that just received a large grant has to wait
+    for its deficit to refill before winning again.
+    """
+
+    def __init__(self, weight_of: Callable[[str], float],
+                 quantum: float = 1.0):
+        self._weight_of = weight_of
+        self._quantum = quantum
+        self._deficit: Dict[str, float] = {}
+
+    def select(self, tenants: Sequence[str]) -> Optional[str]:
+        """Credit every contender one quantum and return the richest.
+
+        Deficits of tenants with no pending work are dropped — credit
+        accrues only while a tenant is actually waiting, so an idle
+        tenant cannot bank an unbounded claim on the future.
+        """
+        contenders = list(dict.fromkeys(tenants))
+        if not contenders:
+            return None
+        for gone in set(self._deficit) - set(contenders):
+            del self._deficit[gone]
+        for tenant in contenders:
+            self._deficit[tenant] = (
+                self._deficit.get(tenant, 0.0)
+                + self._quantum * self._weight_of(tenant))
+        # Ties break by tenant id so selection is deterministic.
+        return sorted(contenders,
+                      key=lambda t: (-self._deficit[t], t))[0]
+
+    def charge(self, tenant: str, cost: float) -> None:
+        if tenant in self._deficit:
+            self._deficit[tenant] -= cost
+
+
+class JobScheduler:
+    """Pure policy: which job starts next, and who yields for whom."""
+
+    def __init__(self, budget: WorkerBudget,
+                 weight_of: Callable[[str], float] = lambda _t: 1.0,
+                 max_concurrent_jobs: int = 4,
+                 tenant_job_cap: Callable[[str], int] = lambda _t: 1 << 30):
+        if max_concurrent_jobs < 1:
+            raise ValueError("max_concurrent_jobs must be >= 1")
+        self.budget = budget
+        self.weight_of = weight_of
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.tenant_job_cap = tenant_job_cap
+        self._drr = DeficitRoundRobin(weight_of)
+        #: Jobs already asked to yield — never signal the same job twice.
+        self._yielding: set = set()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _eligible(self, runnable: List[Job],
+                  running: List[Job]) -> List[Job]:
+        """Runnable jobs whose tenant is under its concurrency cap."""
+        running_per_tenant: Dict[str, int] = {}
+        for job in running:
+            running_per_tenant[job.tenant] = (
+                running_per_tenant.get(job.tenant, 0) + 1)
+        return [job for job in runnable
+                if running_per_tenant.get(job.tenant, 0)
+                < self.tenant_job_cap(job.tenant)]
+
+    def fair_cap(self, tenant: str, active_tenants: Sequence[str]) -> int:
+        """The tenant's fair worker share of the whole budget.
+
+        With a single active tenant there is nobody to be fair *to*, so
+        the cap is the full budget; otherwise it is the weighted
+        proportional share, floored at one worker.
+        """
+        distinct = set(active_tenants)
+        distinct.add(tenant)
+        if len(distinct) <= 1:
+            return self.budget.total
+        total_weight = sum(self.weight_of(t) for t in distinct)
+        share = self.budget.total * self.weight_of(tenant) / total_weight
+        return max(1, int(share))
+
+    # -- decisions -----------------------------------------------------------
+
+    def next_start(self, runnable: List[Job],
+                   running: List[Job]) -> Optional[Tuple[Job, int]]:
+        """The job to start next and its worker grant, or ``None``.
+
+        ``None`` means *no start right now*: the job slots are full, no
+        runnable job's tenant is under its cap, or the budget has no
+        spare worker (in which case :meth:`preemption_target` decides
+        whether someone should yield).
+        """
+        if len(running) >= self.max_concurrent_jobs:
+            return None
+        eligible = self._eligible(runnable, running)
+        if not eligible:
+            return None
+        available = self.budget.available
+        if available < 1:
+            return None
+        tenant = self._drr.select([job.tenant for job in eligible])
+        job = next(j for j in eligible if j.tenant == tenant)
+        active = [j.tenant for j in running] + [tenant]
+        wanted = max(1, int(job.spec.get("jobs", 1) or 1))
+        grant = min(wanted, available, self.fair_cap(tenant, active))
+        self._drr.charge(tenant, float(grant))
+        return job, grant
+
+    def preemption_target(self, runnable: List[Job],
+                          running: List[Job]) -> Optional[Job]:
+        """The running job that should yield for a starved tenant.
+
+        A preemption is warranted only when *all* of: a runnable job is
+        waiting, its tenant has **zero** running jobs (tenants with any
+        footprint wait their turn — this is the anti-thrash rule), the
+        budget is exhausted, and some other tenant's job holds more than
+        its fair share.  The victim is the over-share tenant's job with
+        the largest grant; a job already signalled is never re-picked.
+        """
+        if self.budget.available > 0 or not running:
+            return None
+        eligible = self._eligible(runnable, running)
+        running_tenants = {job.tenant for job in running}
+        waiters = [job for job in eligible
+                   if job.tenant not in running_tenants]
+        if not waiters:
+            return None
+        waiter_tenant = waiters[0].tenant
+        active = list(running_tenants) + [waiter_tenant]
+        victims = [
+            job for job in running
+            if job.id not in self._yielding
+            and job.granted_workers > self.fair_cap(job.tenant, active)
+        ]
+        if not victims:
+            return None
+        victim = max(victims, key=lambda j: (j.granted_workers, j.id))
+        self._yielding.add(victim.id)
+        return victim
+
+    def job_stopped(self, job: Job) -> None:
+        """Forget yield state when a job leaves ``running``."""
+        self._yielding.discard(job.id)

@@ -1,0 +1,302 @@
+"""Multi-tenant admission control: who may submit how much, and when.
+
+The campaign daemon serves expensive work — one job is hundreds to
+thousands of CPU-bound trials — so admission is where multi-tenancy is
+actually enforced:
+
+* :class:`TenantRegistry` loads a **tenants file** (JSON) mapping bearer
+  tokens to :class:`TenantConfig` records: per-tenant rate limits,
+  queued-job caps, concurrent-job caps, trial budgets, fair-share
+  weights, and an ``operator`` bit for control-plane verbs (drain).
+  With no tenants file the service runs *open* exactly as before —
+  every caller is the anonymous default tenant and only the global
+  token bucket applies.
+* :class:`AdmissionController` turns a submit attempt into a decision:
+  token-bucket rate limiting (429 with a computed ``Retry-After``),
+  queued-job quotas (429 — the queue will drain, retrying helps), and
+  trial budgets (403 — the budget will not refill itself, retrying is
+  pointless).  Budgets are charged by *submitted* trials and rebuilt
+  from the durable job records on restart, so a bounced daemon cannot
+  be used to reset a tenant's spend.
+* :class:`AuditLog` appends one JSONL line per API request — tenant,
+  method, route, outcome, and job id where one is involved — giving
+  operators a durable, grep-able trail of every authenticated (and
+  every rejected) call.
+
+Tenants file format::
+
+    {"tenants": [
+      {"id": "alice", "token": "alice-secret-token",
+       "rate_per_s": 2.0, "burst": 10,
+       "max_queued_jobs": 16, "max_concurrent_jobs": 2,
+       "trial_budget": 1000000, "weight": 1.0, "operator": false},
+      {"id": "ops", "token": "ops-token", "operator": true}
+    ]}
+
+Only ``id`` and ``token`` are required; everything else defaults to
+permissive values.  ``trial_budget: null`` (or absent) means unlimited.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .queue import TokenBucket
+
+__all__ = [
+    "ANONYMOUS_TENANT",
+    "AdmissionDenied",
+    "AdmissionController",
+    "AuditLog",
+    "TenantConfig",
+    "TenantRegistry",
+]
+
+#: Tenant identity used when no tenants file is configured (open mode).
+ANONYMOUS_TENANT = "default"
+
+
+class AdmissionDenied(Exception):
+    """A submit (or other request) refused by admission control.
+
+    ``status`` is the HTTP status the API should return; ``retry_after_s``
+    is set for throttling denials (429) so the handler can emit a
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, status: int, message: str,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's identity and quotas (see the module docstring)."""
+
+    id: str
+    token: str
+    rate_per_s: float = 2.0
+    burst: int = 10
+    max_queued_jobs: int = 16
+    max_concurrent_jobs: int = 4
+    trial_budget: Optional[int] = None
+    weight: float = 1.0
+    operator: bool = False
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "TenantConfig":
+        if not isinstance(obj, dict):
+            raise ValueError("each tenants entry must be a JSON object")
+        unknown = sorted(set(obj) - set(cls.__dataclass_fields__))
+        if unknown:
+            raise ValueError(
+                f"unknown tenant field(s): {', '.join(unknown)}")
+        for required in ("id", "token"):
+            if not obj.get(required) or not isinstance(obj[required], str):
+                raise ValueError(
+                    f"tenants entries need a non-empty string {required!r}")
+        config = cls(**obj)
+        if config.rate_per_s <= 0:
+            raise ValueError(f"tenant {config.id!r}: rate_per_s must be > 0")
+        if config.burst < 1:
+            raise ValueError(f"tenant {config.id!r}: burst must be >= 1")
+        if config.max_queued_jobs < 1:
+            raise ValueError(
+                f"tenant {config.id!r}: max_queued_jobs must be >= 1")
+        if config.max_concurrent_jobs < 1:
+            raise ValueError(
+                f"tenant {config.id!r}: max_concurrent_jobs must be >= 1")
+        if config.trial_budget is not None and config.trial_budget < 1:
+            raise ValueError(
+                f"tenant {config.id!r}: trial_budget must be >= 1 or null")
+        if config.weight <= 0:
+            raise ValueError(f"tenant {config.id!r}: weight must be > 0")
+        return config
+
+
+class TenantRegistry:
+    """Token -> tenant resolution loaded from a tenants file.
+
+    Token comparison uses :func:`hmac.compare_digest`: the daemon is a
+    local/infra service, but there is no reason to hand out a timing
+    oracle for free.
+    """
+
+    def __init__(self, tenants: Dict[str, TenantConfig]):
+        self.tenants = dict(tenants)
+        self._by_token = {cfg.token: cfg for cfg in tenants.values()}
+        if len(self._by_token) != len(tenants):
+            raise ValueError("tenants file reuses a token across tenants")
+
+    @classmethod
+    def load(cls, path: str) -> "TenantRegistry":
+        with open(path) as fh:
+            try:
+                obj = json.load(fh)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"tenants file {path!r} is not valid JSON: {exc}"
+                ) from None
+        entries = obj.get("tenants") if isinstance(obj, dict) else None
+        if not isinstance(entries, list) or not entries:
+            raise ValueError(
+                f"tenants file {path!r} needs a non-empty 'tenants' list")
+        tenants: Dict[str, TenantConfig] = {}
+        for entry in entries:
+            config = TenantConfig.from_dict(entry)
+            if config.id in tenants:
+                raise ValueError(
+                    f"tenants file defines tenant {config.id!r} twice")
+            tenants[config.id] = config
+        return cls(tenants)
+
+    def authenticate(self, token: Optional[str]) -> Optional[TenantConfig]:
+        """The tenant owning ``token``, or ``None`` (401 material)."""
+        if not token:
+            return None
+        for candidate, config in self._by_token.items():
+            if hmac.compare_digest(candidate, token):
+                return config
+        return None
+
+    def get(self, tenant_id: str) -> Optional[TenantConfig]:
+        return self.tenants.get(tenant_id)
+
+    def weight(self, tenant_id: str) -> float:
+        config = self.tenants.get(tenant_id)
+        return config.weight if config is not None else 1.0
+
+
+class AdmissionController:
+    """Per-tenant rate limits and quotas in front of the job queue."""
+
+    def __init__(self, registry: Optional[TenantRegistry]):
+        self.registry = registry
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._spent_trials: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a tenants file is configured (auth required)."""
+        return self.registry is not None
+
+    # -- restart accounting --------------------------------------------------
+
+    def charge_trials(self, tenant_id: str, trials: int) -> None:
+        """Record submitted trials against the tenant's budget."""
+        with self._lock:
+            self._spent_trials[tenant_id] = (
+                self._spent_trials.get(tenant_id, 0) + trials)
+
+    def spent_trials(self, tenant_id: str) -> int:
+        with self._lock:
+            return self._spent_trials.get(tenant_id, 0)
+
+    # -- the decision --------------------------------------------------------
+
+    def _bucket(self, config: TenantConfig) -> TokenBucket:
+        bucket = self._buckets.get(config.id)
+        if bucket is None:
+            bucket = TokenBucket(config.rate_per_s, config.burst)
+            self._buckets[config.id] = bucket
+        return bucket
+
+    def check_submit(self, tenant_id: str, trials: int,
+                     queued_now: int) -> None:
+        """Admit or refuse one submit; raises :class:`AdmissionDenied`.
+
+        ``queued_now`` is the tenant's current queued+interrupted job
+        count.  On success the trial budget is charged immediately: the
+        job is about to be durably enqueued, and charging before the
+        enqueue means a crash in between errs on the side of the quota,
+        never against it.
+        """
+        if self.registry is None:
+            return
+        config = self.registry.get(tenant_id)
+        if config is None:
+            raise AdmissionDenied(403, f"unknown tenant {tenant_id!r}")
+        with self._lock:
+            bucket = self._bucket(config)
+            if not bucket.try_acquire():
+                retry = bucket.retry_after_s()
+                raise AdmissionDenied(
+                    429,
+                    f"tenant {tenant_id!r} is rate-limited "
+                    f"({config.rate_per_s:g}/s sustained, "
+                    f"burst {config.burst}); retry later",
+                    retry_after_s=retry)
+            if queued_now >= config.max_queued_jobs:
+                raise AdmissionDenied(
+                    429,
+                    f"tenant {tenant_id!r} already has {queued_now} "
+                    f"queued job(s) (quota {config.max_queued_jobs}); "
+                    f"retry when the queue drains",
+                    retry_after_s=5.0)
+            spent = self._spent_trials.get(tenant_id, 0)
+            if (config.trial_budget is not None
+                    and spent + trials > config.trial_budget):
+                raise AdmissionDenied(
+                    403,
+                    f"tenant {tenant_id!r} trial budget exhausted: "
+                    f"{spent} of {config.trial_budget} trials spent, "
+                    f"{trials} more requested")
+            self._spent_trials[tenant_id] = spent + trials
+
+
+class AuditLog:
+    """Append-only JSONL trail of every API request.
+
+    One line per request: wall-clock timestamp, tenant (``null`` when
+    authentication failed), HTTP method and path, response status, and
+    the job id where the request concerned one.  Lines are flushed per
+    append so a tail is live; full fsync durability is deliberately not
+    promised — the audit log is an operator trail, not a ledger.
+    """
+
+    def __init__(self, path: Optional[str]):
+        self.path = path
+        self._lock = threading.Lock()
+        self._fh = open(path, "a") if path else None
+
+    def record(self, tenant: Optional[str], method: str, path: str,
+               status: int, job_id: Optional[str] = None) -> None:
+        if self._fh is None:
+            return
+        entry = {
+            "ts": round(time.time(), 3),
+            "tenant": tenant,
+            "method": method,
+            "path": path,
+            "status": status,
+        }
+        if job_id is not None:
+            entry["job"] = job_id
+        line = json.dumps(entry, sort_keys=True)
+        with self._lock:
+            try:
+                self._fh.write(line + "\n")
+                self._fh.flush()
+            except (OSError, ValueError):
+                pass  # auditing must never take the service down
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                try:
+                    self._fh.flush()
+                    os.fsync(self._fh.fileno())
+                except (OSError, ValueError):
+                    pass
+                self._fh.close()
+                self._fh = None

@@ -1,0 +1,520 @@
+"""Multi-tenant admission control: auth, quotas, idempotency, audit.
+
+Covers every new HTTP status path (401 bad token, 403 wrong tenant /
+exhausted budget, 429 with Retry-After, 409 idempotency conflict), the
+tenants registry and admission controller directly, the CRC/quarantine
+durability layer, and the scheduler policy objects — all without real
+campaign work wherever possible, so this file stays fast.
+"""
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.harness.fsutil import crc_of_obj, stamp_crc, verify_crc
+from repro.service import (
+    AdmissionController,
+    AdmissionDenied,
+    AuditLog,
+    CampaignDaemon,
+    DeficitRoundRobin,
+    JobQueue,
+    JobScheduler,
+    ServiceClient,
+    ServiceError,
+    TenantConfig,
+    TenantRegistry,
+    WorkerBudget,
+)
+from repro.service.api import make_server
+from repro.service.queue import Job
+
+
+def spec_dict(**overrides):
+    spec = {"benchmark": "dekker", "scheduler": "naive", "trials": 16,
+            "seed": 3, "jobs": 1}
+    spec.update(overrides)
+    return spec
+
+
+def write_tenants(tmp_path, entries):
+    path = str(tmp_path / "tenants.json")
+    with open(path, "w") as fh:
+        json.dump({"tenants": entries}, fh)
+    return path
+
+
+TENANTS = [
+    {"id": "alice", "token": "alice-token", "rate_per_s": 1000.0,
+     "burst": 1000, "max_queued_jobs": 2, "trial_budget": 64},
+    {"id": "bob", "token": "bob-token", "rate_per_s": 1000.0,
+     "burst": 1000},
+    {"id": "ops", "token": "ops-token", "rate_per_s": 1000.0,
+     "burst": 1000, "operator": True},
+]
+
+
+# -- CRC / durability helpers --------------------------------------------------
+
+
+class TestCrcStamping:
+    def test_stamp_and_verify_round_trip(self):
+        obj = {"a": 1, "b": [2, 3]}
+        stamped = stamp_crc(obj)
+        assert verify_crc(stamped)
+        assert stamped["crc32"] == crc_of_obj(obj)
+
+    def test_tampered_object_fails(self):
+        stamped = stamp_crc({"a": 1})
+        stamped["a"] = 2
+        assert not verify_crc(stamped)
+
+    def test_unstamped_object_accepted(self):
+        assert verify_crc({"legacy": True})
+
+    def test_garbage_crc_fails(self):
+        assert not verify_crc({"a": 1, "crc32": "nonsense"})
+
+
+class TestQuarantine:
+    def test_corrupt_record_quarantined_on_reload(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        good = queue.submit(spec_dict())
+        bad = queue.submit(spec_dict(seed=4))
+        # Bit-rot the second record *without* breaking the JSON, so only
+        # the CRC can catch it.
+        path = os.path.join(queue.jobs_dir, f"{bad.id}.json")
+        record = json.load(open(path))
+        record["spec"]["seed"] = 999
+        with open(path, "w") as fh:
+            json.dump(record, fh)
+
+        reloaded = JobQueue(str(tmp_path))
+        assert [j.id for j in reloaded.list_jobs()] == [good.id]
+        assert reloaded.quarantined == [f"{bad.id}.json"]
+        assert os.path.exists(
+            os.path.join(reloaded.quarantine_dir, f"{bad.id}.json"))
+        assert not os.path.exists(path)
+
+    def test_pre_crc_record_still_loads(self, tmp_path):
+        queue = JobQueue(str(tmp_path))
+        job = queue.submit(spec_dict())
+        path = os.path.join(queue.jobs_dir, f"{job.id}.json")
+        record = json.load(open(path))
+        del record["crc32"]
+        with open(path, "w") as fh:
+            json.dump(record, fh)
+        reloaded = JobQueue(str(tmp_path))
+        assert reloaded.get(job.id) is not None
+        assert reloaded.quarantined == []
+
+
+# -- tenants registry ----------------------------------------------------------
+
+
+class TestTenantRegistry:
+    def test_load_and_authenticate(self, tmp_path):
+        registry = TenantRegistry.load(write_tenants(tmp_path, TENANTS))
+        assert registry.authenticate("alice-token").id == "alice"
+        assert registry.authenticate("wrong") is None
+        assert registry.authenticate(None) is None
+        assert registry.get("ops").operator
+
+    def test_duplicate_token_rejected(self, tmp_path):
+        entries = [{"id": "a", "token": "t"}, {"id": "b", "token": "t"}]
+        with pytest.raises(ValueError, match="reuses a token"):
+            TenantRegistry.load(write_tenants(tmp_path, entries))
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        entries = [{"id": "a", "token": "t1"}, {"id": "a", "token": "t2"}]
+        with pytest.raises(ValueError, match="twice"):
+            TenantRegistry.load(write_tenants(tmp_path, entries))
+
+    @pytest.mark.parametrize("entry,fragment", [
+        ({"id": "a"}, "token"),
+        ({"token": "t"}, "id"),
+        ({"id": "a", "token": "t", "colour": "red"}, "unknown tenant"),
+        ({"id": "a", "token": "t", "rate_per_s": 0}, "rate_per_s"),
+        ({"id": "a", "token": "t", "burst": 0}, "burst"),
+        ({"id": "a", "token": "t", "max_queued_jobs": 0},
+         "max_queued_jobs"),
+        ({"id": "a", "token": "t", "trial_budget": 0}, "trial_budget"),
+        ({"id": "a", "token": "t", "weight": 0}, "weight"),
+    ])
+    def test_bad_entries_rejected(self, entry, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            TenantConfig.from_dict(entry)
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = str(tmp_path / "tenants.json")
+        with open(path, "w") as fh:
+            fh.write("{torn")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            TenantRegistry.load(path)
+
+
+class TestAdmissionController:
+    def _registry(self, tmp_path, **overrides):
+        entry = dict({"id": "t", "token": "tok", "rate_per_s": 1000.0,
+                      "burst": 1000}, **overrides)
+        return TenantRegistry.load(write_tenants(tmp_path, [entry]))
+
+    def test_open_mode_admits_everything(self):
+        controller = AdmissionController(None)
+        assert not controller.enabled
+        controller.check_submit("anyone", trials=10 ** 9, queued_now=10 ** 9)
+
+    def test_rate_limit_429_with_retry_after(self, tmp_path):
+        registry = self._registry(tmp_path, rate_per_s=0.001, burst=1)
+        controller = AdmissionController(registry)
+        controller.check_submit("t", trials=1, queued_now=0)
+        with pytest.raises(AdmissionDenied) as excinfo:
+            controller.check_submit("t", trials=1, queued_now=0)
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s > 0
+
+    def test_queued_quota_429(self, tmp_path):
+        registry = self._registry(tmp_path, max_queued_jobs=2)
+        controller = AdmissionController(registry)
+        with pytest.raises(AdmissionDenied) as excinfo:
+            controller.check_submit("t", trials=1, queued_now=2)
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s is not None
+
+    def test_trial_budget_403_and_charging(self, tmp_path):
+        registry = self._registry(tmp_path, trial_budget=100)
+        controller = AdmissionController(registry)
+        controller.check_submit("t", trials=60, queued_now=0)
+        assert controller.spent_trials("t") == 60
+        with pytest.raises(AdmissionDenied) as excinfo:
+            controller.check_submit("t", trials=60, queued_now=0)
+        assert excinfo.value.status == 403
+        # A refusal charges nothing.
+        assert controller.spent_trials("t") == 60
+        controller.check_submit("t", trials=40, queued_now=0)
+
+    def test_unknown_tenant_403(self, tmp_path):
+        controller = AdmissionController(self._registry(tmp_path))
+        with pytest.raises(AdmissionDenied) as excinfo:
+            controller.check_submit("ghost", trials=1, queued_now=0)
+        assert excinfo.value.status == 403
+
+
+class TestAuditLog:
+    def test_records_lines_and_survives_close(self, tmp_path):
+        path = str(tmp_path / "audit.jsonl")
+        audit = AuditLog(path)
+        audit.record("alice", "POST", "/jobs", 201, job_id="job-000001")
+        audit.record(None, "GET", "/healthz", 401)
+        audit.close()
+        lines = [json.loads(line) for line in open(path)]
+        assert lines[0]["tenant"] == "alice"
+        assert lines[0]["job"] == "job-000001"
+        assert lines[0]["status"] == 201
+        assert lines[1]["tenant"] is None
+        assert lines[1]["status"] == 401
+
+    def test_disabled_log_is_a_noop(self):
+        audit = AuditLog(None)
+        audit.record("a", "GET", "/", 200)
+        audit.close()
+
+
+# -- scheduler policy ----------------------------------------------------------
+
+
+def make_job(job_id, tenant, jobs=1, granted=0):
+    job = Job(id=job_id, spec=spec_dict(jobs=jobs), tenant=tenant)
+    job.granted_workers = granted
+    return job
+
+
+class TestWorkerBudget:
+    def test_acquire_release(self):
+        budget = WorkerBudget(4)
+        assert budget.acquire(3)
+        assert budget.available == 1
+        assert not budget.acquire(2)
+        budget.release(3)
+        assert budget.available == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerBudget(0)
+        with pytest.raises(ValueError):
+            WorkerBudget(2).acquire(0)
+
+
+class TestDeficitRoundRobin:
+    def test_carried_deficit_prevents_starvation(self):
+        drr = DeficitRoundRobin(lambda t: 1.0)
+        # "a" keeps winning ties alphabetically but is charged each
+        # time; "b"'s carried deficit must eventually win.
+        winners = []
+        for _ in range(4):
+            winner = drr.select(["a", "b"])
+            drr.charge(winner, 2.0)
+            winners.append(winner)
+        assert "b" in winners
+
+    def test_weights_bias_selection(self):
+        drr = DeficitRoundRobin(lambda t: 3.0 if t == "vip" else 1.0)
+        wins = {"vip": 0, "basic": 0}
+        for _ in range(8):
+            winner = drr.select(["vip", "basic"])
+            drr.charge(winner, 1.0)
+            wins[winner] += 1
+        assert wins["vip"] > wins["basic"]
+
+    def test_idle_tenants_do_not_bank_credit(self):
+        drr = DeficitRoundRobin(lambda t: 1.0)
+        for _ in range(5):
+            drr.select(["a"])
+        # "b" was absent the whole time; when it shows up it competes
+        # from zero, not from five banked quanta — and "a" holds five.
+        assert drr.select(["a", "b"]) == "a"
+
+
+class TestJobSchedulerPolicy:
+    def test_single_tenant_gets_full_budget(self):
+        scheduler = JobScheduler(WorkerBudget(4))
+        job, grant = scheduler.next_start(
+            [make_job("job-1", "a", jobs=8)], [])
+        assert job.id == "job-1"
+        assert grant == 4
+
+    def test_grant_fair_capped_with_second_tenant(self):
+        budget = WorkerBudget(4)
+        scheduler = JobScheduler(budget, max_concurrent_jobs=4)
+        running = [make_job("job-1", "a", granted=2)]
+        budget.acquire(2)
+        job, grant = scheduler.next_start(
+            [make_job("job-2", "b", jobs=8)], running)
+        assert job.id == "job-2"
+        assert grant == 2  # half of 4, not the remaining 2 by accident
+
+    def test_respects_max_concurrent_jobs(self):
+        scheduler = JobScheduler(WorkerBudget(8), max_concurrent_jobs=1)
+        running = [make_job("job-1", "a", granted=1)]
+        assert scheduler.next_start(
+            [make_job("job-2", "b")], running) is None
+
+    def test_respects_tenant_job_cap(self):
+        scheduler = JobScheduler(
+            WorkerBudget(8), max_concurrent_jobs=4,
+            tenant_job_cap=lambda t: 1)
+        running = [make_job("job-1", "a", granted=1)]
+        assert scheduler.next_start(
+            [make_job("job-2", "a")], running) is None
+        job, _ = scheduler.next_start(
+            [make_job("job-2", "a"), make_job("job-3", "b")], running)
+        assert job.tenant == "b"
+
+    def test_preempts_over_share_job_for_starved_tenant(self):
+        budget = WorkerBudget(4)
+        budget.acquire(4)
+        scheduler = JobScheduler(budget, max_concurrent_jobs=4)
+        running = [make_job("job-1", "a", granted=4)]
+        waiter = make_job("job-2", "b")
+        victim = scheduler.preemption_target([waiter], running)
+        assert victim.id == "job-1"
+        # Never signalled twice while still running.
+        assert scheduler.preemption_target([waiter], running) is None
+        scheduler.job_stopped(victim)
+
+    def test_no_preemption_when_waiter_already_runs(self):
+        budget = WorkerBudget(4)
+        budget.acquire(4)
+        scheduler = JobScheduler(budget, max_concurrent_jobs=4)
+        running = [make_job("job-1", "a", granted=3),
+                   make_job("job-2", "b", granted=1)]
+        assert scheduler.preemption_target(
+            [make_job("job-3", "b")], running) is None
+
+    def test_no_preemption_with_free_budget(self):
+        budget = WorkerBudget(4)
+        budget.acquire(2)
+        scheduler = JobScheduler(budget, max_concurrent_jobs=4)
+        assert scheduler.preemption_target(
+            [make_job("job-2", "b")],
+            [make_job("job-1", "a", granted=2)]) is None
+
+
+# -- HTTP admission paths ------------------------------------------------------
+
+
+def start_http(daemon):
+    server = make_server(daemon, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.1}, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    return server, thread, url
+
+
+@pytest.fixture
+def tenanted(tmp_path):
+    """A tenanted daemon behind HTTP (no scheduler thread running)."""
+    tenants = write_tenants(tmp_path, TENANTS)
+    audit_path = str(tmp_path / "audit.jsonl")
+    daemon = CampaignDaemon(str(tmp_path / "state"), quiet=True,
+                            rate_per_s=1000.0, burst=1000,
+                            tenants_file=tenants,
+                            audit_log_path=audit_path)
+    server, thread, url = start_http(daemon)
+    clients = {
+        tenant["id"]: ServiceClient(url, timeout_s=10.0,
+                                    token=tenant["token"], retries=0)
+        for tenant in TENANTS
+    }
+    clients["anon"] = ServiceClient(url, timeout_s=10.0, token=None,
+                                    retries=0)
+    yield daemon, clients, audit_path
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+    daemon.audit.close()
+
+
+class TestHttpAuth:
+    def test_every_route_requires_a_token(self, tenanted):
+        daemon, clients, _ = tenanted
+        anon = clients["anon"]
+        for call in (anon.health,
+                     anon.list_jobs,
+                     lambda: anon.submit(spec_dict()),
+                     lambda: anon.status("job-000001"),
+                     lambda: anon.cancel("job-000001"),
+                     anon.drain):
+            with pytest.raises(ServiceError) as excinfo:
+                call()
+            assert excinfo.value.code == 401
+
+    def test_bad_token_401(self, tenanted):
+        daemon, clients, _ = tenanted
+        bad = ServiceClient(clients["alice"].base_url, timeout_s=10.0,
+                            token="stolen", retries=0)
+        with pytest.raises(ServiceError) as excinfo:
+            bad.health()
+        assert excinfo.value.code == 401
+
+    def test_wrong_tenant_status_and_cancel_403(self, tenanted):
+        daemon, clients, _ = tenanted
+        job = clients["alice"].submit(spec_dict())
+        for call in (lambda: clients["bob"].status(job["id"]),
+                     lambda: clients["bob"].result(job["id"]),
+                     lambda: clients["bob"].cancel(job["id"])):
+            with pytest.raises(ServiceError) as excinfo:
+                call()
+            assert excinfo.value.code == 403
+        # The operator sees (and can cancel) everything.
+        assert clients["ops"].status(job["id"])["tenant"] == "alice"
+        assert clients["ops"].cancel(job["id"])["status"] == "cancelled"
+
+    def test_job_listing_is_tenant_scoped(self, tenanted):
+        daemon, clients, _ = tenanted
+        clients["alice"].submit(spec_dict())
+        clients["bob"].submit(spec_dict(seed=4))
+        assert {j["tenant"] for j in clients["alice"].list_jobs()} \
+            == {"alice"}
+        assert {j["tenant"] for j in clients["ops"].list_jobs()} \
+            == {"alice", "bob"}
+
+    def test_drain_is_operator_only(self, tenanted):
+        daemon, clients, _ = tenanted
+        with pytest.raises(ServiceError) as excinfo:
+            clients["alice"].drain()
+        assert excinfo.value.code == 403
+        assert not daemon.draining
+        assert clients["ops"].drain() == {"status": "draining"}
+        assert daemon.draining
+
+
+class TestHttpQuotas:
+    def test_queued_quota_429_with_retry_after_header(self, tenanted):
+        daemon, clients, _ = tenanted
+        clients["alice"].submit(spec_dict())
+        clients["alice"].submit(spec_dict(seed=4))
+        with pytest.raises(ServiceError) as excinfo:
+            clients["alice"].submit(spec_dict(seed=5))
+        assert excinfo.value.code == 429
+        assert excinfo.value.retry_after_s >= 1
+        # Bob is unaffected by Alice's quota.
+        clients["bob"].submit(spec_dict())
+
+    def test_trial_budget_403_survives_restart(self, tmp_path):
+        tenants = write_tenants(tmp_path, TENANTS)
+        state = str(tmp_path / "state")
+        daemon1 = CampaignDaemon(state, quiet=True, tenants_file=tenants)
+        daemon1.submit(spec_dict(trials=48), tenant="alice")
+
+        # A bounced daemon rebuilds spend from the durable records, so
+        # the 64-trial budget still refuses another 48.
+        daemon2 = CampaignDaemon(state, quiet=True, tenants_file=tenants)
+        with pytest.raises(AdmissionDenied) as excinfo:
+            daemon2.submit(spec_dict(trials=48, seed=9), tenant="alice")
+        assert excinfo.value.status == 403
+        daemon2.submit(spec_dict(trials=16, seed=9), tenant="alice")
+
+
+class TestHttpIdempotency:
+    def test_same_key_same_spec_replays(self, tenanted):
+        daemon, clients, _ = tenanted
+        first = clients["alice"].submit(spec_dict(), idempotency_key="k1")
+        replay = clients["alice"].submit(spec_dict(), idempotency_key="k1")
+        assert replay["id"] == first["id"]
+        assert len(clients["alice"].list_jobs()) == 1
+
+    def test_same_key_different_spec_409(self, tenanted):
+        daemon, clients, _ = tenanted
+        clients["alice"].submit(spec_dict(), idempotency_key="k1")
+        with pytest.raises(ServiceError) as excinfo:
+            clients["alice"].submit(spec_dict(seed=9),
+                                    idempotency_key="k1")
+        assert excinfo.value.code == 409
+
+    def test_keys_are_tenant_scoped(self, tenanted):
+        daemon, clients, _ = tenanted
+        a = clients["alice"].submit(spec_dict(), idempotency_key="k1")
+        b = clients["bob"].submit(spec_dict(), idempotency_key="k1")
+        assert a["id"] != b["id"]
+
+
+class TestHttpAudit:
+    def test_every_request_is_audited(self, tenanted):
+        daemon, clients, audit_path = tenanted
+        job = clients["alice"].submit(spec_dict())
+        with pytest.raises(ServiceError):
+            clients["anon"].health()
+        clients["ops"].health()
+
+        entries = [json.loads(line) for line in open(audit_path)]
+        submit = next(e for e in entries
+                      if e["method"] == "POST" and e["path"] == "/jobs")
+        assert submit["tenant"] == "alice"
+        assert submit["status"] == 201
+        assert submit["job"] == job["id"]
+        denied = next(e for e in entries if e["status"] == 401)
+        assert denied["tenant"] is None
+        assert any(e["tenant"] == "ops" and e["path"] == "/healthz"
+                   and e["status"] == 200 for e in entries)
+
+
+class TestHealthExtensions:
+    def test_health_exposes_load_and_budget(self, tmp_path):
+        daemon = CampaignDaemon(str(tmp_path), quiet=True,
+                                worker_budget=4, max_concurrent_jobs=2)
+        daemon.submit(spec_dict())
+        health = daemon.health()
+        assert health["queue_depth"] == 1
+        assert health["running_jobs"] == []
+        assert health["tenants"]["default"]["queued"] == 1
+        assert health["workers"]["budget"] == 4
+        assert health["workers"]["granted"] == 0
+        assert health["workers"]["live"] == 0
+        assert health["workers"]["utilization_pct"] == 0.0
+        assert health["auth"] is False
+        assert health["quarantined_records"] == 0
