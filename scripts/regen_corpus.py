@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Regenerate the committed fuzz regression corpus (``tests/corpus/``).
+
+Runs the full ``generate → campaign → shrink → corpus`` pipeline over a
+fixed grid of (model, base seed, generator config) cells and rewrites
+``tests/corpus/*.json``.  Every entry is replay-validated before it is
+written, and the pipeline is bit-deterministic, so rerunning this script
+on an unchanged engine reproduces the corpus byte-for-byte.
+
+Regenerate (and review the diff!) only when a change is *supposed* to
+alter scheduling, generation, or shrinking behaviour:
+
+    PYTHONPATH=src python scripts/regen_corpus.py
+
+``tests/test_corpus.py`` replays the committed entries in tier-1.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fuzz import FuzzConfig, corpus_files, run_fuzz  # noqa: E402
+
+CORPUS_DIR = REPO_ROOT / "tests" / "corpus"
+
+#: The corpus grid.  C11 cells lean on the message-passing assertion
+#: oracle; the TSO cell needs racy non-atomics because TSO preserves
+#: store→store order and the MP oracle can never fire there.
+CELLS = [
+    dict(model="c11", base_seed=0, count=50, config=FuzzConfig()),
+    dict(model="c11", base_seed=0xC0FFEE, count=30,
+         config=FuzzConfig(allow_nonatomic=True, oracle="always")),
+    dict(model="tso", base_seed=5, count=40,
+         config=FuzzConfig(allow_nonatomic=True)),
+]
+
+
+def main() -> int:
+    CORPUS_DIR.mkdir(parents=True, exist_ok=True)
+    for stale in CORPUS_DIR.glob("*.json"):
+        stale.unlink()
+    total = 0
+    for cell in CELLS:
+        start = time.monotonic()
+        report = run_fuzz(
+            base_seed=cell["base_seed"],
+            count=cell["count"],
+            model=cell["model"],
+            config=cell["config"],
+            corpus_dir=str(CORPUS_DIR),
+        )
+        found = sum(len(p.findings) for p in report.programs)
+        total += found
+        print(f"[{cell['model']} seed={cell['base_seed']:#x} "
+              f"count={cell['count']}] {found} finding(s) "
+              f"in {time.monotonic() - start:.1f}s", file=sys.stderr)
+    entries = corpus_files(str(CORPUS_DIR))
+    print(f"wrote {len(entries)} corpus entries ({total} findings) "
+          f"to {CORPUS_DIR}", file=sys.stderr)
+    if len(entries) < 10:
+        print("ERROR: corpus smaller than the 10-entry floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Seeded program fuzzer: generate → campaign → shrink → corpus.
+
+The generator emits small weak-memory programs over the operation DSL as
+pure-data *plans* (JSON-safe nested lists), keyed deterministically by a
+64-bit seed.  Plans build into :class:`repro.runtime.program.Program`
+instances through the ``"fuzz"`` registry kind, so generated programs are
+picklable, replayable, and campaign-compatible exactly like the
+hand-written workloads.  The driver steers campaigns by behavioural
+coverage (distinct signatures, rf/mo shapes, weak reads) and funnels
+findings through the ddmin minimizers into a regression corpus.
+"""
+
+from .corpus import (
+    CORPUS_VERSION,
+    corpus_files,
+    load_entry,
+    replay_entry,
+    save_entry,
+)
+from .driver import (
+    FuzzProgramReport,
+    FuzzReport,
+    engine_divergences,
+    model_divergences,
+    run_fuzz,
+    write_divergence,
+)
+from .generator import (
+    FuzzConfig,
+    build_plan_program,
+    expected_final_memory,
+    fuzz_program,
+    generate_spec,
+    plan_is_determinate,
+    plan_program,
+    plan_spec,
+    plan_stats,
+    plan_step_bound,
+)
+from .shrink import ShrunkFinding, shrink_plan
+
+__all__ = [
+    "CORPUS_VERSION",
+    "FuzzConfig",
+    "FuzzProgramReport",
+    "FuzzReport",
+    "ShrunkFinding",
+    "build_plan_program",
+    "corpus_files",
+    "engine_divergences",
+    "expected_final_memory",
+    "fuzz_program",
+    "generate_spec",
+    "load_entry",
+    "model_divergences",
+    "plan_is_determinate",
+    "plan_program",
+    "plan_spec",
+    "plan_stats",
+    "plan_step_bound",
+    "replay_entry",
+    "run_fuzz",
+    "save_entry",
+    "shrink_plan",
+]

@@ -1,0 +1,149 @@
+"""The regression corpus: minimized findings pinned as JSON files.
+
+Each corpus entry is a self-contained replay recipe: an explicit
+(shrunk) program plan, the scheduler name/parameters, the memory model,
+the witness seed, and the pinned expected outcome.  Replay is
+seed-based — rebuild the program through the ``"fuzz"`` registry kind,
+rebuild the scheduler from the registry, run once, compare — so entries
+stay valid across engine refactors as long as seed-for-seed determinism
+holds (which the fast-vs-reference and serial-vs-parallel suites pin
+separately).
+
+``tests/test_corpus.py`` replays every committed entry on every run of
+the tier-1 suite; ``scripts/regen_corpus.py`` regenerates the committed
+set from fixed fuzzer seeds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.factory import make_scheduler
+from ..harness.artifact import classify_outcome
+from ..memory.model import resolve_model
+from ..runtime.errors import ReproError
+from ..workloads.registry import ProgramSpec
+from .shrink import ShrunkFinding
+
+CORPUS_VERSION = 1
+
+
+def entry_from_finding(finding: ShrunkFinding, name: str,
+                       provenance: Optional[Mapping[str, Any]] = None) -> dict:
+    """Build the JSON-safe corpus entry for a shrunk finding."""
+    return {
+        "version": CORPUS_VERSION,
+        "name": name,
+        "model": finding.model,
+        "program": {
+            "kind": "fuzz",
+            "name": finding.plan.get("name", name),
+            "params": {"plan": finding.plan},
+        },
+        "scheduler": {
+            "name": finding.scheduler_name,
+            "params": dict(finding.scheduler_params),
+        },
+        "seed": finding.seed,
+        "max_steps": finding.max_steps,
+        "spin_threshold": finding.spin_threshold,
+        "expected": {
+            "outcome": finding.outcome,
+            "bug_kind": finding.bug_kind,
+            "bug_message": finding.bug_message,
+        },
+        "provenance": dict(provenance or {}),
+    }
+
+
+def save_entry(directory: str, entry: Mapping[str, Any]) -> str:
+    """Write an entry as ``<name>.json``; deterministic byte-for-byte."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{entry['name']}.json")
+    with open(path, "w") as fh:
+        json.dump(entry, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_entry(path: str) -> dict:
+    with open(path, "r") as fh:
+        entry = json.load(fh)
+    version = entry.get("version")
+    if version != CORPUS_VERSION:
+        raise ValueError(f"{path}: unsupported corpus version {version!r}")
+    return entry
+
+
+def corpus_files(directory: str) -> List[str]:
+    """All corpus entry paths in a directory, sorted by filename."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, fn)
+        for fn in os.listdir(directory)
+        if fn.endswith(".json")
+    )
+
+
+@dataclass
+class CorpusReplay:
+    """Outcome of replaying one corpus entry against its pinned verdict."""
+
+    name: str
+    model: str
+    ok: bool
+    expected: Dict[str, Any]
+    got: Dict[str, Any]
+
+    def render(self) -> str:
+        status = "ok" if self.ok else "MISMATCH"
+        return (f"{self.name} [{self.model}] {status}: "
+                f"expected {self.expected}, got {self.got}")
+
+
+def replay_entry(entry: Mapping[str, Any]) -> CorpusReplay:
+    """Re-execute an entry under its recorded configuration and compare.
+
+    The comparison pins ``(outcome, bug_kind, bug_message)``; entries
+    whose expected ``bug_message`` is null only pin the first two (racy
+    diagnostics may embed event identities that a legitimate engine
+    change can renumber).
+    """
+    backend = resolve_model(entry["model"])
+    program_spec = entry["program"]
+    program = ProgramSpec(program_spec["name"], program_spec["kind"],
+                          program_spec.get("params", {})).build()
+    scheduler = make_scheduler(entry["scheduler"]["name"],
+                               entry["scheduler"].get("params", {}),
+                               seed=entry["seed"])
+    expected = dict(entry["expected"])
+    sanitize = expected.get("outcome") == "inconsistent"
+    try:
+        result = backend.run_once(
+            program, scheduler,
+            max_steps=entry.get("max_steps", 20000),
+            spin_threshold=entry.get("spin_threshold", 8),
+            keep_graph=False, sanitize=sanitize)
+        got: Dict[str, Any] = {
+            "outcome": classify_outcome(result, None),
+            "bug_kind": result.bug_kind,
+            "bug_message": result.bug_message,
+        }
+    except ReproError as exc:
+        got = {"outcome": "error", "bug_kind": type(exc).__name__,
+               "bug_message": str(exc)}
+    ok = (got["outcome"] == expected.get("outcome")
+          and got["bug_kind"] == expected.get("bug_kind"))
+    if ok and expected.get("bug_message") is not None:
+        ok = got["bug_message"] == expected["bug_message"]
+    return CorpusReplay(
+        name=str(entry.get("name", "?")),
+        model=str(entry["model"]),
+        ok=ok,
+        expected=expected,
+        got=got,
+    )

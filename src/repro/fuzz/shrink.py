@@ -1,0 +1,187 @@
+"""Plan-level shrinking: ddmin over instructions, then over (d, h).
+
+A campaign finding arrives as ``(plan, scheduler, witness seed)``.
+Unlike decision-trace minimization (which shrinks the *schedule* of a
+fixed program), this module shrinks the *program*: it deletes plan
+instructions with the same greedy ddmin the trace minimizer uses
+(:func:`repro.replay.minimize.greedy_ddmin`) and accepts a deletion when
+the finding still reproduces — at the original witness seed or, because
+a smaller program reshuffles every scheduling decision, at one of a
+small derived-seed sweep.  The reproducing seed is carried forward, so
+the final plan always comes with a live witness.
+
+After the program is minimal, the scheduler configuration is shrunk the
+same way :func:`repro.replay.minimize.minimize_configuration` does —
+depth first (the Section 5.4 bound is exponential in d), then history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from ..core.factory import make_scheduler
+from ..harness.artifact import classify_outcome
+from ..harness.seeding import derive_trial_seed
+from ..memory.model import MemoryModel, resolve_model
+from ..replay.minimize import greedy_ddmin
+from ..runtime.errors import ReproError
+from ..runtime.program import Program
+from .generator import build_plan_program
+
+#: (outcome kind, bug kind) — what a shrunk candidate must preserve.
+Target = Tuple[str, Optional[str]]
+
+#: Locations an instruction reads or writes, by instruction kind.
+_LOC_SLOTS = {
+    "store": (1,), "load": (1,), "add": (1,), "xchg": (1,), "cas": (1,),
+    "casloop": (1,), "spin": (1,), "na_store": (1,), "na_load": (1,),
+    "mp_check": (1, 2),
+}
+
+
+@dataclass
+class ShrunkFinding:
+    """A minimized, replayable finding: plan + scheduler + witness seed."""
+
+    plan: dict
+    seed: int
+    scheduler_name: str
+    scheduler_params: Dict[str, Any]
+    model: str
+    outcome: str
+    bug_kind: Optional[str]
+    bug_message: Optional[str]
+    max_steps: int
+    spin_threshold: int
+    #: Instruction counts before/after the plan ddmin.
+    ops_before: int = 0
+    ops_after: int = 0
+    #: Total candidate replays spent across both shrink phases.
+    replays: int = 0
+    violations: List[str] = field(default_factory=list)
+
+
+def _probe(program: Program, model: MemoryModel, scheduler_name: str,
+           scheduler_params: Mapping[str, Any], seed: int, max_steps: int,
+           spin_threshold: int, sanitize: bool):
+    """One replay; returns ``(outcome, bug_kind, bug_message, violations)``."""
+    scheduler = make_scheduler(scheduler_name, scheduler_params, seed=seed)
+    try:
+        result = model.run_once(program, scheduler, max_steps=max_steps,
+                                spin_threshold=spin_threshold,
+                                keep_graph=False, sanitize=sanitize)
+    except ReproError as exc:
+        return ("error", type(exc).__name__, str(exc), [])
+    outcome = classify_outcome(result, None)
+    return (outcome, result.bug_kind, result.bug_message,
+            list(result.violations))
+
+
+def _regroup(plan: Mapping[str, Any],
+             items: List[Tuple[int, list]]) -> dict:
+    """Rebuild a plan from surviving ``(thread_index, instruction)`` items.
+
+    Emptied threads are dropped and locations no surviving instruction
+    references are pruned, so location/thread counts shrink along with
+    the instruction list.
+    """
+    threads: List[List[list]] = [[] for _ in plan["threads"]]
+    refs = set()
+    for tid, instr in items:
+        threads[tid].append(instr)
+        for slot in _LOC_SLOTS.get(instr[0], ()):
+            refs.add(instr[slot])
+    new = dict(plan)
+    new["threads"] = [body for body in threads if body]
+    new["locations"] = [loc for loc in plan["locations"] if loc[0] in refs]
+    return new
+
+
+def shrink_plan(plan: Mapping[str, Any], scheduler_name: str,
+                scheduler_params: Mapping[str, Any], witness_seed: int,
+                target: Target, model: Union[str, MemoryModel],
+                max_steps: int, spin_threshold: int = 8,
+                seed_attempts: int = 8,
+                shrink_scheduler: bool = True) -> Optional[ShrunkFinding]:
+    """Minimize a finding's plan (and scheduler config) while it reproduces.
+
+    Returns ``None`` when even the unshrunk plan fails to reproduce
+    ``target`` within the seed sweep — a finding that flaky is not worth
+    pinning in a corpus.
+    """
+    backend = resolve_model(model) if isinstance(model, str) else model
+    sanitize = target[0] == "inconsistent"
+    state = {"seed": witness_seed, "replays": 0}
+
+    def find_witness(candidate_plan: Mapping[str, Any],
+                     params: Mapping[str, Any]) -> Optional[int]:
+        program = build_plan_program(candidate_plan)
+        seeds = [state["seed"]] + [derive_trial_seed(state["seed"], j)
+                                   for j in range(seed_attempts)]
+        for seed in seeds:
+            state["replays"] += 1
+            got = _probe(program, backend, scheduler_name, params, seed,
+                         max_steps, spin_threshold, sanitize)
+            if (got[0], got[1]) == target:
+                return seed
+        return None
+
+    items = [(tid, list(instr))
+             for tid, instrs in enumerate(plan["threads"])
+             for instr in instrs]
+    ops_before = len(items)
+
+    def test(candidate: List[Tuple[int, list]]) -> Optional[List]:
+        seed = find_witness(_regroup(plan, candidate), scheduler_params)
+        if seed is None:
+            return None
+        state["seed"] = seed
+        return candidate
+
+    if test(items) is None:
+        return None
+    best = greedy_ddmin(items, test)
+    shrunk = _regroup(plan, best)
+
+    # Scheduler-configuration descent: depth first, then history, each
+    # step revalidated by the same seed sweep against the shrunk plan.
+    params = dict(scheduler_params)
+    if shrink_scheduler:
+        while params.get("depth", 0) > 0:
+            candidate = dict(params, depth=params["depth"] - 1)
+            seed = find_witness(shrunk, candidate)
+            if seed is None:
+                break
+            params = candidate
+            state["seed"] = seed
+        while params.get("history", 1) > 1:
+            candidate = dict(params, history=params["history"] - 1)
+            seed = find_witness(shrunk, candidate)
+            if seed is None:
+                break
+            params = candidate
+            state["seed"] = seed
+
+    outcome, bug_kind, bug_message, violations = _probe(
+        build_plan_program(shrunk), backend, scheduler_name, params,
+        state["seed"], max_steps, spin_threshold, sanitize)
+    state["replays"] += 1
+    if (outcome, bug_kind) != target:  # pragma: no cover - defensive
+        return None
+    return ShrunkFinding(
+        plan=shrunk,
+        seed=state["seed"],
+        scheduler_name=scheduler_name,
+        scheduler_params=params,
+        model=backend.name,
+        outcome=outcome,
+        bug_kind=bug_kind,
+        bug_message=bug_message,
+        max_steps=max_steps,
+        spin_threshold=spin_threshold,
+        ops_before=ops_before,
+        ops_after=len(best),
+        replays=state["replays"],
+        violations=violations,
+    )

@@ -13,8 +13,10 @@ from .bench import (
 )
 from .coverage import (
     CoverageReport,
+    behaviour_shape,
     coverage_campaign,
     execution_signature,
+    weak_read_count,
 )
 from .campaign import (
     CampaignResult,
@@ -98,8 +100,10 @@ __all__ = [
     "line_chart",
     "line_charts",
     "CoverageReport",
+    "behaviour_shape",
     "coverage_campaign",
     "execution_signature",
+    "weak_read_count",
     "Figure5Bar",
     "Figure6Series",
     "Table1Row",

@@ -334,6 +334,60 @@ def _build_parser() -> argparse.ArgumentParser:
     add_sanitize(litmus_cmd)
     add_model(litmus_cmd)
 
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="seeded program fuzzing: generate -> campaign -> shrink "
+             "-> corpus (deterministic for a given seed)")
+    fuzz_cmd.add_argument("--seed", type=_nonnegative_int, default=0)
+    fuzz_cmd.add_argument("--count", type=_positive_int, default=20,
+                          help="generated programs to campaign over")
+    fuzz_cmd.add_argument("--trials", type=_positive_int, default=100,
+                          help="campaign trials per generated program")
+    fuzz_cmd.add_argument("--probe-trials", type=_positive_int, default=16,
+                          help="in-process probe runs per (d, h) candidate "
+                               "during coverage steering")
+    fuzz_cmd.add_argument("--scheduler", default="pctwm",
+                          help="campaign scheduler; pctwm/pct get an "
+                               "adaptive parameter search, others run "
+                               "with defaults")
+    fuzz_cmd.add_argument("--jobs", type=_positive_int, default=1,
+                          help="worker processes per campaign (output is "
+                               "identical for any value)")
+    fuzz_cmd.add_argument("--budget", type=_positive_float, default=None,
+                          metavar="SECONDS",
+                          help="soft wall-clock cap, checked between "
+                               "programs; a budgeted run may truncate the "
+                               "program list but never changes per-program "
+                               "results")
+    fuzz_cmd.add_argument("--corpus-dir", default=None, metavar="DIR",
+                          help="write minimized, replay-validated corpus "
+                               "entries here (one JSON per finding)")
+    fuzz_cmd.add_argument("--max-threads", type=_positive_int, default=3)
+    fuzz_cmd.add_argument("--max-ops", type=_positive_int, default=6,
+                          help="per-thread operation bound (incl. any "
+                               "embedded oracle)")
+    fuzz_cmd.add_argument("--max-locations", type=_positive_int, default=4)
+    fuzz_cmd.add_argument("--profile", default="mixed",
+                          choices=("mixed", "determinate"),
+                          help="'determinate' generates race-free programs "
+                               "with an interleaving-invariant final state")
+    fuzz_cmd.add_argument("--oracle", default="auto",
+                          choices=("off", "auto", "always"),
+                          help="embed a message-passing assertion oracle")
+    fuzz_cmd.add_argument("--allow-nonatomic", action="store_true",
+                          help="generate non-atomic (racy) accesses too")
+    fuzz_cmd.add_argument("--differential", default="none",
+                          choices=("none", "engine", "model", "both"),
+                          help="also sweep the generated seeds through "
+                               "fast-vs-reference ('engine') and/or "
+                               "TSO-vs-C11 on determinate programs "
+                               "('model'); exits nonzero on divergence")
+    fuzz_cmd.add_argument(
+        "--sanitize", default="sampled",
+        choices=("off", "sampled", "all"),
+        help="campaign-trial consistency auditing (default: sampled)")
+    add_model(fuzz_cmd)
+
     replay_cmd = sub.add_parser(
         "replay", help="re-execute a bug artifact and verify the outcome")
     replay_cmd.add_argument("artifact", help="artifact JSON path (written "
@@ -398,6 +452,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_job(args)
     if command == "litmus":
         return _cmd_litmus(args)
+    if command == "fuzz":
+        return _cmd_fuzz(args)
     if command == "replay":
         return _cmd_replay(args)
     if command == "bench":
@@ -775,6 +831,71 @@ def _cmd_litmus(args) -> int:
         if inconsistent:
             return 1
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    import sys
+    import time as _time
+
+    from ..fuzz import (
+        FuzzConfig,
+        engine_divergences,
+        model_divergences,
+        run_fuzz,
+    )
+    from .seeding import derive_trial_seed
+
+    try:
+        config = FuzzConfig(
+            min_threads=min(2, args.max_threads),
+            max_threads=args.max_threads,
+            min_ops=min(2, args.max_ops),
+            max_ops=args.max_ops,
+            max_locations=args.max_locations,
+            profile=args.profile,
+            oracle=args.oracle,
+            allow_nonatomic=args.allow_nonatomic,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    started = _time.monotonic()
+    try:
+        report = run_fuzz(
+            base_seed=args.seed, count=args.count, model=args.model,
+            scheduler=args.scheduler, trials=args.trials,
+            probe_trials=args.probe_trials, jobs=args.jobs,
+            config=config, corpus_dir=args.corpus_dir,
+            budget_s=args.budget, sanitize=args.sanitize)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Timings go to stderr: stdout is bit-identical across runs and jobs.
+    print("\n".join(report.render()))
+    status = 0
+    seeds = [derive_trial_seed(args.seed, i) for i in range(args.count)]
+    if args.differential in ("engine", "both"):
+        divergences = engine_divergences(seeds, config,
+                                         dump_dir=args.corpus_dir)
+        print(f"differential engine: {len(divergences)} divergence(s) "
+              f"over {len(seeds)} seeds")
+        for record in divergences:
+            print(f"  {record['kind']} gen_seed={record['gen_seed']} "
+                  f"seed={record['seed']} model={record['model']}: "
+                  f"{record['detail']}")
+        status = status or (1 if divergences else 0)
+    if args.differential in ("model", "both"):
+        divergences = model_divergences(seeds, config,
+                                        dump_dir=args.corpus_dir)
+        print(f"differential model: {len(divergences)} divergence(s) "
+              f"over {len(seeds)} seeds")
+        for record in divergences:
+            print(f"  {record['kind']} gen_seed={record['gen_seed']} "
+                  f"seed={record['seed']} model={record['model']}: "
+                  f"{record['detail']}")
+        status = status or (1 if divergences else 0)
+    print(f"fuzz: {_time.monotonic() - started:.1f}s", file=sys.stderr)
+    return status
 
 
 def _cmd_replay(args) -> int:

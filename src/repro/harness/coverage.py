@@ -8,15 +8,28 @@ signature iff every read observed the same write.  Counting distinct
 signatures over a campaign shows how concentrated each algorithm's
 sampling is — PCTWM's restriction is the mechanism behind its hit-rate
 guarantee.
+
+Two coarser lenses support coverage *steering* (the fuzz driver's
+adaptive (d, h) search):
+
+* :func:`weak_read_count` — how many reads observed a stale write, i.e.
+  one that had already been mo-overwritten by the time the read
+  executed.  Nonzero means the run exhibited genuinely weak behaviour;
+  an interleaving-only (SC) explanation would not produce it.
+* :func:`behaviour_shape` — the cross-thread communication topology:
+  which (writer thread → reader thread, location) reads-from edges
+  occurred, plus each location's modification order as a tuple of
+  writer thread ids.  Far coarser than a signature, so distinct-shape
+  counts measure *structural* diversity rather than value choice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, FrozenSet, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Optional, Set, Tuple
 
 from ..memory.execution import ExecutionGraph
-from ..runtime.executor import run_once
+from ..memory.model import resolve_model
 from ..runtime.program import Program
 from ..runtime.scheduler import Scheduler
 from .seeding import derive_trial_seed
@@ -24,6 +37,10 @@ from .seeding import derive_trial_seed
 #: Stable event identity across runs with identical control flow.
 EventKey = Tuple[int, int]
 Signature = FrozenSet[Tuple[EventKey, EventKey]]
+
+#: (source tid, reader tid, location) — source ``-1`` is the init write.
+RfEdge = Tuple[int, int, str]
+Shape = Tuple[FrozenSet[RfEdge], Tuple[Tuple[str, Tuple[int, ...]], ...]]
 
 INIT_KEY = (-1, -1)
 
@@ -41,6 +58,51 @@ def execution_signature(graph: ExecutionGraph) -> Signature:
     return frozenset(pairs)
 
 
+def weak_read_count(graph: ExecutionGraph) -> int:
+    """Reads that observed a write already mo-overwritten when they ran.
+
+    Walks ``graph.events`` in execution order, tracking the mo-maximal
+    write each location had *executed so far*; a read whose source sits
+    strictly below that frontier saw a stale value.  Reads from the
+    initialization write only count once a newer write has executed —
+    so an SC execution always scores zero.
+    """
+    latest: Dict[str, int] = {}
+    count = 0
+    for event in graph.events:
+        if event.reads_from is not None:
+            source = event.reads_from
+            if latest.get(event.loc, 0) > source.mo_index:
+                count += 1
+        if event.is_write and not event.is_init:
+            if event.mo_index > latest.get(event.loc, 0):
+                latest[event.loc] = event.mo_index
+    return count
+
+
+def behaviour_shape(graph: ExecutionGraph) -> Shape:
+    """The run's rf/mo communication topology (hashable, value-blind).
+
+    ``(rf_edges, mo_orders)`` where ``rf_edges`` is the set of
+    cross-identity ``(source_tid, reader_tid, loc)`` reads-from edges
+    (init writes as tid ``-1``) and ``mo_orders`` lists each location's
+    modification order as the tuple of writing thread ids (init writes
+    omitted), sorted by location.
+    """
+    rf_edges = set()
+    for event in graph.events:
+        if event.reads_from is None:
+            continue
+        source = event.reads_from
+        source_tid = -1 if source.is_init else source.tid
+        rf_edges.add((source_tid, event.tid, event.loc))
+    mo_orders = tuple(sorted(
+        (loc, tuple(w.tid for w in writes if not w.is_init))
+        for loc, writes in graph.writes_by_loc.items()
+    ))
+    return (frozenset(rf_edges), mo_orders)
+
+
 @dataclass
 class CoverageReport:
     """Distinct behaviours observed over a campaign."""
@@ -50,6 +112,12 @@ class CoverageReport:
     trials: int
     distinct: int
     bug_signatures: int
+    #: Distinct :func:`behaviour_shape` values (structural diversity).
+    distinct_shapes: int = 0
+    #: Total stale reads observed across all trials.
+    weak_reads: int = 0
+    #: Trials with at least one stale read (a genuinely weak execution).
+    weak_trials: int = 0
 
     @property
     def concentration(self) -> float:
@@ -61,21 +129,41 @@ class CoverageReport:
 def coverage_campaign(program_factory: Callable[[], Program],
                       scheduler_factory: Callable[[int], Scheduler],
                       trials: int = 100, base_seed: int = 0,
-                      max_steps: int = 20000) -> CoverageReport:
-    """Run ``trials`` tests and count distinct execution signatures."""
+                      max_steps: int = 20000,
+                      model: str = "c11",
+                      spin_threshold: int = 8,
+                      seen: Optional[Set[Signature]] = None,
+                      shapes: Optional[Set[Shape]] = None,
+                      ) -> CoverageReport:
+    """Run ``trials`` tests and count distinct execution signatures.
+
+    ``seen``/``shapes`` may be passed in to accumulate across calls (the
+    fuzz driver folds many probe batches into one coverage picture);
+    they are mutated in place.
+    """
     if trials < 1:
         raise ValueError("trials must be >= 1")
-    seen: Set[Signature] = set()
+    backend = resolve_model(model)
+    seen = seen if seen is not None else set()
+    shapes = shapes if shapes is not None else set()
     buggy: Set[Signature] = set()
+    weak_reads = 0
+    weak_trials = 0
     name = ""
     sched_name = ""
     for i in range(trials):
         scheduler = scheduler_factory(derive_trial_seed(base_seed, i))
         sched_name = scheduler.name
-        result = run_once(program_factory(), scheduler, max_steps=max_steps)
+        result = backend.run_once(program_factory(), scheduler,
+                                  max_steps=max_steps,
+                                  spin_threshold=spin_threshold)
         name = result.program
         signature = execution_signature(result.graph)
         seen.add(signature)
+        shapes.add(behaviour_shape(result.graph))
+        stale = weak_read_count(result.graph)
+        weak_reads += stale
+        weak_trials += bool(stale)
         if result.bug_found:
             buggy.add(signature)
     return CoverageReport(
@@ -84,4 +172,7 @@ def coverage_campaign(program_factory: Callable[[], Program],
         trials=trials,
         distinct=len(seen),
         bug_signatures=len(buggy),
+        distinct_shapes=len(shapes),
+        weak_reads=weak_reads,
+        weak_trials=weak_trials,
     )

@@ -1,6 +1,11 @@
 """Record/replay: make any randomized bug-finding run reproducible."""
 
-from .minimize import MinimalConfig, minimize_configuration, minimize_trace
+from .minimize import (
+    MinimalConfig,
+    greedy_ddmin,
+    minimize_configuration,
+    minimize_trace,
+)
 from .recording import (
     RecordingScheduler,
     ReplayScheduler,
@@ -16,6 +21,7 @@ __all__ = [
     "ReplayScheduler",
     "Trace",
     "find_and_record",
+    "greedy_ddmin",
     "minimize_configuration",
     "minimize_trace",
     "record_run",

@@ -116,6 +116,41 @@ def minimize_configuration(program_factory: Callable[[], Program],
     )
 
 
+# -- greedy delta debugging ----------------------------------------------------
+
+
+def greedy_ddmin(items: List, test: Callable[[List], Optional[List]]) -> List:
+    """Greedy ddmin-style descent over a list of items.
+
+    Attempts chunk deletions (halving the chunk size down to single
+    items).  ``test`` receives a candidate list and returns an *accepted*
+    list — the candidate, possibly trimmed further — to keep the
+    deletion, or ``None`` to reject it.  Shared by the decision-trace
+    minimizer below and the fuzzer's plan-level instruction shrinker
+    (:mod:`repro.fuzz.shrink`).
+
+    The result is never longer than the input and always satisfied
+    ``test`` at its last acceptance (or is the input itself, when no
+    deletion was ever accepted).
+    """
+    best = list(items)
+    chunk = max(1, len(best) // 4)
+    while chunk >= 1:
+        i = 0
+        while i < len(best):
+            candidate = best[:i] + best[i + chunk:]
+            if not candidate:
+                i += chunk
+                continue
+            accepted = test(candidate)
+            if accepted is not None:
+                best = list(accepted)
+            else:
+                i += chunk
+        chunk //= 2
+    return best
+
+
 # -- trace minimization --------------------------------------------------------
 
 
@@ -167,21 +202,14 @@ def minimize_trace(program_factory: Callable[[], Program], trace: Trace,
     if not base.bug_found:
         return trace
     target = _bug_signature(base)
-    best = list(trace.decisions[:used])
-    chunk = max(1, len(best) // 4)
-    while chunk >= 1:
-        i = 0
-        while i < len(best):
-            shorter = best[:i] + best[i + chunk:]
-            if not shorter:
-                i += chunk
-                continue
-            result, used = _replay_decisions(program_factory, trace,
+
+    def test(shorter: List[Tuple[str, int]]) -> Optional[List[Tuple[str, int]]]:
+        result, consumed = _replay_decisions(program_factory, trace,
                                              shorter, max_steps, model)
-            if result is not None and result.bug_found \
-                    and _bug_signature(result) == target:
-                best = shorter[:used]
-            else:
-                i += chunk
-        chunk //= 2
+        if result is not None and result.bug_found \
+                and _bug_signature(result) == target:
+            return shorter[:consumed]
+        return None
+
+    best = greedy_ddmin(list(trace.decisions[:used]), test)
     return replace(trace, decisions=best)

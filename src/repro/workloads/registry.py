@@ -84,9 +84,11 @@ def resolve_program_factory(kind: str, name: str) -> Factory:
     """Look up a program factory by registry kind and name.
 
     ``kind`` is ``"benchmark"`` (Table 1 data structures), ``"litmus"``
-    (the classic shapes, including the extended gallery) or ``"app"``
-    (the Table 4 application models).  Lazy imports keep this module free
-    of cycles with the litmus/app packages.
+    (the classic shapes, including the extended gallery), ``"app"``
+    (the Table 4 application models) or ``"fuzz"`` (seed-keyed generated
+    programs; the name is display-only — the factory parameters carry
+    the generation seed or an explicit plan).  Lazy imports keep this
+    module free of cycles with the litmus/app/fuzz packages.
     """
     if kind == "benchmark":
         if name not in BENCHMARKS:
@@ -109,9 +111,13 @@ def resolve_program_factory(kind: str, name: str) -> Factory:
             known = ", ".join(apps)
             raise ValueError(f"unknown application {name!r}; known: {known}")
         return apps[name]
+    if kind == "fuzz":
+        from ..fuzz.generator import fuzz_program
+
+        return fuzz_program
     raise ValueError(
         f"unknown program kind {kind!r}; "
-        "expected 'benchmark', 'litmus' or 'app'"
+        "expected 'benchmark', 'litmus', 'app' or 'fuzz'"
     )
 
 

@@ -1,0 +1,50 @@
+"""Replay the committed fuzz regression corpus (``tests/corpus/``).
+
+Every entry pins a minimized generated program, its scheduler
+configuration, its witness seed, and the expected
+``(outcome, bug_kind, bug_message)``.  Each tier-1 run replays all of
+them under both memory models; regenerate with
+``scripts/regen_corpus.py`` when a change is *supposed* to alter
+scheduling, generation, or shrinking behaviour.
+"""
+
+import os
+
+import pytest
+
+from repro.core.factory import SCHEDULER_REGISTRY
+from repro.fuzz import CORPUS_VERSION, corpus_files, load_entry, replay_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+PATHS = corpus_files(CORPUS_DIR)
+
+
+def _ids(paths):
+    return [os.path.splitext(os.path.basename(p))[0] for p in paths]
+
+
+class TestCorpusShape:
+    def test_floor_and_model_spread(self):
+        entries = [load_entry(p) for p in PATHS]
+        assert len(entries) >= 10, "corpus below the 10-entry floor"
+        assert {e["model"] for e in entries} == {"c11", "tso"}
+
+    @pytest.mark.parametrize("path", PATHS, ids=_ids(PATHS))
+    def test_entry_is_well_formed(self, path):
+        entry = load_entry(path)
+        assert entry["version"] == CORPUS_VERSION
+        assert os.path.basename(path) == entry["name"] + ".json"
+        assert entry["program"]["kind"] == "fuzz"
+        assert entry["scheduler"]["name"] in SCHEDULER_REGISTRY
+        assert entry["expected"]["outcome"] in (
+            "bug", "error", "timeout", "inconsistent")
+        # Shrunk plans should be small; a fat entry means ddmin regressed.
+        plan = entry["program"]["params"]["plan"]
+        assert sum(len(body) for body in plan["threads"]) <= 8, entry["name"]
+
+
+class TestCorpusReplay:
+    @pytest.mark.parametrize("path", PATHS, ids=_ids(PATHS))
+    def test_replays_to_pinned_outcome(self, path):
+        replay = replay_entry(load_entry(path))
+        assert replay.ok, replay.render()

@@ -2,10 +2,12 @@
 
 import pytest
 
-from repro.core import C11TesterScheduler, PCTWMScheduler
+from repro.core import (C11TesterScheduler, NaiveRandomScheduler,
+                        PCTWMScheduler)
 from repro.core.guarantees import pctwm_sample_space
-from repro.harness import coverage_campaign, execution_signature
-from repro.litmus import p1, store_buffering
+from repro.harness import (behaviour_shape, coverage_campaign,
+                           execution_signature, weak_read_count)
+from repro.litmus import ALL_LITMUS, p1, store_buffering
 from repro.memory.events import RLX
 from repro.runtime import run_once
 
@@ -72,3 +74,93 @@ class TestCoverageCampaign:
             coverage_campaign(store_buffering,
                               lambda s: C11TesterScheduler(seed=s),
                               trials=0)
+
+
+def _pctwm(seed):
+    return PCTWMScheduler(depth=2, k_com=6, history=2, seed=seed)
+
+
+def _naive(seed):
+    return NaiveRandomScheduler(seed=seed)
+
+
+class TestWeakReadCount:
+    """Golden counts for the stale-read counter on MP/SB/LB.
+
+    The numbers are exact and deterministic (fixed seeds): any engine or
+    scheduler change that alters a single RNG draw shows up as a diff.
+    Naive random scheduling under the C11 backend always serves the
+    mo-maximal visible write, so its weak-read tally is structurally 0 —
+    the weak behaviours are exactly what PCTWM's history knob buys.
+    """
+
+    GOLDEN = {
+        # (litmus, scheduler): (weak_reads, weak_trials) @ 200 trials.
+        ("MP", "pctwm"): (123, 123),
+        ("SB", "pctwm"): (200, 173),
+        ("LB", "pctwm"): (151, 151),
+        ("MP", "naive"): (0, 0),
+        ("SB", "naive"): (0, 0),
+        ("LB", "naive"): (0, 0),
+    }
+
+    @pytest.mark.parametrize("key,sched", sorted(GOLDEN),
+                             ids=lambda v: str(v))
+    def test_golden_weak_counts(self, key, sched):
+        factory = _pctwm if sched == "pctwm" else _naive
+        report = coverage_campaign(ALL_LITMUS[key], factory,
+                                   trials=200, base_seed=7)
+        assert (report.weak_reads, report.weak_trials) \
+            == self.GOLDEN[(key, sched)]
+
+    def test_single_weak_mp_run(self):
+        result = run_once(ALL_LITMUS["MP"](), _pctwm(0), max_steps=2000)
+        assert weak_read_count(result.graph) == 1
+
+
+class TestBehaviourShape:
+    """Golden counts for the rf/mo shape abstraction on MP/SB/LB."""
+
+    GOLDEN = {
+        # (litmus, scheduler): (distinct signatures, distinct shapes).
+        ("MP", "pctwm"): (3, 3),
+        ("SB", "pctwm"): (4, 4),
+        ("LB", "pctwm"): (3, 3),
+        ("MP", "naive"): (2, 2),
+        ("SB", "naive"): (3, 3),
+        ("LB", "naive"): (3, 3),
+    }
+
+    @pytest.mark.parametrize("key,sched", sorted(GOLDEN),
+                             ids=lambda v: str(v))
+    def test_golden_shape_counts(self, key, sched):
+        factory = _pctwm if sched == "pctwm" else _naive
+        report = coverage_campaign(ALL_LITMUS[key], factory,
+                                   trials=200, base_seed=7)
+        assert (report.distinct, report.distinct_shapes) \
+            == self.GOLDEN[(key, sched)]
+
+    def test_mp_weak_vs_strong_shapes_differ(self):
+        # Seed 0 reads DATA from init (stale); seed 3 reads FLAG from
+        # init (strong path) — structurally different rf shapes.
+        weak = run_once(ALL_LITMUS["MP"](), _pctwm(0), max_steps=2000)
+        strong = run_once(ALL_LITMUS["MP"](), _pctwm(3), max_steps=2000)
+        weak_rf, weak_mo = behaviour_shape(weak.graph)
+        strong_rf, strong_mo = behaviour_shape(strong.graph)
+        assert weak_rf == frozenset({(0, 1, "FLAG"), (-1, 1, "DATA")})
+        assert strong_rf == frozenset({(-1, 1, "FLAG")})
+        # Same writes happen either way: the mo component agrees.
+        assert weak_mo == strong_mo == (("DATA", (0,)), ("FLAG", (0,)))
+
+    def test_shape_accumulators_dedupe_across_campaigns(self):
+        seen, shapes = set(), set()
+        first = coverage_campaign(ALL_LITMUS["SB"], _pctwm, trials=100,
+                                  base_seed=7, seen=seen, shapes=shapes)
+        again = coverage_campaign(ALL_LITMUS["SB"], _pctwm, trials=100,
+                                  base_seed=7, seen=seen, shapes=shapes)
+        assert first.distinct > 0
+        # `distinct` is cumulative over the shared accumulator, and
+        # identical seeds revisit only known behaviours — so the second
+        # campaign reports exactly the first's totals.
+        assert again.distinct == first.distinct == len(seen)
+        assert again.distinct_shapes == first.distinct_shapes == len(shapes)

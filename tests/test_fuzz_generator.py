@@ -1,0 +1,206 @@
+"""Property tests for the seeded program generator (repro.fuzz.generator)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import NaiveRandomScheduler
+from repro.fuzz import (
+    FuzzConfig,
+    build_plan_program,
+    expected_final_memory,
+    fuzz_program,
+    generate_spec,
+    plan_is_determinate,
+    plan_program,
+    plan_spec,
+    plan_stats,
+    plan_step_bound,
+)
+from repro.harness.seeding import derive_trial_seed
+from repro.memory.model import resolve_model
+from repro.workloads import ProgramSpec
+
+SEEDS = [derive_trial_seed(0xF00D, i) for i in range(60)]
+
+CONFIGS = [
+    FuzzConfig(),
+    FuzzConfig(profile="determinate"),
+    FuzzConfig(allow_nonatomic=True, oracle="always"),
+    FuzzConfig(max_threads=2, max_ops=3, max_locations=2,
+               orders=("rlx",), oracle="off"),
+    FuzzConfig(min_threads=3, max_threads=4, min_ops=4, max_ops=8,
+               max_locations=6, orders=("rlx", "sc")),
+]
+
+
+def canonical(plan: dict) -> bytes:
+    return json.dumps(plan, sort_keys=True).encode()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.profile +
+                             ("-na" if c.allow_nonatomic else "") +
+                             f"-t{c.max_threads}o{c.max_ops}")
+    def test_same_seed_byte_identical_plan(self, config):
+        for seed in SEEDS[:20]:
+            assert canonical(plan_program(seed, config)) \
+                == canonical(plan_program(seed, config))
+
+    def test_same_seed_byte_identical_spec(self):
+        for seed in SEEDS[:20]:
+            a, b = generate_spec(seed), generate_spec(seed)
+            assert a == b
+            assert pickle.dumps(a) == pickle.dumps(b)
+            assert json.dumps(a.params, sort_keys=True) \
+                == json.dumps(b.params, sort_keys=True)
+
+    def test_distinct_seeds_vary(self):
+        plans = {canonical(plan_program(seed)) for seed in SEEDS}
+        # 64-bit seeds; near-total diversity expected over 60 draws.
+        assert len(plans) >= len(SEEDS) - 2
+
+
+class TestBounds:
+    @pytest.mark.parametrize("config", CONFIGS, ids=lambda c: c.profile +
+                             f"-t{c.max_threads}o{c.max_ops}l{c.max_locations}")
+    def test_bounding_knobs_respected(self, config):
+        for seed in SEEDS:
+            stats = plan_stats(plan_program(seed, config))
+            assert config.min_threads <= stats["threads"] <= config.max_threads
+            assert stats["max_thread_ops"] <= config.max_ops
+            assert 1 <= stats["locations"] <= config.max_locations
+            assert stats["ops"] >= stats["threads"]  # no empty bodies
+
+    def test_order_pool_respected(self):
+        config = FuzzConfig(orders=("rlx",), oracle="always")
+        order_slots = {"store": [3], "load": [2], "add": [3], "xchg": [3],
+                       "cas": [4, 5], "casloop": [3],
+                       "spin": [3], "mp_check": [4, 5]}
+        for seed in SEEDS[:30]:
+            plan = plan_program(seed, config)
+            for body in plan["threads"]:
+                for ins in body:
+                    if ins[0] == "fence":
+                        # Relaxed fences are not legal C11; the generator
+                        # falls back to sc when the pool is empty.
+                        assert ins[1] == "sc", ins
+                        continue
+                    for slot in order_slots.get(ins[0], []):
+                        assert ins[slot] == "rlx", ins
+
+
+class TestTermination:
+    @pytest.mark.parametrize("model", ["c11", "tso"])
+    @pytest.mark.parametrize("config", CONFIGS[:3],
+                             ids=["mixed", "determinate", "nonatomic"])
+    def test_always_terminates_within_step_bound(self, model, config):
+        backend = resolve_model(model)
+        for seed in SEEDS[:25]:
+            plan = plan_program(seed, config)
+            program = build_plan_program(plan)
+            bound = plan_step_bound(plan)
+            for j in range(2):
+                result = backend.run_once(
+                    program, NaiveRandomScheduler(
+                        seed=derive_trial_seed(seed, j)),
+                    max_steps=bound)
+                assert not result.limit_exceeded, (model, seed, j)
+                assert not result.timed_out, (model, seed, j)
+
+
+class TestRoundTrips:
+    def test_plan_survives_json_round_trip(self):
+        for seed in SEEDS[:20]:
+            plan = plan_program(seed)
+            again = json.loads(json.dumps(plan))
+            assert canonical(again) == canonical(plan)
+            assert build_plan_program(again).thread_count \
+                == build_plan_program(plan).thread_count
+
+    def test_spec_survives_pickle_round_trip(self):
+        for seed in SEEDS[:10]:
+            spec = generate_spec(seed)
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+            assert canonical(plan_program(clone.params["gen_seed"])) \
+                == canonical(plan_program(seed))
+
+    def test_registry_builds_fuzz_kind_from_gen_seed(self):
+        spec = ProgramSpec("anything", "fuzz", {"gen_seed": SEEDS[0]})
+        program = spec.build()
+        assert program.thread_count >= 2
+
+    def test_registry_builds_fuzz_kind_from_plan(self):
+        plan = plan_program(SEEDS[1])
+        spec = plan_spec(json.loads(json.dumps(plan)))
+        assert spec.kind == "fuzz"
+        assert spec.build().name == plan["name"]
+
+    def test_spec_json_round_trip_via_params(self):
+        spec = generate_spec(SEEDS[2])
+        params = json.loads(json.dumps(spec.params))
+        clone = ProgramSpec(spec.name, "fuzz", params)
+        assert clone.build().name == spec.build().name
+
+
+class TestDeterminateProfile:
+    def test_structurally_determinate(self):
+        config = FuzzConfig(profile="determinate")
+        for seed in SEEDS[:30]:
+            assert plan_is_determinate(plan_program(seed, config))
+
+    def test_mixed_profile_usually_not_determinate(self):
+        config = FuzzConfig(oracle="always")
+        verdicts = [plan_is_determinate(plan_program(seed, config))
+                    for seed in SEEDS[:30]]
+        assert not all(verdicts)
+
+    @pytest.mark.parametrize("model", ["c11", "tso"])
+    def test_final_memory_matches_expectation(self, model):
+        backend = resolve_model(model)
+        config = FuzzConfig(profile="determinate")
+        for seed in SEEDS[:15]:
+            plan = plan_program(seed, config)
+            expected = expected_final_memory(plan)
+            program = build_plan_program(plan)
+            result = backend.run_once(
+                program, NaiveRandomScheduler(seed=seed),
+                max_steps=plan_step_bound(plan))
+            assert not result.bug_found
+            final = {loc: result.graph.mo_max(loc).wval
+                     for loc in result.graph.locations()}
+            for loc, value in final.items():
+                assert expected[loc] == value, (model, seed, loc)
+
+
+class TestValidation:
+    def test_config_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FuzzConfig(min_threads=1)
+        with pytest.raises(ValueError):
+            FuzzConfig(min_ops=0)
+        with pytest.raises(ValueError):
+            FuzzConfig(orders=("totally-ordered",))
+        with pytest.raises(ValueError):
+            FuzzConfig(profile="chaotic")
+
+    def test_factory_rejects_ambiguous_params(self):
+        plan = plan_program(SEEDS[0])
+        with pytest.raises(ValueError):
+            fuzz_program(gen_seed=1, plan=plan)
+        with pytest.raises(ValueError):
+            fuzz_program()
+
+    def test_build_rejects_unknown_plan_version(self):
+        plan = dict(plan_program(SEEDS[0]), version=999)
+        with pytest.raises(ValueError):
+            build_plan_program(plan)
+
+    def test_config_round_trips_through_params(self):
+        config = FuzzConfig(max_threads=4, orders=("rlx", "sc"),
+                            allow_nonatomic=True)
+        assert FuzzConfig.from_params(config.to_params()) == config
+        assert json.loads(json.dumps(config.to_params())) \
+            == config.to_params()
